@@ -1,0 +1,37 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+The paper used 30 random applications per design point and simulated-
+annealing runs of up to three hours; the benchmarks default to a scale
+that completes in minutes while preserving every comparison's *shape*.
+Environment knobs restore the full scale:
+
+* ``REPRO_SEEDS``    — random applications per design point (default 2);
+* ``REPRO_SA_ITERS`` — simulated-annealing iterations (default 60);
+* ``REPRO_NODES``    — comma-separated node counts for the Fig. 9a/9b
+  sweeps (default ``2,4,6``; the paper uses ``2,4,6,8,10``);
+* ``REPRO_GW``       — comma-separated gateway-message counts for
+  Fig. 9c (default ``10,30,50``; the paper uses ``10,20,30,40,50``).
+"""
+
+import os
+
+import pytest
+
+
+def _int_env(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _list_env(name: str, default: str) -> list:
+    return [int(x) for x in os.environ.get(name, default).split(",")]
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Resolved benchmark scale parameters."""
+    return {
+        "seeds": _int_env("REPRO_SEEDS", 2),
+        "sa_iters": _int_env("REPRO_SA_ITERS", 60),
+        "nodes": _list_env("REPRO_NODES", "2,4,6"),
+        "gateway_messages": _list_env("REPRO_GW", "10,30,50"),
+    }

@@ -1,0 +1,134 @@
+"""Bench: Fig. 9a — degree-of-schedulability quality of SF and OS vs SAS.
+
+For each application dimension (nodes x 40 processes) a set of random
+applications is generated; SF, OS and SAS synthesize configurations and
+the average percentage deviation of the degree of schedulability ``δΓ``
+from the SAS reference is reported — the paper presents exactly this, for
+the instances all heuristics schedule (SF deviates by tens of percent and
+grows with size; OS stays close to SAS).
+
+Shape assertions (not absolute values — the SA budget is scaled down):
+SF never beats OS, and OS lands within a modest band of SAS.
+"""
+
+import statistics
+
+import pytest
+
+from repro.io import comparison_table
+from repro.optim import optimize_schedule, run_straightforward, sa_schedule
+from repro.synth import WorkloadSpec, generate_workload
+
+
+def deviation(value: float, reference: float) -> float:
+    """Percentage deviation of a degree cost from a reference cost."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * (value - reference) / abs(reference)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_scale):
+    rows = []
+    raw = {}
+    for nodes in bench_scale["nodes"]:
+        sf_devs, os_devs, usable = [], [], 0
+        for seed in range(bench_scale["seeds"]):
+            system = generate_workload(WorkloadSpec(nodes=nodes, seed=seed))
+            sf = run_straightforward(system)
+            osr = optimize_schedule(system, max_capacity_candidates=3)
+            sas = sa_schedule(
+                system,
+                iterations=bench_scale["sa_iters"],
+                seed=seed,
+                initial=osr.best.config,
+            )
+            if not (sf.schedulable and osr.schedulable and sas.schedulable):
+                continue  # the paper plots all-schedulable instances only
+            usable += 1
+            sf_devs.append(deviation(sf.degree, sas.best.degree))
+            os_devs.append(deviation(osr.best.degree, sas.best.degree))
+        raw[nodes] = (sf_devs, os_devs, usable)
+        rows.append(
+            [
+                nodes * 40,
+                usable,
+                f"{statistics.mean(sf_devs):.1f}" if sf_devs else "-",
+                f"{statistics.mean(os_devs):.1f}" if os_devs else "-",
+            ]
+        )
+    return rows, raw
+
+
+def test_fig9a_table(sweep, capsys):
+    rows, _raw = sweep
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            "Fig. 9a — avg % deviation of degree of schedulability from SAS "
+            "(smaller is better; SAS = 0 by construction)",
+            ["processes", "instances", "SF dev [%]", "OS dev [%]"],
+            rows,
+        ))
+    assert any(r[1] > 0 for r in rows), "no mutually schedulable instance"
+
+
+def test_fig9a_sf_never_beats_os(sweep):
+    _rows, raw = sweep
+    for nodes, (sf_devs, os_devs, _usable) in raw.items():
+        for sf_dev, os_dev in zip(sf_devs, os_devs):
+            assert sf_dev >= os_dev - 1e-6, (
+                f"SF beat OS on a {nodes}-node instance"
+            )
+
+
+def test_fig9a_os_close_to_sas(sweep):
+    _rows, raw = sweep
+    devs = [d for sf, os_, _u in raw.values() for d in os_]
+    if devs:
+        # OS tracks the (budget-limited) SA reference closely.
+        assert statistics.mean(devs) <= 25.0
+
+
+def test_fig9a_sf_failure_rate(bench_scale, capsys):
+    """The paper's companion observation: SF fails to schedule 26 of the
+    150 applications while OS still succeeds.  At the default ~25%
+    utilization nearly everything is schedulable (needed to *compute*
+    deviations), so the failure-rate comparison is run at a tighter 35%
+    utilization where the bus decisions bite."""
+    rows = []
+    total_sf_fail = total_os_ok_sf_fail = 0
+    for nodes in bench_scale["nodes"]:
+        sf_fail = rescued = count = 0
+        for seed in range(bench_scale["seeds"]):
+            system = generate_workload(
+                WorkloadSpec(nodes=nodes, seed=seed, target_utilization=0.35)
+            )
+            sf = run_straightforward(system)
+            count += 1
+            if sf.schedulable:
+                continue
+            sf_fail += 1
+            osr = optimize_schedule(system, max_capacity_candidates=3)
+            if osr.schedulable:
+                rescued += 1
+        total_sf_fail += sf_fail
+        total_os_ok_sf_fail += rescued
+        rows.append([nodes * 40, count, sf_fail, rescued])
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            "Fig. 9a companion — SF schedulability failures at 35% "
+            "utilization (paper: SF failed 26/150)",
+            ["processes", "instances", "SF failed", "rescued by OS"],
+            rows,
+        ))
+    # OS never does worse; often it rescues SF failures.
+    assert total_os_ok_sf_fail <= total_sf_fail
+
+
+def test_bench_fig9a_os(benchmark):
+    """Time OptimizeSchedule on one 160-process application."""
+    system = generate_workload(WorkloadSpec(nodes=4, seed=0))
+    result = benchmark(optimize_schedule, system, max_capacity_candidates=3)
+    assert result.best.feasible

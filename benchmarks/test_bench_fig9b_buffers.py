@@ -1,0 +1,117 @@
+"""Bench: Fig. 9b — total buffer need s_total of OS vs OR vs SAR.
+
+For each application dimension the buffer bound of the plain
+schedulability-optimized system (OS) is compared with the output of the
+buffer-minimization hill climber (OR) and the annealing reference (SAR).
+The paper's shape: s_total grows with application size; OR needs
+substantially less than OS and tracks SAR.
+
+Note on magnitudes: this reproduction's offset analysis is sharper than
+the paper's per-graph offsets (all equal-period activities are
+phase-locked), so OS already avoids much of the co-residency the paper's
+OR had to optimize away; the OS-vs-OR gap is correspondingly smaller (see
+EXPERIMENTS.md).
+"""
+
+import statistics
+
+import pytest
+
+from repro.io import comparison_table
+from repro.optim import optimize_resources, optimize_schedule, sa_resources
+from repro.synth import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_scale):
+    rows = []
+    raw = {}
+    for nodes in bench_scale["nodes"]:
+        os_buf, or_buf, sar_buf = [], [], []
+        for seed in range(bench_scale["seeds"]):
+            system = generate_workload(WorkloadSpec(nodes=nodes, seed=seed))
+            osr = optimize_schedule(system, max_capacity_candidates=3)
+            if not osr.schedulable:
+                continue
+            orr = optimize_resources(
+                system,
+                os_result=osr,
+                max_iterations=8,
+                neighborhood=16,
+                max_climbs=3,
+            )
+            sar = sa_resources(
+                system,
+                iterations=bench_scale["sa_iters"],
+                seed=seed,
+                initial=osr.best.config,
+            )
+            if not (orr.schedulable and sar.schedulable):
+                continue
+            os_buf.append(osr.best.total_buffers)
+            or_buf.append(orr.total_buffers)
+            sar_buf.append(sar.best.total_buffers)
+        raw[nodes] = (os_buf, or_buf, sar_buf)
+        rows.append(
+            [
+                nodes * 40,
+                len(os_buf),
+                f"{statistics.mean(os_buf):.0f}" if os_buf else "-",
+                f"{statistics.mean(or_buf):.0f}" if or_buf else "-",
+                f"{statistics.mean(sar_buf):.0f}" if sar_buf else "-",
+            ]
+        )
+    return rows, raw
+
+
+def test_fig9b_table(sweep, capsys):
+    rows, _raw = sweep
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            "Fig. 9b — average total buffer need s_total [bytes]",
+            ["processes", "instances", "OS", "OR", "SAR"],
+            rows,
+        ))
+    assert any(r[1] > 0 for r in rows)
+
+
+def test_fig9b_or_never_worse_than_os(sweep):
+    _rows, raw = sweep
+    for nodes, (os_buf, or_buf, _sar) in raw.items():
+        for a, b in zip(os_buf, or_buf):
+            assert b <= a + 1e-6
+
+
+def test_fig9b_or_tracks_sar(sweep):
+    _rows, raw = sweep
+    ratios = []
+    for _nodes, (_os, or_buf, sar_buf) in raw.items():
+        for a, b in zip(or_buf, sar_buf):
+            if b > 0:
+                ratios.append(a / b)
+    if ratios:
+        # OR stays within ~25% of the (budget-limited) SAR reference.
+        assert statistics.mean(ratios) <= 1.25
+
+
+def test_fig9b_buffers_grow_with_size(sweep):
+    _rows, raw = sweep
+    sizes = sorted(raw)
+    if len(sizes) >= 2:
+        first = raw[sizes[0]][1]
+        last = raw[sizes[-1]][1]
+        if first and last:
+            assert statistics.mean(last) >= statistics.mean(first)
+
+
+def test_bench_fig9b_or(benchmark):
+    """Time one OptimizeResources hill climb (seeded by OS)."""
+    system = generate_workload(WorkloadSpec(nodes=2, seed=0))
+    osr = optimize_schedule(system, max_capacity_candidates=2)
+
+    def climb():
+        return optimize_resources(system, os_result=osr, max_iterations=5)
+
+    result = benchmark(climb)
+    assert result.best.feasible

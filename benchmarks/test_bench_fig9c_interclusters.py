@@ -1,0 +1,99 @@
+"""Bench: Fig. 9c — buffer quality vs. inter-cluster traffic intensity.
+
+160-process applications (4 nodes) with a controlled number of messages
+exchanged over the gateway (the paper sweeps 10..50).  The average
+percentage deviation of the buffer need of OS and OR from the SAR
+reference is reported.  Paper shape: the problem hardens as traffic
+grows — OS degrades quickly while OR keeps tracking SAR.
+"""
+
+import statistics
+
+import pytest
+
+from repro.io import comparison_table
+from repro.optim import optimize_resources, optimize_schedule, sa_resources
+from repro.synth import WorkloadSpec, generate_workload
+
+
+def deviation(value: float, reference: float) -> float:
+    if reference == 0:
+        return 0.0
+    return 100.0 * (value - reference) / abs(reference)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_scale):
+    rows = []
+    raw = {}
+    for gw in bench_scale["gateway_messages"]:
+        os_devs, or_devs = [], []
+        for seed in range(bench_scale["seeds"]):
+            system = generate_workload(
+                WorkloadSpec(nodes=4, gateway_messages=gw, seed=seed)
+            )
+            osr = optimize_schedule(system, max_capacity_candidates=3)
+            if not osr.schedulable:
+                continue
+            orr = optimize_resources(
+                system,
+                os_result=osr,
+                max_iterations=8,
+                neighborhood=16,
+                max_climbs=3,
+            )
+            sar = sa_resources(
+                system,
+                iterations=bench_scale["sa_iters"],
+                seed=seed,
+                initial=osr.best.config,
+            )
+            if not (orr.schedulable and sar.schedulable):
+                continue
+            reference = min(sar.best.total_buffers, orr.total_buffers)
+            os_devs.append(deviation(osr.best.total_buffers, reference))
+            or_devs.append(deviation(orr.total_buffers, reference))
+        raw[gw] = (os_devs, or_devs)
+        rows.append(
+            [
+                gw,
+                len(os_devs),
+                f"{statistics.mean(os_devs):.1f}" if os_devs else "-",
+                f"{statistics.mean(or_devs):.1f}" if or_devs else "-",
+            ]
+        )
+    return rows, raw
+
+
+def test_fig9c_table(sweep, capsys):
+    rows, _raw = sweep
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            "Fig. 9c — avg % deviation of buffer need from the best-known "
+            "(SAR/OR) on 160-process applications",
+            ["gateway msgs", "instances", "OS dev [%]", "OR dev [%]"],
+            rows,
+        ))
+    assert any(r[1] > 0 for r in rows)
+
+
+def test_fig9c_or_never_worse_than_os(sweep):
+    _rows, raw = sweep
+    for gw, (os_devs, or_devs) in raw.items():
+        for a, b in zip(os_devs, or_devs):
+            assert b <= a + 1e-6
+
+
+def test_fig9c_or_stays_close(sweep):
+    _rows, raw = sweep
+    devs = [d for _os, or_devs in raw.values() for d in or_devs]
+    if devs:
+        assert statistics.mean(devs) <= 20.0
+
+
+def test_bench_fig9c_workload_generation(benchmark):
+    """Time workload generation with a gateway-traffic target."""
+    spec = WorkloadSpec(nodes=4, gateway_messages=50, seed=0)
+    system = benchmark(generate_workload, spec)
+    assert len(system.arch.gateway_messages(system.app)) == 50

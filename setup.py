@@ -1,0 +1,11 @@
+"""Setup entry point.
+
+Metadata lives in ``setup.cfg``.  The project deliberately avoids
+``pyproject.toml``: the target environment is fully offline and its pip
+would attempt to download setuptools/wheel for PEP 517 build isolation,
+so ``pip install -e .`` must take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

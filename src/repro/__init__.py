@@ -1,0 +1,147 @@
+"""repro — schedulability analysis and synthesis for multi-cluster
+distributed embedded systems.
+
+Reproduction of Pop, Eles, Peng, *"Schedulability Analysis and
+Optimization for the Synthesis of Multi-Cluster Distributed Embedded
+Systems"*, DATE 2003.
+
+Quickstart::
+
+    from repro import (
+        Application, Architecture, Message, Process, ProcessGraph, System,
+        multi_cluster_scheduling, optimize_schedule,
+    )
+
+    graph = ProcessGraph("G1", period=240, deadline=200, processes=[...],
+                         messages=[...])
+    system = System(Application([graph]),
+                    Architecture(tt_nodes=["N1"], et_nodes=["N2"]))
+    result = optimize_schedule(system)        # synthesize beta + pi
+    print(result.best.schedulable, result.best.total_buffers)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.model` — applications, architectures, configurations;
+* :mod:`repro.buses` — TTP/TDMA and CAN protocol substrates;
+* :mod:`repro.schedule` — static list scheduling (schedule tables, MEDL);
+* :mod:`repro.analysis` — the multi-cluster schedulability and buffer
+  analyses (section 4);
+* :mod:`repro.optim` — SF/OS/OR heuristics and the SA baselines
+  (sections 5–6);
+* :mod:`repro.synth` — paper examples and random workload generation;
+* :mod:`repro.sim` — discrete-event simulator used for validation;
+* :mod:`repro.io` — JSON serialization and paper-style reports.
+"""
+
+from .analysis import (
+    ActivityTiming,
+    BufferReport,
+    MultiClusterResult,
+    ResponseTimes,
+    SchedulabilityReport,
+    buffer_bounds,
+    degree_of_schedulability,
+    graph_response_time,
+    multi_cluster_scheduling,
+    response_time_analysis,
+)
+from .buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
+from .exceptions import (
+    AnalysisError,
+    ConfigurationError,
+    ConvergenceError,
+    MappingError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    UnschedulableError,
+)
+from .model import (
+    Application,
+    Architecture,
+    ClusterKind,
+    Dependency,
+    Message,
+    MessageRoute,
+    OffsetTable,
+    PriorityAssignment,
+    Process,
+    ProcessGraph,
+    SystemConfiguration,
+)
+from .optim import (
+    Evaluation,
+    ORResult,
+    OSResult,
+    SAResult,
+    evaluate,
+    hopa_priorities,
+    optimize_resources,
+    optimize_schedule,
+    run_straightforward,
+    sa_resources,
+    sa_schedule,
+    straightforward_configuration,
+)
+from .schedule import StaticSchedule, static_schedule
+from .sim import SimulationTrace, Simulator, simulate
+from .system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityTiming",
+    "AnalysisError",
+    "Application",
+    "Architecture",
+    "BufferReport",
+    "CanBusSpec",
+    "ClusterKind",
+    "ConfigurationError",
+    "ConvergenceError",
+    "Dependency",
+    "Evaluation",
+    "MappingError",
+    "Message",
+    "MessageRoute",
+    "ModelError",
+    "MultiClusterResult",
+    "ORResult",
+    "OSResult",
+    "OffsetTable",
+    "PriorityAssignment",
+    "Process",
+    "ProcessGraph",
+    "ReproError",
+    "ResponseTimes",
+    "SAResult",
+    "SchedulabilityReport",
+    "SchedulingError",
+    "SimulationError",
+    "SimulationTrace",
+    "Simulator",
+    "Slot",
+    "StaticSchedule",
+    "System",
+    "SystemConfiguration",
+    "TTPBusConfig",
+    "TTPBusSpec",
+    "UnschedulableError",
+    "buffer_bounds",
+    "degree_of_schedulability",
+    "evaluate",
+    "graph_response_time",
+    "hopa_priorities",
+    "multi_cluster_scheduling",
+    "optimize_resources",
+    "optimize_schedule",
+    "response_time_analysis",
+    "run_straightforward",
+    "sa_resources",
+    "sa_schedule",
+    "simulate",
+    "static_schedule",
+    "straightforward_configuration",
+    "__version__",
+]

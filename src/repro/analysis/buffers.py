@@ -1,0 +1,179 @@
+"""Queue-size bounds and the total buffer need ``s_total`` (sections
+4.1.1–4.1.2 and 5).
+
+Three output queues exist (footnote 2: input buffers are one per message
+and not part of the optimization; TTC nodes need no output queues):
+
+* ``Out_Ni`` — CAN queue of each ETC node ``Ni``;
+* ``Out_CAN`` — gateway queue of TT->ET messages awaiting CAN transmission;
+* ``Out_TTP`` — gateway FIFO of ET->TT messages awaiting the gateway slot.
+
+For the priority-ordered queues the bound takes, for each resident message
+``m``, the bytes of ``m`` itself plus the higher-priority messages *of the
+same queue* that can be enqueued within ``m``'s queueing window:
+
+    s_Out = max over m of ( s_m + sum over j in hp(m), same queue, of
+                            ceil0((w_m + J_j - O_mj)/T_j) * s_j )
+
+For the FIFO ``Out_TTP`` the bound is ``max over m of (S_m + I_m)`` with
+``I_m`` from the slot-drain analysis.
+
+``s_total = s_Out^CAN + s_Out^TTP + sum over ETC nodes of s_Out^Ni``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from ..model.configuration import PriorityAssignment
+from ..system import System
+from .fixed_point import Interferer, ceil0_hits
+from .holistic import phase_locked_hits
+from .timing import ResponseTimes
+
+__all__ = ["BufferReport", "buffer_bounds"]
+
+#: Finite stand-in for an unbounded queue (overloaded system), mirroring
+#: :data:`repro.analysis.degree.OVERLOAD_PENALTY`.
+UNBOUNDED_PENALTY = 1e12
+
+
+@dataclass(frozen=True)
+class BufferReport:
+    """Buffer bounds of a configuration, all in bytes."""
+
+    out_can: float
+    out_ttp: float
+    out_node: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """``s_total`` — the optimization objective of section 5."""
+        return self.out_can + self.out_ttp + sum(self.out_node.values())
+
+
+def _priority_queue_bound(
+    system: System,
+    priorities: PriorityAssignment,
+    members: List[str],
+    rho: ResponseTimes,
+) -> float:
+    """Worst-case size of one priority-ordered CAN queue."""
+    worst = 0.0
+    app = system.app
+    for m in members:
+        timing = rho.can[m]
+        if not timing.converged:
+            return UNBOUNDED_PENALTY
+        own_prio = priorities.message_priority(m)
+        occupancy = float(app.message(m).size)
+        for j in members:
+            if j == m or priorities.message_priority(j) > own_prio:
+                continue
+            other = rho.can[j]
+            if not other.converged:
+                return UNBOUNDED_PENALTY
+            period = app.period_of_message(j)
+            if period == app.period_of_message(m):
+                # Phase-locked: interval count of j's activations whose
+                # queue residency (jitter + queueing delay) can overlap
+                # m's waiting window; ancestors of m cannot co-reside
+                # (their same-instance transmission precedes m's birth).
+                rel = (other.offset - timing.offset) % period
+                hits = phase_locked_hits(
+                    timing.queuing,
+                    timing.jitter,
+                    rel,
+                    period,
+                    other.jitter,
+                    other.queuing,
+                    system.message_is_ancestor(j, m),
+                )
+            else:
+                hits = ceil0_hits(
+                    timing.queuing,
+                    Interferer(
+                        jitter=other.jitter,
+                        rel_offset=0.0,
+                        period=period,
+                        cost=float(app.message(j).size),
+                    ),
+                    # A same-instant higher-priority arrival co-resides in
+                    # the queue, so the tie counts.
+                    epsilon=1e-9,
+                )
+            occupancy += hits * app.message(j).size
+        worst = max(worst, occupancy)
+    return worst
+
+
+def buffer_bounds(
+    system: System, priorities: PriorityAssignment, rho: ResponseTimes
+) -> BufferReport:
+    """Compute all queue bounds for an analysed configuration."""
+    out_can = _priority_queue_bound(
+        system, priorities, system.tt_to_et_messages(), rho
+    )
+    out_node: Dict[str, float] = {}
+    for node in system.arch.et_node_names():
+        members = system.et_to_et_messages_from(node)
+        if members:
+            out_node[node] = _priority_queue_bound(
+                system, priorities, members, rho
+            )
+        else:
+            out_node[node] = 0.0
+    out_ttp = 0.0
+    for m in system.et_to_tt_messages():
+        timing = rho.ttp[m]
+        if not timing.converged:
+            out_ttp = UNBOUNDED_PENALTY
+            break
+        ahead = ttp_resident_bytes(system, priorities, m, timing, rho)
+        out_ttp = max(out_ttp, system.app.message(m).size + ahead)
+    return BufferReport(out_can=out_can, out_ttp=out_ttp, out_node=out_node)
+
+
+def ttp_resident_bytes(
+    system: System,
+    priorities: PriorityAssignment,
+    msg: str,
+    timing,
+    rho: ResponseTimes,
+) -> float:
+    """``I_m`` evaluated at the final fixed point (bytes ahead of ``msg``)."""
+    app = system.app
+    own_prio = priorities.message_priority(msg)
+    total = 0.0
+    for j in system.et_to_tt_messages():
+        if j == msg or priorities.message_priority(j) > own_prio:
+            continue
+        other = rho.ttp[j]
+        if not other.converged:
+            return UNBOUNDED_PENALTY
+        period = app.period_of_message(j)
+        if period == app.period_of_message(msg):
+            rel = (other.offset - timing.offset) % period
+            hits = phase_locked_hits(
+                timing.queuing,
+                timing.jitter,
+                rel,
+                period,
+                other.jitter,
+                other.queuing,
+                system.message_is_ancestor(j, msg),
+            )
+        else:
+            hits = ceil0_hits(
+                timing.queuing,
+                Interferer(
+                    jitter=other.jitter,
+                    rel_offset=0.0,
+                    period=period,
+                    cost=float(app.message(j).size),
+                ),
+            )
+        total += hits * app.message(j).size
+    return total

@@ -1,0 +1,495 @@
+"""Holistic ETC response-time analysis (the ``ResponseTimeAnalysis`` of
+Fig. 5, detailed in section 4.1).
+
+Given offsets ``φ`` (from the static scheduler), priorities ``π`` and the
+TDMA configuration ``β``, this computes worst-case response times for:
+
+* every ET process (busy-window analysis with offsets and jitter),
+* the CAN leg of every CAN-borne message,
+* the TTP leg (gateway FIFO + slot) of every ET->TT message.
+
+The couplings form a cyclic dependency — a receiver's jitter is the
+response time of its incoming message, message jitter is the sender's
+response time, and interference depends on everyone's jitter — so the
+whole system is iterated as one monotone fixed point starting from zero
+jitter, converging to the least solution (the standard holistic-analysis
+argument of Tindell & Clark, which the paper extends).
+
+Jitter propagation rules (section 4.1, calibrated on the Fig. 4/6 worked
+example; see DESIGN.md):
+
+* TT process: activated exactly at its offset; ``J = 0``, ``w = 0``,
+  ``r = C``.
+* Message sent by an ET process ``P_S``: ``O_m = O_S + C_S`` (earliest
+  completion) and ``J_m = r_S - C_S``.
+* TT->ET message: ``O_m`` is the frame's arrival at the gateway MBI (set
+  by the static schedule/MEDL) and ``J_m = r_T`` (the gateway transfer
+  process moves it into ``Out_CAN``).
+* ET->TT message: enters ``Out_TTP`` with jitter ``J'_m = r_m^CAN + r_T``.
+* ET process receiving message ``m``: ``J_D = (O_m + r_m) - O_D`` — the
+  release jitter equals the message's worst-case arrival relative to the
+  receiver's offset (``J_D(m) = r_m`` when offsets coincide, as in the
+  paper).
+
+For speed the per-activity interference structure (who interferes with
+whom, relative phases, periods, costs, blocking) is compiled once per call;
+only the jitters evolve across the outer iterations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..buses.ttp import TTPBusConfig
+from ..exceptions import AnalysisError
+from ..model.architecture import GATEWAY_TRANSFER_PROCESS, MessageRoute
+from ..model.configuration import OffsetTable, PriorityAssignment
+from ..system import System
+from .can_analysis import TIE_EPSILON, can_blocking
+from .timing import ActivityTiming, ResponseTimes
+
+__all__ = ["response_time_analysis"]
+
+_MAX_OUTER_ITERATIONS = 1_000
+_MAX_INNER_ITERATIONS = 50_000
+
+
+def phase_locked_hits(
+    window: float,
+    own_jitter: float,
+    rel: float,
+    period: float,
+    j_jitter: float,
+    j_residency: float,
+    is_ancestor: bool,
+) -> int:
+    """Activations of a phase-locked interferer overlapping a busy window.
+
+    The activity under analysis starts its busy window of length
+    ``window`` at ``t in [O_m, O_m + own_jitter]``; the interferer's k-th
+    activation arrives at phase ``rel + k*T + [0, j_jitter]`` (relative to
+    ``O_m``) and remains present for ``j_residency`` after arrival
+    (queueing + service).  The worst-case number of overlapping
+    activations is the count of integers ``k`` with
+
+        -(j_jitter + j_residency) <= rel + k*T <= own_jitter + window
+
+    (closed bounds: a simultaneous higher-priority arrival wins
+    non-preemptive arbitration, so ties count).
+
+    For *ancestors* of the analysed activity all ``k < 0`` instances are
+    excluded: the same-instance execution of an upstream activity
+    causally precedes its descendant's activation and has already
+    completed — the precedence-aware refinement in the spirit of
+    Palencia & Harbour, without which chains would charge themselves
+    their own upstream work.
+    """
+    hi = own_jitter + window
+    k_max = math.floor((hi - rel) / period + 1e-9)
+    lo = -(j_jitter + j_residency)
+    k_min = math.ceil((lo - rel) / period - 1e-9)
+    if is_ancestor and k_min < 0:
+        k_min = 0
+    return max(0, k_max - k_min + 1)
+
+
+def _solve_window(
+    base: float,
+    own_jitter: float,
+    names: List[str],
+    rels: List[float],
+    periods: List[float],
+    costs: List[float],
+    locked: List[bool],
+    ancestor: List[bool],
+    jitters: Mapping[str, float],
+    residencies: Mapping[str, float],
+    epsilon: float,
+    bound: float,
+) -> float:
+    """Least fixed point of the busy-window equation.
+
+    Phase-locked interferers are counted with :func:`phase_locked_hits`
+    (offset-, jitter- and residency-aware); unlocked interferers use the
+    classic ``ceil((w + J_j)/T_j)`` criterion with the non-preemptive tie
+    epsilon.  Returns ``math.inf`` on divergence.
+    """
+    if not names:
+        return base
+    if (
+        math.isinf(base)
+        or math.isinf(own_jitter)
+        or any(math.isinf(jitters[n]) for n in names)
+    ):
+        return math.inf
+    w = base
+    for _ in range(_MAX_INNER_ITERATIONS):
+        total = base
+        for i in range(len(names)):
+            j = names[i]
+            if locked[i]:
+                n = phase_locked_hits(
+                    w,
+                    own_jitter,
+                    rels[i],
+                    periods[i],
+                    jitters[j],
+                    residencies.get(j, 0.0),
+                    ancestor[i],
+                )
+            else:
+                x = w + jitters[j] + epsilon
+                n = math.ceil(x / periods[i] - 1e-12) if x > 0 else 0
+            total += n * costs[i]
+        if total == w:
+            return w
+        if total > bound or math.isinf(total):
+            return math.inf
+        w = total
+    return math.inf
+
+
+def _rel_offset(offset_j: float, offset_i: float, period: float, locked: bool) -> float:
+    """Phase of activity j relative to i (0 when not phase-locked)."""
+    if not locked:
+        return 0.0
+    return (offset_j - offset_i) % period
+
+
+def response_time_analysis(
+    system: System,
+    offsets: OffsetTable,
+    priorities: PriorityAssignment,
+    bus: TTPBusConfig,
+) -> ResponseTimes:
+    """Run the holistic analysis; see module docstring.
+
+    Activities whose equations diverge (overload) are reported with
+    ``converged=False`` and infinite response times; the caller decides
+    how to penalize them (see :mod:`repro.analysis.degree`).
+    """
+    app = system.app
+    arch = system.arch
+    transfer_wcet = arch.gateway_transfer_wcet
+    transfer_response = transfer_wcet  # T runs highest-priority on NG.
+
+    et_procs = system.et_processes()
+    can_msgs = system.can_messages()
+    ettt_msgs = system.et_to_tt_messages()
+    proc_offsets = offsets.process_offsets
+    msg_offsets = offsets.message_offsets
+    gateway_slot = bus.slot_of(arch.gateway)
+    gateway_slot_time = gateway_slot.duration
+
+    wcet = {p.name: p.wcet for p in app.all_processes()}
+    proc_graph = {p.name: app.graph_of_process(p.name).name for p in app.all_processes()}
+    proc_period = {p.name: app.period_of_process(p.name) for p in app.all_processes()}
+    msg_graph = {m: app.graph_of_message(m).name for m in can_msgs}
+    msg_period = {m: app.period_of_message(m) for m in can_msgs}
+    msg_size = {m: float(app.message(m).size) for m in can_msgs}
+    frame_time = {m: system.can_frame_time(m) for m in can_msgs}
+
+    # A generous divergence bound: several hyper-periods of demand.
+    horizon = 4.0 * max(
+        [g.period for g in app.graphs.values()] + [bus.round_length]
+    ) + 1.0e4
+
+    # -- compile the constant interference structure -------------------------
+    # CAN bus: hp interferer arrays per message (the blocking term depends
+    # on the evolving jitters and is recomputed inside the loop).
+    can_int: Dict[str, tuple] = {}
+    for m in can_msgs:
+        own_prio = priorities.message_priority(m)
+        names: List[str] = []
+        rels: List[float] = []
+        periods: List[float] = []
+        costs: List[float] = []
+        locked_flags: List[bool] = []
+        anc_flags: List[bool] = []
+        for j in can_msgs:
+            if j == m or priorities.message_priority(j) > own_prio:
+                continue
+            names.append(j)
+            locked = msg_period[j] == msg_period[m]
+            rels.append(
+                _rel_offset(
+                    msg_offsets.get(j, 0.0),
+                    msg_offsets.get(m, 0.0),
+                    msg_period[j],
+                    locked,
+                )
+            )
+            periods.append(msg_period[j])
+            costs.append(frame_time[j])
+            locked_flags.append(locked)
+            anc_flags.append(system.message_is_ancestor(j, m))
+        can_int[m] = (names, rels, periods, costs, locked_flags, anc_flags)
+
+    # Gateway Out_TTP FIFO: byte-cost interferers per ET->TT message.
+    ttp_int: Dict[str, tuple] = {}
+    for m in ettt_msgs:
+        own_prio = priorities.message_priority(m)
+        names = []
+        rels = []
+        periods = []
+        costs = []
+        locked_flags = []
+        anc_flags = []
+        for j in ettt_msgs:
+            if j == m or priorities.message_priority(j) > own_prio:
+                continue
+            names.append(j)
+            locked = msg_period[j] == msg_period[m]
+            rels.append(
+                _rel_offset(
+                    msg_offsets.get(j, 0.0),
+                    msg_offsets.get(m, 0.0),
+                    msg_period[j],
+                    locked,
+                )
+            )
+            periods.append(msg_period[j])
+            costs.append(msg_size[j])
+            locked_flags.append(locked)
+            anc_flags.append(system.message_is_ancestor(j, m))
+        ttp_int[m] = (names, rels, periods, costs, locked_flags, anc_flags)
+
+    # ET processes: same-node higher-priority interferers.
+    proc_int: Dict[str, tuple] = {}
+    for p in et_procs:
+        own_prio = priorities.process_priority(p)
+        node = app.process(p).node
+        names = []
+        rels = []
+        periods = []
+        costs = []
+        locked_flags = []
+        anc_flags = []
+        for other in system.et_processes_on(node):
+            if other == p or priorities.process_priority(other) >= own_prio:
+                continue
+            names.append(other)
+            locked = proc_period[other] == proc_period[p]
+            rels.append(
+                _rel_offset(
+                    proc_offsets.get(other, 0.0),
+                    proc_offsets.get(p, 0.0),
+                    proc_period[other],
+                    locked,
+                )
+            )
+            periods.append(proc_period[other])
+            costs.append(wcet[other])
+            locked_flags.append(locked)
+            anc_flags.append(system.process_is_ancestor(other, p))
+        proc_int[p] = (names, rels, periods, costs, locked_flags, anc_flags)
+
+    # Incoming arcs of each ET process (for release jitter propagation).
+    proc_arcs: Dict[str, List[Tuple[Optional[str], str]]] = {}
+    for p in et_procs:
+        graph = app.graph_of_process(p)
+        proc_arcs[p] = [
+            (msg_name, pred) for pred, msg_name in graph.predecessors(p)
+        ]
+
+    # -- iterate the global monotone fixed point -----------------------------
+    proc_jitter: Dict[str, float] = {p: 0.0 for p in et_procs}
+    proc_window: Dict[str, float] = {p: wcet[p] for p in et_procs}
+    proc_resp: Dict[str, float] = {p: wcet[p] for p in et_procs}
+    msg_jitter: Dict[str, float] = {m: 0.0 for m in can_msgs}
+    msg_queue: Dict[str, float] = {m: 0.0 for m in can_msgs}
+    msg_resp: Dict[str, float] = {m: frame_time[m] for m in can_msgs}
+    ttp_jitter: Dict[str, float] = {m: 0.0 for m in ettt_msgs}
+    ttp_queue: Dict[str, float] = {m: 0.0 for m in ettt_msgs}
+    ttp_ahead: Dict[str, float] = {m: 0.0 for m in ettt_msgs}
+
+    route = system.route
+    msg_src = {m: app.message(m).src for m in can_msgs}
+
+    for _ in range(_MAX_OUTER_ITERATIONS):
+        changed = False
+
+        # 1. Message queueing jitters from current process responses.
+        for m in can_msgs:
+            if route(m) is MessageRoute.TT_TO_ET:
+                j = transfer_response
+            else:
+                src = msg_src[m]
+                j = max(0.0, proc_resp.get(src, wcet[src]) - wcet[src])
+            if j != msg_jitter[m]:
+                msg_jitter[m] = j
+                changed = True
+
+        # 2. CAN bus queueing delays (all CAN messages arbitrate together).
+        # Residency of an interferer on the wire: its own queueing delay
+        # plus its frame time (it can still be transmitting that long
+        # after its release).
+        can_residency = {
+            j: (msg_queue[j] if math.isfinite(msg_queue[j]) else horizon)
+            + frame_time[j]
+            for j in can_msgs
+        }
+        for m in can_msgs:
+            base = can_blocking(
+                system, priorities, m, msg_offsets, message_jitters=msg_jitter
+            )
+            names, rels, periods, costs, locked, anc = can_int[m]
+            w = _solve_window(
+                base, msg_jitter[m], names, rels, periods, costs, locked,
+                anc, msg_jitter, can_residency, TIE_EPSILON, horizon,
+            )
+            if w != msg_queue[m]:
+                msg_queue[m] = w
+                changed = True
+            msg_resp[m] = msg_jitter[m] + w + frame_time[m]
+
+        # 3. Gateway Out_TTP FIFO for ET->TT messages.
+        for m in ettt_msgs:
+            j = msg_resp[m] + transfer_response
+            if j != ttp_jitter[m]:
+                ttp_jitter[m] = j
+                changed = True
+        for m in ettt_msgs:
+            instant = msg_offsets.get(m, 0.0) + ttp_jitter[m]
+            if math.isinf(instant):
+                if not math.isinf(ttp_queue[m]):
+                    changed = True
+                ttp_queue[m] = math.inf
+                ttp_ahead[m] = math.inf
+                continue
+            blocking = bus.waiting_time(arch.gateway, instant)
+            names, rels, periods, costs, locked, anc = ttp_int[m]
+            if any(math.isinf(ttp_jitter[n]) for n in names):
+                if not math.isinf(ttp_queue[m]):
+                    changed = True
+                ttp_queue[m] = math.inf
+                ttp_ahead[m] = math.inf
+                continue
+            # Residency in the FIFO: the interferer's own queueing delay.
+            ttp_residency = {
+                j: (ttp_queue[j] if math.isfinite(ttp_queue[j]) else horizon)
+                for j in names
+            }
+            own_j = ttp_jitter[m]
+            w = blocking
+            ahead = 0.0
+            for _inner in range(_MAX_INNER_ITERATIONS):
+                ahead = 0.0
+                for i in range(len(names)):
+                    jn = names[i]
+                    if locked[i]:
+                        n = phase_locked_hits(
+                            w, own_j, rels[i], periods[i],
+                            ttp_jitter[jn], ttp_residency.get(jn, 0.0),
+                            anc[i],
+                        )
+                    else:
+                        x = w + ttp_jitter[jn]
+                        n = math.ceil(x / periods[i] - 1e-12) if x > 0 else 0
+                    ahead += n * costs[i]
+                rounds = math.ceil(
+                    (msg_size[m] + ahead) / gateway_slot.capacity - 1e-12
+                )
+                w_next = blocking + (rounds - 1) * bus.round_length
+                if w_next == w:
+                    break
+                if w_next > horizon:
+                    w = math.inf
+                    break
+                w = w_next
+            else:
+                w = math.inf
+            if w != ttp_queue[m]:
+                ttp_queue[m] = w
+                ttp_ahead[m] = ahead
+                changed = True
+
+        # 4. Release jitters of ET processes from incoming arcs.
+        for p in et_procs:
+            own_offset = proc_offsets.get(p, 0.0)
+            jitter = 0.0
+            for msg_name, pred in proc_arcs[p]:
+                if msg_name is not None:
+                    arrival = msg_offsets.get(msg_name, 0.0) + msg_resp[msg_name]
+                else:
+                    arrival = proc_offsets.get(pred, 0.0) + proc_resp.get(
+                        pred, wcet[pred]
+                    )
+                if arrival - own_offset > jitter:
+                    jitter = arrival - own_offset
+            if jitter != proc_jitter[p]:
+                proc_jitter[p] = jitter
+                changed = True
+
+        # 5. Busy windows of ET processes (per-node preemptive analysis).
+        # Residency of an interfering process: its whole busy window.
+        proc_residency = {
+            q: (proc_window[q] if math.isfinite(proc_window[q]) else horizon)
+            for q in et_procs
+        }
+        for p in et_procs:
+            names, rels, periods, costs, locked, anc = proc_int[p]
+            window = _solve_window(
+                wcet[p], proc_jitter[p], names, rels, periods, costs,
+                locked, anc, proc_jitter, proc_residency, 0.0, horizon,
+            )
+            if window != proc_window[p]:
+                proc_window[p] = window
+                changed = True
+            proc_resp[p] = proc_jitter[p] + window
+
+        if not changed:
+            break
+    else:
+        raise AnalysisError(
+            "holistic analysis did not stabilize within "
+            f"{_MAX_OUTER_ITERATIONS} iterations"
+        )
+
+    # -- package results ----------------------------------------------------
+    result = ResponseTimes()
+    for proc in app.all_processes():
+        name = proc.name
+        if arch.is_tt_node(proc.node):
+            result.processes[name] = ActivityTiming(
+                offset=proc_offsets.get(name, 0.0),
+                jitter=0.0,
+                queuing=0.0,
+                duration=proc.wcet,
+            )
+        else:
+            window = proc_window[name]
+            converged = math.isfinite(window) and math.isfinite(proc_jitter[name])
+            result.processes[name] = ActivityTiming(
+                offset=proc_offsets.get(name, 0.0),
+                jitter=proc_jitter[name] if converged else math.inf,
+                queuing=window - proc.wcet if converged else math.inf,
+                duration=proc.wcet,
+                converged=converged,
+            )
+    result.processes[GATEWAY_TRANSFER_PROCESS] = ActivityTiming(
+        offset=0.0, jitter=0.0, queuing=0.0, duration=transfer_wcet
+    )
+    for m in can_msgs:
+        converged = math.isfinite(msg_queue[m]) and math.isfinite(msg_jitter[m])
+        result.can[m] = ActivityTiming(
+            offset=msg_offsets.get(m, 0.0),
+            jitter=msg_jitter[m] if converged else math.inf,
+            queuing=msg_queue[m] if converged else math.inf,
+            duration=frame_time[m],
+            converged=converged,
+        )
+    for m in ettt_msgs:
+        converged = math.isfinite(ttp_queue[m]) and math.isfinite(ttp_jitter[m])
+        result.ttp[m] = ActivityTiming(
+            offset=msg_offsets.get(m, 0.0),
+            jitter=ttp_jitter[m] if converged else math.inf,
+            queuing=ttp_queue[m] if converged else math.inf,
+            duration=gateway_slot_time,
+            converged=converged,
+        )
+    for msg in app.all_messages():
+        if route(msg.name) is MessageRoute.TT_TO_TT:
+            result.tt_arrival[msg.name] = msg_offsets.get(msg.name, 0.0)
+    return result

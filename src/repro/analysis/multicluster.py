@@ -1,0 +1,104 @@
+"""The ``MultiClusterScheduling`` algorithm (Fig. 5).
+
+Alternates static scheduling of the TTC (offsets ``φ``) with holistic
+response-time analysis of the ETC (response times ``ρ``) until the offsets
+stop changing:
+
+1. assign initial offsets by static scheduling *without* ETC influence;
+2. ``ρ = ResponseTimeAnalysis(Γ, φ, π)``;
+3. ``φ = StaticScheduling(Γ, ρ, β)`` — TT processes that consume ET->TT
+   messages are pushed after the messages' worst-case arrivals;
+4. repeat from 2 until ``φ`` is unchanged.
+
+Termination is guaranteed when processor and bus loads are below 100% and
+deadlines do not exceed periods (section 4); an iteration cap converts
+pathological cases into a non-converged result instead of a hang.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..buses.ttp import TTPBusConfig
+from ..model.configuration import OffsetTable, PriorityAssignment
+from ..schedule.list_scheduler import static_schedule
+from ..schedule.schedule_table import StaticSchedule
+from ..system import System
+from .holistic import response_time_analysis
+from .timing import ResponseTimes
+
+__all__ = ["MultiClusterResult", "multi_cluster_scheduling"]
+
+#: Offsets are compared with this tolerance when testing the fixed point.
+_OFFSET_TOLERANCE = 1e-9
+
+
+@dataclass
+class MultiClusterResult:
+    """Output of the multi-cluster scheduling loop.
+
+    ``offsets``/``rho`` are the paper's ``φ``/``ρ``; ``schedule`` carries
+    the concrete schedule tables and MEDL behind ``φ``.  ``converged`` is
+    False when the loop hit its iteration cap with offsets still moving
+    (treated as unschedulable by the optimizers).
+    """
+
+    offsets: OffsetTable
+    rho: ResponseTimes
+    schedule: StaticSchedule
+    iterations: int
+    converged: bool
+
+
+def multi_cluster_scheduling(
+    system: System,
+    bus: TTPBusConfig,
+    priorities: PriorityAssignment,
+    tt_delays: Optional[Mapping[str, float]] = None,
+    max_iterations: int = 30,
+) -> MultiClusterResult:
+    """Run the fixed-point loop of Fig. 5; see module docstring.
+
+    The ET->TT arrival constraints are ratcheted monotonically (a message's
+    schedule-table constraint never decreases between iterations).  This
+    damping removes the limit cycles a literal re-derivation can fall into
+    — when an offset shift moves a frame to an earlier TDMA round, which
+    shifts the offset back — while preserving soundness: a larger arrival
+    bound only delays TT consumers further.
+    """
+    schedule = static_schedule(system, bus, rho=None, tt_delays=tt_delays)
+    offsets = schedule.offsets
+    rho = response_time_analysis(system, offsets, priorities, bus)
+    iterations = 1
+    converged = False
+    floors: dict = {}
+    while iterations <= max_iterations:
+        for msg_name, timing in rho.ttp.items():
+            end = timing.worst_end
+            if math.isfinite(end):
+                floors[msg_name] = max(floors.get(msg_name, 0.0), end)
+        new_schedule = static_schedule(
+            system,
+            bus,
+            rho=rho,
+            tt_delays=tt_delays,
+            arrival_floors=floors,
+        )
+        delta = new_schedule.offsets.max_abs_delta(offsets)
+        if delta <= _OFFSET_TOLERANCE:
+            converged = True
+            break
+        schedule = new_schedule
+        offsets = new_schedule.offsets
+        rho = response_time_analysis(system, offsets, priorities, bus)
+        iterations += 1
+    iterations = min(iterations, max_iterations)
+    return MultiClusterResult(
+        offsets=offsets,
+        rho=rho,
+        schedule=schedule,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,6 @@
+"""Bus protocol substrates: TTP/TDMA (static) and CAN (priority-driven)."""
+
+from .can import CAN_MAX_PAYLOAD, CanBusSpec
+from .ttp import Slot, TTPBusConfig, TTPBusSpec
+
+__all__ = ["CAN_MAX_PAYLOAD", "CanBusSpec", "Slot", "TTPBusConfig", "TTPBusSpec"]

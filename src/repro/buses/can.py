@@ -1,0 +1,93 @@
+"""Controller Area Network (CAN) bus substrate.
+
+Implements the CAN bus of section 2.2: a priority bus with collision
+avoidance where the pending message with the highest priority (lowest
+identifier) wins arbitration.  Transmission is non-preemptive: once a frame
+has started, higher-priority frames wait until it completes — this is the
+source of the blocking term ``B_m`` in the queueing analysis.
+
+This module provides the worst-case frame transmission time ``C_m`` for a
+message of a given payload size, following the classic Tindell/Burns/
+Wellings model for CAN 2.0A (11-bit identifiers) with worst-case bit
+stuffing:
+
+    C_m = (g + 8*s_m + 13 + floor((g + 8*s_m - 1) / 4)) * t_bit
+
+where ``g = 34`` is the number of control bits exposed to stuffing, ``8*s_m``
+the payload bits, 13 the un-stuffable tail (CRC delimiter, ACK, EOF,
+intermission), and the floor term the worst-case number of stuff bits.
+
+For reproducing the paper's worked examples, where ``C_m`` is simply given
+(e.g. 10 ms), :class:`CanBusSpec` also accepts a ``fixed_frame_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["CanBusSpec", "CAN_MAX_PAYLOAD"]
+
+#: Maximum payload of a classic CAN frame, in bytes.
+CAN_MAX_PAYLOAD = 8
+
+# Bits of a CAN 2.0A frame subject to stuffing, excluding the data field:
+# SOF(1) + ID(11) + RTR(1) + IDE(1) + r0(1) + DLC(4) + CRC(15) = 34.
+_STUFFABLE_OVERHEAD_BITS = 34
+# Bits never stuffed: CRC delimiter(1) + ACK(2) + EOF(7) + IFS(3) = 13.
+_UNSTUFFED_TAIL_BITS = 13
+
+
+@dataclass(frozen=True)
+class CanBusSpec:
+    """Physical parameters of a CAN bus.
+
+    Parameters
+    ----------
+    bit_time:
+        Duration of one bit on the wire (1 / bit rate).
+    fixed_frame_time:
+        If set, every frame (regardless of size) takes exactly this long —
+        used to reproduce the paper's examples where ``C_m`` is a given
+        constant.  When ``None`` the bit-accurate formula is used.
+    """
+
+    bit_time: float = 0.002  # 500 kbit/s expressed in milliseconds
+    fixed_frame_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.bit_time <= 0:
+            raise ConfigurationError("CAN bit time must be positive")
+        if self.fixed_frame_time is not None and self.fixed_frame_time <= 0:
+            raise ConfigurationError("fixed frame time must be positive")
+
+    def frame_bits(self, payload_bytes: int) -> int:
+        """Worst-case number of bits of a frame carrying ``payload_bytes``.
+
+        Payloads larger than 8 bytes do not fit in one classic CAN frame;
+        following common practice (and so the paper's 8..32 byte messages
+        remain expressible) they are segmented into ``ceil(s/8)`` frames
+        and the bit counts summed.
+        """
+        if payload_bytes <= 0:
+            raise ConfigurationError("payload size must be positive")
+        total = 0
+        remaining = payload_bytes
+        while remaining > 0:
+            chunk = min(remaining, CAN_MAX_PAYLOAD)
+            exposed = _STUFFABLE_OVERHEAD_BITS + 8 * chunk
+            stuff = (exposed - 1) // 4
+            total += exposed + stuff + _UNSTUFFED_TAIL_BITS
+            remaining -= chunk
+        return total
+
+    def frame_time(self, payload_bytes: int) -> float:
+        """Worst-case transmission time ``C_m`` of a message.
+
+        Respects ``fixed_frame_time`` when configured.
+        """
+        if self.fixed_frame_time is not None:
+            return self.fixed_frame_time
+        return self.frame_bits(payload_bytes) * self.bit_time

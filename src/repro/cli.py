@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Generate a random two-cluster workload (the paper's experimental
+    recipe) and write it to a JSON system file.
+
+``analyze``
+    Run the multi-cluster schedulability analysis for a system + an
+    explicit configuration, printing the per-activity timing table, the
+    per-graph verdicts and the buffer bounds.
+
+``synthesize``
+    Run the synthesis pipeline (OS, optionally followed by OR) on a
+    system file and write the resulting configuration JSON.
+
+``simulate``
+    Synthesize (or load) a configuration and execute the discrete-event
+    simulator, reporting observed-vs-bound values.
+
+``sensitivity``
+    Compute the WCET scaling margin and the most deadline-critical
+    activities of a configuration.
+
+All files are the JSON formats of :mod:`repro.io.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    buffer_bounds,
+    critical_activities,
+    degree_of_schedulability,
+    graph_response_time,
+    multi_cluster_scheduling,
+    wcet_scaling_margin,
+)
+from .io.report import schedulability_report, timing_report
+from .io.serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_system,
+    save_system,
+)
+from .optim import optimize_resources, optimize_schedule
+from .sim import simulate
+from .synth import WorkloadSpec, generate_workload
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        nodes=args.nodes,
+        processes_per_node=args.processes_per_node,
+        gateway_messages=args.gateway_messages,
+        target_utilization=args.utilization,
+        wcet_distribution=args.distribution,
+        seed=args.seed,
+    )
+    system = generate_workload(spec)
+    save_system(system, args.output)
+    print(
+        f"wrote {args.output}: {system.app.process_count()} processes, "
+        f"{system.app.message_count()} messages, "
+        f"{len(system.arch.gateway_messages(system.app))} via the gateway"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    config = config_from_dict(json.loads(open(args.config).read()))
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    report = degree_of_schedulability(system, result.rho)
+    buffers = buffer_bounds(system, config.priorities, result.rho)
+    if args.timing:
+        print(timing_report(system, result.rho))
+        print()
+    print(schedulability_report(system, report, buffers))
+    return 0 if report.schedulable else 1
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    os_result = optimize_schedule(system)
+    evaluation = os_result.best
+    if args.minimize_buffers:
+        or_result = optimize_resources(system, os_result=os_result)
+        evaluation = or_result.best
+    with open(args.output, "w") as handle:
+        json.dump(config_to_dict(evaluation.config), handle, indent=2)
+    verdict = "schedulable" if evaluation.schedulable else "NOT schedulable"
+    print(
+        f"wrote {args.output}: {verdict}, degree {evaluation.degree:.1f}, "
+        f"s_total {evaluation.total_buffers:.0f} bytes "
+        f"({os_result.evaluations} analysis runs)"
+    )
+    return 0 if evaluation.schedulable else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    if args.config:
+        config = config_from_dict(json.loads(open(args.config).read()))
+    else:
+        config = optimize_schedule(system).best.config
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    config.offsets = result.offsets
+    trace = simulate(system, config, result.schedule, periods=args.periods)
+    print(f"simulated {args.periods} periods; "
+          f"violations: {len(trace.violations)}")
+    for graph_name in sorted(trace.graph_response):
+        observed = trace.graph_response[graph_name]
+        bound = graph_response_time(system, result.rho, graph_name)
+        print(f"  {graph_name}: simulated {observed:.2f}, bound {bound:.2f}")
+    worst = 0.0
+    for graph_name, observed in trace.graph_response.items():
+        bound = graph_response_time(system, result.rho, graph_name)
+        worst = max(worst, observed - bound)
+    return 0 if worst <= 1e-6 and not trace.violations else 2
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    config = config_from_dict(json.loads(open(args.config).read()))
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    critical = critical_activities(system, result.rho, limit=args.top)
+    print("most critical activities (slack to deadline):")
+    for name, slack in critical:
+        print(f"  {name}: {slack:.2f}")
+    margin = wcet_scaling_margin(system, config, upper=args.upper)
+    if not margin.schedulable_at_factor and margin.factor == 1.0:
+        print("system is not schedulable at nominal WCETs")
+        return 1
+    print(
+        f"WCET scaling margin: factor {margin.factor:.2f} "
+        f"({margin.margin_percent:.0f}% headroom, "
+        f"{margin.iterations} analysis runs)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Schedulability analysis and synthesis for multi-cluster "
+            "(TTP/CAN) distributed embedded systems (Pop/Eles/Peng, "
+            "DATE 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random workload")
+    gen.add_argument("output", help="system JSON file to write")
+    gen.add_argument("--nodes", type=int, default=4)
+    gen.add_argument("--processes-per-node", type=int, default=40)
+    gen.add_argument("--gateway-messages", type=int, default=None)
+    gen.add_argument("--utilization", type=float, default=0.25)
+    gen.add_argument(
+        "--distribution", choices=["uniform", "exponential"], default="uniform"
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    ana = sub.add_parser("analyze", help="analyse a configuration")
+    ana.add_argument("system", help="system JSON file")
+    ana.add_argument("config", help="configuration JSON file")
+    ana.add_argument(
+        "--timing", action="store_true", help="print the per-activity table"
+    )
+    ana.set_defaults(func=_cmd_analyze)
+
+    syn = sub.add_parser("synthesize", help="synthesize a configuration")
+    syn.add_argument("system", help="system JSON file")
+    syn.add_argument("output", help="configuration JSON file to write")
+    syn.add_argument(
+        "--minimize-buffers",
+        action="store_true",
+        help="run OptimizeResources after OptimizeSchedule",
+    )
+    syn.set_defaults(func=_cmd_synthesize)
+
+    sim = sub.add_parser("simulate", help="simulate a configuration")
+    sim.add_argument("system", help="system JSON file")
+    sim.add_argument(
+        "--config", help="configuration JSON (default: synthesize one)"
+    )
+    sim.add_argument("--periods", type=int, default=4)
+    sim.set_defaults(func=_cmd_simulate)
+
+    sens = sub.add_parser(
+        "sensitivity", help="robustness margins of a configuration"
+    )
+    sens.add_argument("system", help="system JSON file")
+    sens.add_argument("config", help="configuration JSON file")
+    sens.add_argument("--upper", type=float, default=4.0)
+    sens.add_argument("--top", type=int, default=5)
+    sens.set_defaults(func=_cmd_sensitivity)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

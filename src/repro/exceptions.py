@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Each subclass corresponds to a distinct failure mode
+of the modelling, analysis or synthesis layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """An application or architecture model is malformed.
+
+    Examples: a message whose sender and receiver are the same process, a
+    process mapped to an unknown node, a cyclic process graph.
+    """
+
+
+class MappingError(ModelError):
+    """A process references a node that does not exist, or a node is used
+    in a way incompatible with its cluster (e.g. a TT process on an ETC
+    node)."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration (offsets, bus schedule, priorities) is
+    inconsistent with the application/architecture it configures."""
+
+
+class AnalysisError(ReproError):
+    """The schedulability analysis could not complete."""
+
+
+class ConvergenceError(AnalysisError):
+    """A fixed-point iteration (response-time analysis or the multi-cluster
+    loop) failed to converge within its iteration budget.
+
+    This typically indicates utilization above 100% on a processor or bus,
+    which the paper's termination argument (section 4) excludes.
+    """
+
+
+class UnschedulableError(AnalysisError):
+    """Raised by synthesis entry points that require a schedulable result
+    when no schedulable configuration could be found."""
+
+
+class SchedulingError(ReproError):
+    """The static (list) scheduler could not place every process/message,
+    e.g. because a schedule table slot cannot accommodate a frame."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,31 @@
+"""Serialization and paper-style reporting."""
+
+from .gantt import render_schedule
+from .report import (
+    comparison_table,
+    format_table,
+    schedulability_report,
+    timing_report,
+)
+from .serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "comparison_table",
+    "render_schedule",
+    "config_from_dict",
+    "config_to_dict",
+    "format_table",
+    "load_system",
+    "save_system",
+    "schedulability_report",
+    "system_from_dict",
+    "system_to_dict",
+    "timing_report",
+]

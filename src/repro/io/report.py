@@ -1,0 +1,106 @@
+"""Human-readable reports in the spirit of the paper's tables.
+
+Formats analysis results the way section 4.2 and section 6 present them:
+per-activity timing tables (offset, jitter, queueing, WCET, response),
+per-graph schedulability verdicts, and heuristic comparison rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.buffers import BufferReport
+from ..analysis.degree import SchedulabilityReport
+from ..analysis.timing import ResponseTimes
+from ..system import System
+
+__all__ = ["format_table", "timing_report", "schedulability_report", "comparison_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.2f}"
+
+
+def timing_report(system: System, rho: ResponseTimes, limit: Optional[int] = None) -> str:
+    """Per-activity timing table (like the values of Fig. 4a)."""
+    rows: List[Tuple[object, ...]] = []
+    for name in sorted(rho.processes):
+        t = rho.processes[name]
+        rows.append(
+            ("process", name, _fmt(t.offset), _fmt(t.jitter), _fmt(t.queuing),
+             _fmt(t.duration), _fmt(t.response))
+        )
+    for name in sorted(rho.can):
+        t = rho.can[name]
+        rows.append(
+            ("can msg", name, _fmt(t.offset), _fmt(t.jitter), _fmt(t.queuing),
+             _fmt(t.duration), _fmt(t.response))
+        )
+    for name in sorted(rho.ttp):
+        t = rho.ttp[name]
+        rows.append(
+            ("ttp leg", name, _fmt(t.offset), _fmt(t.jitter), _fmt(t.queuing),
+             _fmt(t.duration), _fmt(t.response))
+        )
+    if limit is not None:
+        rows = rows[:limit]
+    return format_table(
+        ["kind", "name", "O", "J", "w", "C", "r"], rows
+    )
+
+
+def schedulability_report(
+    system: System,
+    report: SchedulabilityReport,
+    buffers: Optional[BufferReport] = None,
+) -> str:
+    """Per-graph verdicts plus the buffer summary (section 6 style)."""
+    rows = []
+    for name in sorted(report.graph_responses):
+        graph = system.app.graphs[name]
+        response = report.graph_responses[name]
+        verdict = "met" if response <= graph.deadline else "MISSED"
+        rows.append((name, _fmt(response), _fmt(graph.deadline), verdict))
+    text = format_table(["graph", "R_G", "D_G", "deadline"], rows)
+    text += (
+        f"\n\ndegree of schedulability: {report.degree:.2f} "
+        f"({'schedulable' if report.schedulable else 'NOT schedulable'})"
+    )
+    if buffers is not None:
+        text += (
+            f"\ntotal buffer need s_total = {buffers.total:.0f} bytes "
+            f"(Out_CAN={buffers.out_can:.0f}, Out_TTP={buffers.out_ttp:.0f}, "
+            + ", ".join(
+                f"Out_{n}={v:.0f}" for n, v in sorted(buffers.out_node.items())
+            )
+            + ")"
+        )
+    return text
+
+
+def comparison_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """A titled comparison table (used by the Fig. 9 benchmark harness)."""
+    body = format_table(headers, rows)
+    bar = "=" * len(title)
+    return f"{title}\n{bar}\n{body}"

@@ -1,0 +1,202 @@
+"""JSON round-tripping of systems and configurations.
+
+Lets users persist generated workloads, exchange problem instances, and
+pin down regression cases.  The format is a plain nested dictionary —
+stable keys, no pickling — so instances remain diffable and editable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..buses.can import CanBusSpec
+from ..buses.ttp import Slot, TTPBusConfig, TTPBusSpec
+from ..model.application import Application, Dependency, Message, Process, ProcessGraph
+from ..model.architecture import Architecture
+from ..model.configuration import (
+    OffsetTable,
+    PriorityAssignment,
+    SystemConfiguration,
+)
+from ..system import System
+
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "config_to_dict",
+    "config_from_dict",
+    "save_system",
+    "load_system",
+]
+
+
+def system_to_dict(system: System) -> Dict[str, Any]:
+    """Serialize a :class:`System` to a JSON-compatible dictionary."""
+    app = system.app
+    arch = system.arch
+    return {
+        "format": "repro-system-v1",
+        "application": {
+            "graphs": [
+                {
+                    "name": g.name,
+                    "period": g.period,
+                    "deadline": g.deadline,
+                    "processes": [
+                        {
+                            "name": p.name,
+                            "wcet": p.wcet,
+                            "node": p.node,
+                            "deadline": p.deadline,
+                        }
+                        for p in g.processes.values()
+                    ],
+                    "messages": [
+                        {
+                            "name": m.name,
+                            "src": m.src,
+                            "dst": m.dst,
+                            "size": m.size,
+                        }
+                        for m in g.messages.values()
+                    ],
+                    "dependencies": [
+                        {"src": d.src, "dst": d.dst} for d in g.dependencies
+                    ],
+                }
+                for g in app.graphs.values()
+            ]
+        },
+        "architecture": {
+            "tt_nodes": arch.tt_node_names(),
+            "et_nodes": arch.et_node_names(),
+            "gateway": arch.gateway,
+            "gateway_transfer_wcet": arch.gateway_transfer_wcet,
+            "gateway_transfer_period": arch.gateway_transfer_period,
+        },
+        "can_spec": {
+            "bit_time": system.can_spec.bit_time,
+            "fixed_frame_time": system.can_spec.fixed_frame_time,
+        },
+        "ttp_spec": {
+            "byte_time": system.ttp_spec.byte_time,
+            "slot_overhead": system.ttp_spec.slot_overhead,
+        },
+        "releases": dict(system.releases),
+    }
+
+
+def system_from_dict(data: Dict[str, Any]) -> System:
+    """Rebuild a :class:`System` from :func:`system_to_dict` output."""
+    graphs = []
+    for g in data["application"]["graphs"]:
+        graphs.append(
+            ProcessGraph(
+                name=g["name"],
+                period=g["period"],
+                deadline=g["deadline"],
+                processes=[
+                    Process(
+                        name=p["name"],
+                        wcet=p["wcet"],
+                        node=p["node"],
+                        deadline=p.get("deadline"),
+                    )
+                    for p in g["processes"]
+                ],
+                messages=[
+                    Message(
+                        name=m["name"],
+                        src=m["src"],
+                        dst=m["dst"],
+                        size=m["size"],
+                    )
+                    for m in g["messages"]
+                ],
+                dependencies=[
+                    Dependency(src=d["src"], dst=d["dst"])
+                    for d in g.get("dependencies", ())
+                ],
+            )
+        )
+    arch_data = data["architecture"]
+    arch = Architecture(
+        tt_nodes=arch_data["tt_nodes"],
+        et_nodes=arch_data["et_nodes"],
+        gateway=arch_data["gateway"],
+        gateway_transfer_wcet=arch_data.get("gateway_transfer_wcet", 0.0),
+        gateway_transfer_period=arch_data.get("gateway_transfer_period"),
+    )
+    can = data.get("can_spec", {})
+    ttp = data.get("ttp_spec", {})
+    return System(
+        app=Application(graphs),
+        arch=arch,
+        can_spec=CanBusSpec(
+            bit_time=can.get("bit_time", 0.002),
+            fixed_frame_time=can.get("fixed_frame_time"),
+        ),
+        ttp_spec=TTPBusSpec(
+            byte_time=ttp.get("byte_time", 1.0),
+            slot_overhead=ttp.get("slot_overhead", 0.0),
+        ),
+        releases=data.get("releases", {}),
+    )
+
+
+def config_to_dict(config: SystemConfiguration) -> Dict[str, Any]:
+    """Serialize a configuration ``ψ`` to a JSON-compatible dictionary."""
+    out: Dict[str, Any] = {
+        "format": "repro-config-v1",
+        "bus": [
+            {"node": s.node, "capacity": s.capacity, "duration": s.duration}
+            for s in config.bus.slots
+        ],
+        "process_priorities": dict(config.priorities.process_priorities),
+        "message_priorities": dict(config.priorities.message_priorities),
+        "tt_delays": dict(config.tt_delays),
+    }
+    if config.offsets is not None:
+        out["offsets"] = {
+            "processes": dict(config.offsets.process_offsets),
+            "messages": dict(config.offsets.message_offsets),
+        }
+    return out
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfiguration:
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    bus = TTPBusConfig(
+        [
+            Slot(node=s["node"], capacity=s["capacity"], duration=s["duration"])
+            for s in data["bus"]
+        ]
+    )
+    priorities = PriorityAssignment(
+        process_priorities=data.get("process_priorities", {}),
+        message_priorities=data.get("message_priorities", {}),
+    )
+    offsets = None
+    if "offsets" in data:
+        offsets = OffsetTable(
+            process_offsets=data["offsets"].get("processes", {}),
+            message_offsets=data["offsets"].get("messages", {}),
+        )
+    return SystemConfiguration(
+        bus=bus,
+        priorities=priorities,
+        offsets=offsets,
+        tt_delays=data.get("tt_delays", {}),
+    )
+
+
+def save_system(system: System, path: Union[str, Path]) -> None:
+    """Write a system to a JSON file."""
+    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+
+
+def load_system(path: Union[str, Path]) -> System:
+    """Read a system from a JSON file."""
+    return system_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,38 @@
+"""Application, architecture and configuration models (sections 2–3)."""
+
+from .application import Application, Dependency, Message, Process, ProcessGraph
+from .architecture import (
+    Architecture,
+    ClusterKind,
+    GATEWAY_TRANSFER_PROCESS,
+    MessageRoute,
+    Node,
+)
+from .configuration import OffsetTable, PriorityAssignment, SystemConfiguration
+from .hypergraph import combine, instance_name
+from .validation import (
+    minimum_slot_capacity,
+    validate_configuration,
+    validate_system,
+)
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "ClusterKind",
+    "Dependency",
+    "GATEWAY_TRANSFER_PROCESS",
+    "Message",
+    "MessageRoute",
+    "Node",
+    "OffsetTable",
+    "PriorityAssignment",
+    "Process",
+    "ProcessGraph",
+    "SystemConfiguration",
+    "combine",
+    "instance_name",
+    "minimum_slot_capacity",
+    "validate_configuration",
+    "validate_system",
+]

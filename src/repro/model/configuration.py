@@ -1,0 +1,216 @@
+"""System configuration ``ψ = <φ, β, π>`` (section 3 of the paper).
+
+A configuration bundles the three synthesis decisions:
+
+* ``φ`` — the *offsets* of every process and message.  On the TTC the
+  offsets of processes are their schedule-table start times and the offsets
+  of messages encode the MEDL; on the ETC the offsets are earliest-start
+  times derived from precedence, used by the offset-aware response-time
+  analysis.
+* ``β`` — the TDMA bus configuration (slot order and sizes), a
+  :class:`repro.buses.ttp.TTPBusConfig`.
+* ``π`` — the priorities of the event-triggered processes and of the
+  messages transmitted on the CAN bus.
+
+Priorities use the CAN convention: **a smaller value means a higher
+priority** (it wins arbitration).  Priority values must be unique within
+each arbitration domain (per CPU for processes, bus-wide for messages).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..buses.ttp import TTPBusConfig
+from ..exceptions import ConfigurationError
+from .application import Application
+from .architecture import Architecture, GATEWAY_TRANSFER_PROCESS, MessageRoute
+
+__all__ = ["PriorityAssignment", "OffsetTable", "SystemConfiguration"]
+
+
+class PriorityAssignment:
+    """The ``π`` component: priorities for ET processes and CAN messages.
+
+    Two independent maps are kept because processes and messages arbitrate
+    in different domains (CPU vs. bus).  Smaller value = higher priority.
+    The gateway transfer process ``T`` always has the highest priority on
+    the gateway node (section 2.3) and needs no entry.
+    """
+
+    def __init__(
+        self,
+        process_priorities: Optional[Mapping[str, int]] = None,
+        message_priorities: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.process_priorities: Dict[str, int] = dict(process_priorities or {})
+        self.message_priorities: Dict[str, int] = dict(message_priorities or {})
+
+    def process_priority(self, name: str) -> int:
+        """Priority of an ET process (smaller = higher)."""
+        try:
+            return self.process_priorities[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no priority assigned to process {name}"
+            ) from None
+
+    def message_priority(self, name: str) -> int:
+        """Priority of a CAN message (smaller = higher)."""
+        try:
+            return self.message_priorities[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no priority assigned to message {name}"
+            ) from None
+
+    def swap_processes(self, a: str, b: str) -> None:
+        """Swap the priorities of two processes (an OR move)."""
+        pa = self.process_priority(a)
+        pb = self.process_priority(b)
+        self.process_priorities[a] = pb
+        self.process_priorities[b] = pa
+
+    def swap_messages(self, a: str, b: str) -> None:
+        """Swap the priorities of two messages (an OR move)."""
+        pa = self.message_priority(a)
+        pb = self.message_priority(b)
+        self.message_priorities[a] = pb
+        self.message_priorities[b] = pa
+
+    def copy(self) -> "PriorityAssignment":
+        """Deep copy, for neighborhood generation."""
+        return PriorityAssignment(
+            dict(self.process_priorities), dict(self.message_priorities)
+        )
+
+    def validate(self, app: Application, arch: Architecture) -> None:
+        """Check completeness and uniqueness of the assignment.
+
+        Every process mapped on an ET node (including none on the gateway)
+        needs a unique priority among the processes of the same node; every
+        message that travels on the CAN bus needs a unique bus-wide
+        priority.
+        """
+        per_node: Dict[str, Dict[int, str]] = {}
+        for proc in app.all_processes():
+            if not arch.is_et_node(proc.node):
+                continue
+            prio = self.process_priority(proc.name)
+            seen = per_node.setdefault(proc.node, {})
+            if prio in seen:
+                raise ConfigurationError(
+                    f"processes {seen[prio]} and {proc.name} share priority "
+                    f"{prio} on node {proc.node}"
+                )
+            seen[prio] = proc.name
+        seen_msgs: Dict[int, str] = {}
+        for msg in app.all_messages():
+            route = arch.route_of(app, msg)
+            if route in (
+                MessageRoute.ET_TO_ET,
+                MessageRoute.TT_TO_ET,
+                MessageRoute.ET_TO_TT,
+            ):
+                prio = self.message_priority(msg.name)
+                if prio in seen_msgs:
+                    raise ConfigurationError(
+                        f"messages {seen_msgs[prio]} and {msg.name} share "
+                        f"CAN priority {prio}"
+                    )
+                seen_msgs[prio] = msg.name
+
+
+class OffsetTable:
+    """The ``φ`` component: offsets of processes and messages.
+
+    Offsets are measured from the start of the process graph's period
+    (section 4).  For a TT process the offset is its start time in the
+    schedule table; for an ET process it is the earliest possible
+    activation; for a message it is the earliest possible transmission.
+    """
+
+    def __init__(
+        self,
+        process_offsets: Optional[Mapping[str, float]] = None,
+        message_offsets: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.process_offsets: Dict[str, float] = dict(process_offsets or {})
+        self.message_offsets: Dict[str, float] = dict(message_offsets or {})
+
+    def process_offset(self, name: str) -> float:
+        """Offset ``O_i`` of a process."""
+        try:
+            return self.process_offsets[name]
+        except KeyError:
+            raise ConfigurationError(f"no offset for process {name}") from None
+
+    def message_offset(self, name: str) -> float:
+        """Offset ``O_m`` of a message."""
+        try:
+            return self.message_offsets[name]
+        except KeyError:
+            raise ConfigurationError(f"no offset for message {name}") from None
+
+    def copy(self) -> "OffsetTable":
+        """Deep copy, for neighborhood generation."""
+        return OffsetTable(dict(self.process_offsets), dict(self.message_offsets))
+
+    def max_abs_delta(self, other: "OffsetTable") -> float:
+        """Largest absolute offset change vs. ``other``.
+
+        Used as the convergence criterion of the multi-cluster fixed point
+        ("until φ not changed", Fig. 5).
+        """
+        delta = 0.0
+        keys = set(self.process_offsets) | set(other.process_offsets)
+        for key in keys:
+            delta = max(
+                delta,
+                abs(
+                    self.process_offsets.get(key, 0.0)
+                    - other.process_offsets.get(key, 0.0)
+                ),
+            )
+        keys = set(self.message_offsets) | set(other.message_offsets)
+        for key in keys:
+            delta = max(
+                delta,
+                abs(
+                    self.message_offsets.get(key, 0.0)
+                    - other.message_offsets.get(key, 0.0)
+                ),
+            )
+        return delta
+
+
+@dataclass
+class SystemConfiguration:
+    """A complete system configuration ``ψ = <φ, β, π>``.
+
+    ``offsets`` may be ``None`` before the first run of the multi-cluster
+    scheduling algorithm, which produces them.
+
+    ``tt_delays`` holds the "move a TT process/message inside its
+    [ASAP, ALAP] interval" decisions of the OptimizeResources moves
+    (section 5.1): a non-negative extra delay, keyed by process or message
+    name, that the static list scheduler adds to the activity's earliest
+    start.  Keeping the delays in ``ψ`` (rather than patching ``φ``) lets
+    the multi-cluster loop re-derive a consistent schedule after each move.
+    """
+
+    bus: TTPBusConfig
+    priorities: PriorityAssignment
+    offsets: Optional[OffsetTable] = None
+    tt_delays: Dict[str, float] = field(default_factory=dict)
+
+    def copy(self) -> "SystemConfiguration":
+        """Deep copy, for neighborhood generation in the optimizers."""
+        return SystemConfiguration(
+            bus=TTPBusConfig(list(self.bus.slots)),
+            priorities=self.priorities.copy(),
+            offsets=self.offsets.copy() if self.offsets is not None else None,
+            tt_delays=dict(self.tt_delays),
+        )

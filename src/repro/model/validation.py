@@ -1,0 +1,102 @@
+"""Cross-validation of an application against an architecture and config.
+
+These checks catch modelling mistakes early, before they surface as
+confusing analysis results: unmapped processes, messages between processes
+on the same node (which the model folds into WCETs), bus configurations
+missing a slot for a transmitting node, and incomplete priority tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..exceptions import ConfigurationError, MappingError
+from .application import Application
+from .architecture import Architecture, MessageRoute
+from .configuration import SystemConfiguration
+
+__all__ = ["validate_system", "validate_configuration"]
+
+
+def validate_system(app: Application, arch: Architecture) -> None:
+    """Check the application/architecture pair is well formed.
+
+    * every process is mapped to an existing, non-gateway node;
+    * no message connects two processes on the same node (same-node
+      communication must be modelled as a :class:`Dependency`);
+    * messages between clusters are possible (a gateway exists — by
+      construction of :class:`Architecture` it always does).
+    """
+    arch.validate_mapping(app)
+    for msg in app.all_messages():
+        route = arch.route_of(app, msg)
+        if route is MessageRoute.LOCAL:
+            raise MappingError(
+                f"message {msg.name} connects two processes on node "
+                f"{app.process(msg.src).node}; model same-node communication "
+                "as a Dependency (its cost is part of the sender WCET)"
+            )
+
+
+def validate_configuration(
+    app: Application, arch: Architecture, config: SystemConfiguration
+) -> None:
+    """Check a configuration ``ψ`` is complete for the given system.
+
+    * the TDMA round has exactly one slot per TTP controller (every TTC
+      node plus the gateway), and no slot for unknown nodes;
+    * priorities are complete and unique (see
+      :meth:`PriorityAssignment.validate`);
+    * slot capacities can carry the largest TT->TT / ET->TT message sent by
+      their owner.
+    """
+    expected = set(arch.ttp_slot_owners())
+    actual = set(config.bus.nodes())
+    if expected != actual:
+        missing = sorted(expected - actual)
+        extra = sorted(actual - expected)
+        raise ConfigurationError(
+            f"TDMA round must have one slot per TTP controller; "
+            f"missing={missing}, unexpected={extra}"
+        )
+    config.priorities.validate(app, arch)
+    _check_slot_capacities(app, arch, config)
+
+
+def _largest_payload_per_sender(app: Application, arch: Architecture):
+    """Largest message each TTP-transmitting node must fit in its slot."""
+    largest = {}
+    for msg in app.all_messages():
+        route = arch.route_of(app, msg)
+        if route in (MessageRoute.TT_TO_TT, MessageRoute.TT_TO_ET):
+            # Sent over the TTP bus in the sender node's slot (for TT->ET
+            # the first leg ends at the gateway MBI).
+            sender_node = app.process(msg.src).node
+        elif route is MessageRoute.ET_TO_TT:
+            # Relayed over the TTP bus by the gateway.
+            sender_node = arch.gateway
+        else:
+            continue
+        largest[sender_node] = max(largest.get(sender_node, 0), msg.size)
+    return largest
+
+
+def _check_slot_capacities(
+    app: Application, arch: Architecture, config: SystemConfiguration
+) -> None:
+    for node, needed in _largest_payload_per_sender(app, arch).items():
+        slot = config.bus.slot_of(node)
+        if slot.capacity < needed:
+            raise ConfigurationError(
+                f"slot of {node} has capacity {slot.capacity} bytes but must "
+                f"carry a {needed}-byte message"
+            )
+
+
+def minimum_slot_capacity(app: Application, arch: Architecture, node: str) -> int:
+    """Smallest legal slot capacity for ``node`` (``size_smallest`` of Fig. 8).
+
+    Equal to the size of the largest message the node transmits on the TTP
+    bus, or 1 byte if it transmits nothing.
+    """
+    return max(1, _largest_payload_per_sender(app, arch).get(node, 1))

@@ -1,0 +1,96 @@
+"""Shared evaluation machinery for the synthesis heuristics (section 5).
+
+Every heuristic — SF, OS, OR, SAS, SAR — scores a candidate configuration
+``ψ`` the same way: run :func:`multi_cluster_scheduling`, then compute the
+degree of schedulability ``δΓ`` and the buffer bound ``s_total``.  The
+:class:`Evaluation` record bundles the outcome; configurations that cannot
+be scheduled at all (e.g. a slot too small for a frame) are mapped to a
+large finite penalty so the heuristics keep a total order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.buffers import BufferReport, buffer_bounds
+from ..analysis.degree import SchedulabilityReport, degree_of_schedulability
+from ..analysis.multicluster import MultiClusterResult, multi_cluster_scheduling
+from ..exceptions import AnalysisError, ConfigurationError, SchedulingError
+from ..model.configuration import SystemConfiguration
+from ..model.validation import validate_configuration
+from ..system import System
+
+__all__ = ["Evaluation", "evaluate", "INFEASIBLE_COST"]
+
+#: Cost assigned to configurations that cannot be evaluated at all.
+INFEASIBLE_COST = 1e15
+
+
+@dataclass
+class Evaluation:
+    """Scored configuration ``ψ`` (see module docstring).
+
+    ``degree`` is the paper's ``δΓ`` cost (smaller = better, <= 0 means
+    schedulable); ``total_buffers`` is ``s_total`` in bytes.  ``error``
+    carries the reason when the configuration could not be evaluated.
+    """
+
+    config: SystemConfiguration
+    result: Optional[MultiClusterResult] = None
+    report: Optional[SchedulabilityReport] = None
+    buffers: Optional[BufferReport] = None
+    error: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        """True when the configuration could be analysed at all."""
+        return self.error is None
+
+    @property
+    def schedulable(self) -> bool:
+        """True when every deadline is met."""
+        return self.report is not None and self.report.schedulable
+
+    @property
+    def degree(self) -> float:
+        """``δΓ`` cost; INFEASIBLE_COST when not analysable."""
+        if self.report is None:
+            return INFEASIBLE_COST
+        return self.report.degree
+
+    @property
+    def total_buffers(self) -> float:
+        """``s_total``; INFEASIBLE_COST when not analysable."""
+        if self.buffers is None:
+            return INFEASIBLE_COST
+        return self.buffers.total
+
+
+def evaluate(system: System, config: SystemConfiguration) -> Evaluation:
+    """Run the full analysis pipeline on one configuration."""
+    try:
+        validate_configuration(system.app, system.arch, config)
+        result = multi_cluster_scheduling(
+            system,
+            config.bus,
+            config.priorities,
+            tt_delays=config.tt_delays,
+        )
+    except (SchedulingError, AnalysisError, ConfigurationError) as exc:
+        return Evaluation(config=config, error=str(exc))
+    config.offsets = result.offsets
+    report = degree_of_schedulability(system, result.rho)
+    buffers = buffer_bounds(system, config.priorities, result.rho)
+    if not result.converged:
+        # Treat a non-converged outer loop as unschedulable with a large
+        # but ordered penalty (section 4's termination conditions failed).
+        report = SchedulabilityReport(
+            degree=max(report.degree, 0.0) + INFEASIBLE_COST / 1e3,
+            schedulable=False,
+            graph_responses=report.graph_responses,
+        )
+    return Evaluation(
+        config=config, result=result, report=report, buffers=buffers
+    )

@@ -1,0 +1,167 @@
+"""HOPA — heuristic optimized priority assignment (paper reference [7],
+Gutierrez Garcia & Gonzalez Harbour 1995).
+
+HOPA turns end-to-end deadlines into *local* deadlines for every process
+and message of a transaction, assigns priorities deadline-monotonically
+from those local deadlines, analyses the system, and redistributes the
+local deadlines based on where the slack or excess concentrates.  The
+paper uses it to pick the ``π`` of every candidate configuration explored
+by OptimizeSchedule.
+
+This implementation:
+
+1. distributes each graph's deadline over its activities proportionally to
+   their cost along the longest path reaching them (WCET for processes,
+   worst-case frame time for messages);
+2. assigns priorities deadline-monotonically — per node for processes,
+   bus-wide for CAN messages (unique tie-broken values);
+3. optionally iterates: after an analysis pass, local deadlines are
+   re-distributed proportionally to the *observed* worst-case completion
+   times, shifting priority toward the activities that actually lag.
+
+Iteration count 1 reproduces the cheap assignment used inside the OS inner
+loop; larger counts give the full HOPA refinement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..buses.ttp import TTPBusConfig
+from ..model.architecture import MessageRoute
+from ..model.configuration import PriorityAssignment
+from ..system import System
+from .common import Evaluation, evaluate
+from ..model.configuration import SystemConfiguration
+
+__all__ = ["hopa_priorities", "local_deadlines"]
+
+
+def _activity_costs(system: System, graph) -> Dict[str, float]:
+    """Cost of each activity: WCET, or frame time for CAN messages."""
+    costs: Dict[str, float] = {}
+    for proc in graph.processes.values():
+        costs[proc.name] = max(proc.wcet, 1e-9)
+    for msg in graph.messages.values():
+        route = system.route(msg.name)
+        if route is MessageRoute.TT_TO_TT:
+            cost = 0.0
+        else:
+            cost = system.can_frame_time(msg.name)
+        costs[msg.name] = max(cost, 1e-9)
+    return costs
+
+
+def local_deadlines(
+    system: System, weights: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Deadline share of every activity (processes and messages).
+
+    The graph deadline is distributed along paths proportionally to the
+    (weighted) activity costs: an activity's local deadline is
+    ``D_G * cum_cost(activity) / path_cost`` where ``cum_cost`` follows the
+    longest-cost path from the sources.  ``weights`` (same keys) scale the
+    base costs, which is how the iterative refinement steers the split.
+    """
+    deadlines: Dict[str, float] = {}
+    for graph in system.app.graphs.values():
+        costs = _activity_costs(system, graph)
+        if weights:
+            for key in costs:
+                costs[key] *= weights.get(key, 1.0)
+        # Longest-cost cumulative position of each activity.
+        cum: Dict[str, float] = {}
+        for proc_name in graph.topological_order():
+            best = 0.0
+            for pred, msg_name in graph.predecessors(proc_name):
+                via = cum[pred]
+                if msg_name is not None:
+                    via += costs[msg_name]
+                best = max(best, via)
+            cum[proc_name] = best + costs[proc_name]
+        total = max(
+            (
+                cum[proc]
+                + max(
+                    (
+                        costs[m]
+                        for m in graph.messages
+                        if graph.messages[m].src == proc
+                    ),
+                    default=0.0,
+                )
+                for proc in graph.processes
+            ),
+            default=1e-9,
+        )
+        total = max(total, 1e-9)
+        scale = graph.deadline / total
+        for proc_name in graph.processes:
+            deadlines[proc_name] = cum[proc_name] * scale
+        for msg_name, msg in graph.messages.items():
+            deadlines[msg_name] = (cum[msg.src] + costs[msg_name]) * scale
+    return deadlines
+
+
+def _priorities_from_deadlines(
+    system: System, deadlines: Dict[str, float]
+) -> PriorityAssignment:
+    """Deadline-monotonic priority tables (smaller deadline = higher)."""
+    proc_prios: Dict[str, int] = {}
+    for node in system.arch.nodes:
+        if not system.arch.is_et_node(node):
+            continue
+        procs = system.et_processes_on(node)
+        ranked = sorted(procs, key=lambda p: (deadlines.get(p, math.inf), p))
+        for rank, name in enumerate(ranked, start=1):
+            proc_prios[name] = rank
+    msg_prios: Dict[str, int] = {}
+    ranked_msgs = sorted(
+        system.can_messages(), key=lambda m: (deadlines.get(m, math.inf), m)
+    )
+    for rank, name in enumerate(ranked_msgs, start=1):
+        msg_prios[name] = rank
+    return PriorityAssignment(proc_prios, msg_prios)
+
+
+def hopa_priorities(
+    system: System,
+    bus: Optional[TTPBusConfig] = None,
+    iterations: int = 1,
+) -> PriorityAssignment:
+    """Compute a HOPA priority assignment.
+
+    With ``iterations == 1`` the deadline-proportional split is used
+    directly (no analysis pass — this is the fast mode OptimizeSchedule
+    calls in its inner loop).  With more iterations and a ``bus`` to
+    analyse against, local deadlines are refined from observed completion
+    times and the best assignment (by ``δΓ``) is returned.
+    """
+    deadlines = local_deadlines(system)
+    priorities = _priorities_from_deadlines(system, deadlines)
+    if iterations <= 1 or bus is None:
+        return priorities
+    best = priorities
+    best_degree = math.inf
+    weights: Dict[str, float] = {}
+    for _ in range(iterations):
+        priorities = _priorities_from_deadlines(system, deadlines)
+        evaluation = evaluate(
+            system, SystemConfiguration(bus=bus, priorities=priorities)
+        )
+        if evaluation.degree < best_degree:
+            best_degree = evaluation.degree
+            best = priorities
+        if not evaluation.feasible or evaluation.result is None:
+            break
+        rho = evaluation.result.rho
+        weights = {}
+        for name, timing in rho.processes.items():
+            r = timing.response
+            weights[name] = 1.0 + (r if math.isfinite(r) else 1e6)
+        for name, timing in rho.can.items():
+            r = timing.response
+            weights[name] = 1.0 + (r if math.isfinite(r) else 1e6)
+        deadlines = local_deadlines(system, weights)
+    return best

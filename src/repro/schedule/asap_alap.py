@@ -1,0 +1,97 @@
+"""ASAP / ALAP intervals for TT activities (move generation support).
+
+The OptimizeResources neighborhood (section 5.1) moves a TT process or
+message "inside its [ASAP, ALAP] interval calculated based on the current
+values for the offsets and response times".  This module computes those
+intervals:
+
+* **ASAP** — the earliest start permitted by precedence alone (resource
+  contention ignored), i.e. the activity's current lower bound;
+* **ALAP** — the latest start from which the remaining critical path can
+  still meet the graph deadline (communication delays estimated with the
+  current response times when available, otherwise 0).
+
+The interval width bounds the extra delay a move may inject without making
+the configuration trivially unschedulable; the multi-cluster loop then
+re-derives an exact schedule and the move is kept only if the system stays
+schedulable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..analysis.timing import ResponseTimes
+from ..model.application import ProcessGraph
+from ..system import System
+
+__all__ = ["alap_starts", "slack_of_process", "slack_of_message"]
+
+
+def alap_starts(
+    system: System, graph: ProcessGraph, rho: Optional[ResponseTimes] = None
+) -> Dict[str, float]:
+    """Latest start of each process of ``graph`` to meet its deadline.
+
+    Backward longest-path pass.  Cross-node arcs are charged the current
+    worst-case message latency (``r_m`` from ``rho``) when available.
+    """
+    alap: Dict[str, float] = {}
+    for proc_name in reversed(graph.topological_order()):
+        proc = graph.processes[proc_name]
+        limit = graph.deadline - proc.wcet
+        if proc.deadline is not None:
+            limit = min(limit, proc.deadline - proc.wcet)
+        for succ, msg_name in graph.successors(proc_name):
+            comm = 0.0
+            if msg_name is not None and rho is not None:
+                comm = _message_latency(system, msg_name, rho)
+            limit = min(limit, alap[succ] - comm - proc.wcet)
+        alap[proc_name] = limit
+    return alap
+
+
+def _message_latency(system: System, msg_name: str, rho: ResponseTimes) -> float:
+    """Current worst-case latency of a message, by route.
+
+    TT->TT messages return 0: their latency is already folded into the
+    schedule-table offsets.
+    """
+    if msg_name in rho.ttp:
+        timing = rho.ttp[msg_name]
+    elif msg_name in rho.can:
+        timing = rho.can[msg_name]
+    else:
+        return 0.0
+    r = timing.response
+    return 0.0 if math.isinf(r) else r
+
+
+def slack_of_process(
+    system: System,
+    proc_name: str,
+    current_offset: float,
+    rho: Optional[ResponseTimes] = None,
+) -> float:
+    """Largest extra delay for ``proc_name`` inside its [ASAP, ALAP] window."""
+    graph = system.app.graph_of_process(proc_name)
+    alap = alap_starts(system, graph, rho)
+    return max(0.0, alap[proc_name] - current_offset)
+
+
+def slack_of_message(
+    system: System,
+    msg_name: str,
+    current_arrival: float,
+    rho: Optional[ResponseTimes] = None,
+) -> float:
+    """Largest extra delay for a statically scheduled message.
+
+    Bounded by the receiving process's ALAP minus the message's current
+    arrival time.
+    """
+    msg = system.app.message(msg_name)
+    graph = system.app.graph_of_message(msg_name)
+    alap = alap_starts(system, graph, rho)
+    return max(0.0, alap[msg.dst] - current_arrival)

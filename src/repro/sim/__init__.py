@@ -1,0 +1,13 @@
+"""Discrete-event simulation of the two-cluster platform (validation)."""
+
+from .engine import Simulator, simulate
+from .events import EventQueue
+from .trace import ScheduleViolation, SimulationTrace
+
+__all__ = [
+    "EventQueue",
+    "ScheduleViolation",
+    "SimulationTrace",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,511 @@
+"""Discrete-event simulator of the two-cluster platform.
+
+Simulates, cycle-accurately at the message/process granularity, the
+runtime described in sections 2.2–2.3:
+
+* **TTC nodes** dispatch processes at their schedule-table times each
+  period and the TTP controllers broadcast the MEDL frames in their TDMA
+  slots;
+* **ETC nodes** run preemptive fixed-priority schedulers; completed
+  processes enqueue messages in their node's ``Out_Ni`` queue;
+* the **CAN bus** transmits, whenever idle, the globally highest-priority
+  pending message (non-preemptive once started);
+* the **gateway** transfer process ``T`` moves TTC frames from the MBI
+  into the priority-ordered ``Out_CAN`` queue (after ``C_T``) and CAN
+  deliveries into the FIFO ``Out_TTP`` queue; the gateway's TDMA slot
+  drains ``Out_TTP`` front-first up to the slot capacity per round.
+
+The simulator is the reproduction's substitute for the paper's hardware
+platform (see DESIGN.md): analysis bounds are validated by dominance over
+simulated traces.  It is deterministic; execution times default to the
+WCETs (the regime in which the offset-based analysis promises dominance)
+and can be scaled per activation for robustness experiments.
+
+Restrictions (asserted): all graphs share one period, and that period is
+an integer multiple of the TDMA round length, so the static schedule and
+the TDMA grid tile the timeline consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..exceptions import SimulationError
+from ..model.architecture import MessageRoute
+from ..model.configuration import SystemConfiguration
+from ..schedule.schedule_table import StaticSchedule
+from ..system import System
+from .events import EventQueue, ORDER_BUS, ORDER_DELIVER, ORDER_DISPATCH
+from .trace import ScheduleViolation, SimulationTrace
+
+__all__ = ["Simulator", "simulate"]
+
+ExecutionModel = Callable[[str, int], float]
+
+
+class _Job:
+    """One activation of an ET process on a node CPU."""
+
+    __slots__ = (
+        "name", "instance", "remaining", "priority", "release",
+        "last_resume", "version",
+    )
+
+    def __init__(
+        self, name: str, instance: int, remaining: float, priority: int,
+        release: float,
+    ) -> None:
+        self.name = name
+        self.instance = instance
+        self.remaining = remaining
+        self.priority = priority
+        self.release = release
+        self.last_resume = 0.0
+        self.version = 0
+
+
+class _EtCpu:
+    """Preemptive fixed-priority scheduler of one ET node."""
+
+    def __init__(self, sim: "Simulator", node: str) -> None:
+        self.sim = sim
+        self.node = node
+        self.running: Optional[_Job] = None
+        self.ready: List[Tuple[int, int, _Job]] = []
+        self._seq = 0
+
+    def activate(self, job: _Job) -> None:
+        queue = self.sim.events
+        if self.running is None:
+            self._start(job)
+            return
+        if job.priority < self.running.priority:
+            # Preempt: bank the progress of the running job.
+            current = self.running
+            current.remaining -= queue.now - current.last_resume
+            current.version += 1
+            self._push(current)
+            self._start(job)
+        else:
+            self._push(job)
+
+    def _push(self, job: _Job) -> None:
+        import heapq
+
+        self._seq += 1
+        heapq.heappush(self.ready, (job.priority, self._seq, job))
+
+    def _start(self, job: _Job) -> None:
+        queue = self.sim.events
+        self.running = job
+        job.last_resume = queue.now
+        version = job.version
+        queue.schedule(
+            queue.now + job.remaining, lambda: self._complete(job, version)
+        )
+
+    def _complete(self, job: _Job, version: int) -> None:
+        if self.running is not job or job.version != version:
+            return  # stale completion (the job was preempted)
+        self.running = None
+        self.sim.on_et_completion(job)
+        self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        import heapq
+
+        if self.running is None and self.ready:
+            _prio, _seq, job = heapq.heappop(self.ready)
+            self._start(job)
+
+
+class _CanBus:
+    """The CAN bus: global priority arbitration, non-preemptive frames."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.pending: List[Tuple[int, int, str, int, str]] = []
+        self.busy = False
+        self._seq = 0
+
+    def enqueue(self, msg_name: str, instance: int, queue_name: str) -> None:
+        import heapq
+
+        self._seq += 1
+        priority = self.sim.config.priorities.message_priority(msg_name)
+        heapq.heappush(
+            self.pending, (priority, self._seq, msg_name, instance, queue_name)
+        )
+        self.sim.adjust_queue(queue_name, +self.sim.msg_size[msg_name])
+        # Defer arbitration to the bus phase of this timestamp so that all
+        # messages enqueued at the same instant contend together — CAN
+        # arbitration is simultaneous, and the gateway transfer process
+        # moves a whole frame into the priority-ordered queue atomically.
+        events = self.sim.events
+        events.schedule(events.now, self.try_start, order=ORDER_BUS)
+
+    def try_start(self) -> None:
+        import heapq
+
+        if self.busy or not self.pending:
+            return
+        _prio, _seq, msg_name, instance, queue_name = heapq.heappop(self.pending)
+        self.busy = True
+        # The frame moves from the software queue into the CAN controller
+        # as transmission starts — mirroring the queue-size semantics of
+        # the analysis (a message occupies Out_* only while *awaiting*
+        # transmission).
+        self.sim.adjust_queue(queue_name, -self.sim.msg_size[msg_name])
+        events = self.sim.events
+        duration = self.sim.system.can_frame_time(msg_name)
+        events.schedule(
+            events.now + duration,
+            lambda: self._complete(msg_name, instance),
+        )
+
+    def _complete(self, msg_name: str, instance: int) -> None:
+        self.busy = False
+        self.sim.on_can_delivery(msg_name, instance)
+        self.try_start()
+
+
+class Simulator:
+    """Deterministic discrete-event simulation (see module docstring).
+
+    Parameters
+    ----------
+    system, config:
+        The problem instance and a *complete* configuration (offsets are
+        taken from ``schedule``).
+    schedule:
+        The static schedule produced by the multi-cluster loop for
+        ``config`` (tables + MEDL).
+    periods:
+        How many period instances to simulate.
+    execution:
+        Optional execution-time model ``(process, instance) -> time``;
+        defaults to the WCET.  Values must not exceed the WCET.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        config: SystemConfiguration,
+        schedule: StaticSchedule,
+        periods: int = 4,
+        execution: Optional[ExecutionModel] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.schedule = schedule
+        self.periods = periods
+        periods_set = {g.period for g in system.app.graphs.values()}
+        if len(periods_set) != 1:
+            raise SimulationError(
+                "the simulator requires a common graph period; combine "
+                "graphs with repro.model.hypergraph.combine first"
+            )
+        self.hyper = periods_set.pop()
+        round_length = config.bus.round_length
+        ratio = self.hyper / round_length
+        if abs(ratio - round(ratio)) > 1e-6:
+            raise SimulationError(
+                f"graph period {self.hyper} is not a multiple of the TDMA "
+                f"round {round_length}; the cyclic schedule would drift"
+            )
+        self.rounds_per_period = int(round(ratio))
+        self.events = EventQueue()
+        self.trace = SimulationTrace()
+        self.msg_size: Dict[str, int] = {
+            m.name: m.size for m in system.app.all_messages()
+        }
+        self._execution = execution
+        self._queue_occupancy: Dict[str, float] = {}
+        self._cpus: Dict[str, _EtCpu] = {
+            node: _EtCpu(self, node)
+            for node in system.arch.et_node_names()
+        }
+        self._can = _CanBus(self)
+        self._out_ttp: List[Tuple[str, int]] = []
+        # AND-join bookkeeping: per (process, instance), how many inputs
+        # are still missing; which messages have arrived (for violation
+        # checks on the TT side).
+        self._missing: Dict[Tuple[str, int], int] = {}
+        self._arrived_msgs: Set[Tuple[str, int]] = set()
+        self._completed: Set[Tuple[str, int]] = set()
+        self._sink_left: Dict[Tuple[str, int], int] = {}
+        self._sink_latest: Dict[Tuple[str, int], float] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def exec_time(self, proc_name: str, instance: int) -> float:
+        """Execution time of one activation (defaults to the WCET)."""
+        wcet = self.system.app.process(proc_name).wcet
+        if self._execution is None:
+            return wcet
+        value = self._execution(proc_name, instance)
+        if value > wcet + 1e-9:
+            raise SimulationError(
+                f"execution model exceeded WCET for {proc_name}: "
+                f"{value} > {wcet}"
+            )
+        return max(0.0, value)
+
+    def adjust_queue(self, queue_name: str, delta: float) -> None:
+        """Update a queue's byte occupancy and record the peak."""
+        level = self._queue_occupancy.get(queue_name, 0.0) + delta
+        self._queue_occupancy[queue_name] = level
+        self.trace.note_queue(queue_name, level)
+
+    # -- setup ---------------------------------------------------------------
+
+    def _seed_events(self) -> None:
+        app = self.system.app
+        arch = self.system.arch
+        horizon_rounds = self.rounds_per_period * self.periods
+        # TT schedule tables, every period instance.
+        for k in range(self.periods):
+            base = k * self.hyper
+            for node, entries in self.schedule.tables.items():
+                for entry in entries:
+                    self.events.schedule(
+                        base + entry.start,
+                        self._make_tt_dispatch(entry.process, k, base + entry.start),
+                        order=ORDER_DISPATCH,
+                    )
+            # ET source processes released at the period start.
+            for graph in app.graphs.values():
+                for proc_name in graph.processes:
+                    if arch.is_tt_node(app.process(proc_name).node):
+                        continue
+                    preds = graph.predecessors(proc_name)
+                    self._missing[(proc_name, k)] = len(preds)
+                    if not preds:
+                        release = base + self.system.release_of(proc_name)
+                        self.events.schedule(
+                            release,
+                            self._make_et_release(proc_name, k, release),
+                            order=ORDER_DISPATCH,
+                        )
+            # Sink bookkeeping for graph response times.
+            for graph in app.graphs.values():
+                self._sink_left[(graph.name, k)] = len(graph.sinks())
+                self._sink_latest[(graph.name, k)] = 0.0
+        # TDMA slots for the whole horizon.
+        bus = self.config.bus
+        for absolute_round in range(horizon_rounds):
+            for slot in bus.slots:
+                start = bus.slot_start(slot.node, absolute_round)
+                if slot.node == arch.gateway:
+                    self.events.schedule(
+                        start,
+                        self._make_gateway_slot(absolute_round),
+                        order=ORDER_BUS,
+                    )
+                else:
+                    self.events.schedule(
+                        start,
+                        self._make_ttp_slot(slot.node, absolute_round),
+                        order=ORDER_BUS,
+                    )
+
+    # -- TT cluster ------------------------------------------------------------
+
+    def _make_tt_dispatch(self, proc_name: str, instance: int, when: float):
+        def dispatch() -> None:
+            graph = self.system.app.graph_of_process(proc_name)
+            for pred, msg_name in graph.predecessors(proc_name):
+                if msg_name is None:
+                    continue
+                if (msg_name, instance) not in self._arrived_msgs:
+                    self.trace.violations.append(
+                        ScheduleViolation(
+                            process=proc_name,
+                            instance=instance,
+                            dispatch_time=when,
+                            missing_message=msg_name,
+                        )
+                    )
+            duration = self.exec_time(proc_name, instance)
+            self.events.schedule(
+                when + duration, lambda: self._tt_complete(proc_name, instance)
+            )
+
+        return dispatch
+
+    def _tt_complete(self, proc_name: str, instance: int) -> None:
+        now = self.events.now
+        release = instance * self.hyper
+        self.trace.note_process(proc_name, now - release)
+        self._completed.add((proc_name, instance))
+        self._note_sink(proc_name, instance, now)
+        # Outgoing same-node dependencies feed other TT processes; the
+        # schedule table already sequences them — nothing to trigger.
+        # Messages are transmitted by the MEDL (TTP slots), not here.
+
+    def _make_ttp_slot(self, node: str, absolute_round: int):
+        def transmit() -> None:
+            instance, base_round = divmod(absolute_round, self.rounds_per_period)
+            frame = self.schedule.medl.get((node, base_round))
+            if frame is None or instance >= self.periods:
+                return
+            end = self.config.bus.slot_end(node, absolute_round)
+            for msg_name in frame.messages:
+                self.events.schedule(
+                    end, self._make_ttp_delivery(msg_name, instance)
+                )
+
+        return transmit
+
+    def _make_ttp_delivery(self, msg_name: str, instance: int):
+        def deliver() -> None:
+            route = self.system.route(msg_name)
+            now = self.events.now
+            if route is MessageRoute.TT_TO_TT:
+                self._arrived_msgs.add((msg_name, instance))
+                self.trace.note_message(
+                    msg_name, now - instance * self.hyper
+                )
+            elif route is MessageRoute.TT_TO_ET:
+                # Arrived in the gateway MBI; T copies it to Out_CAN.
+                transfer = self.system.arch.gateway_transfer_wcet
+                self.events.schedule(
+                    now + transfer,
+                    lambda: self._can.enqueue(msg_name, instance, "Out_CAN"),
+                )
+            else:  # pragma: no cover - MEDL only carries TT-sent messages
+                raise SimulationError(
+                    f"unexpected route for MEDL message {msg_name}"
+                )
+
+        return deliver
+
+    def _make_gateway_slot(self, absolute_round: int):
+        def drain() -> None:
+            bus = self.config.bus
+            gateway = self.system.arch.gateway
+            slot = bus.slot_of(gateway)
+            end = bus.slot_end(gateway, absolute_round)
+            budget = slot.capacity
+            sent: List[Tuple[str, int]] = []
+            while self._out_ttp:
+                msg_name, instance = self._out_ttp[0]
+                if self.msg_size[msg_name] > budget:
+                    break
+                budget -= self.msg_size[msg_name]
+                sent.append(self._out_ttp.pop(0))
+                # Packed into the controller's frame: leaves the FIFO now.
+                self.adjust_queue("Out_TTP", -self.msg_size[msg_name])
+            for msg_name, instance in sent:
+                self.events.schedule(
+                    end, self._make_gateway_delivery(msg_name, instance)
+                )
+
+        return drain
+
+    def _make_gateway_delivery(self, msg_name: str, instance: int):
+        def deliver() -> None:
+            now = self.events.now
+            self._arrived_msgs.add((msg_name, instance))
+            self.trace.note_message(msg_name, now - instance * self.hyper)
+
+        return deliver
+
+    # -- ET cluster ------------------------------------------------------------
+
+    def _make_et_release(self, proc_name: str, instance: int, release: float):
+        def activate() -> None:
+            self._activate_et(proc_name, instance, release)
+
+        return activate
+
+    def _activate_et(self, proc_name: str, instance: int, release: float) -> None:
+        proc = self.system.app.process(proc_name)
+        job = _Job(
+            name=proc_name,
+            instance=instance,
+            remaining=self.exec_time(proc_name, instance),
+            priority=self.config.priorities.process_priority(proc_name),
+            release=release,
+        )
+        self._cpus[proc.node].activate(job)
+
+    def on_et_completion(self, job: _Job) -> None:
+        now = self.events.now
+        release = job.instance * self.hyper
+        self.trace.note_process(job.name, now - release)
+        self._completed.add((job.name, job.instance))
+        self._note_sink(job.name, job.instance, now)
+        graph = self.system.app.graph_of_process(job.name)
+        for succ, msg_name in graph.successors(job.name):
+            if msg_name is None:
+                self._input_arrived(succ, job.instance)
+            else:
+                route = self.system.route(msg_name)
+                node = self.system.app.process(job.name).node
+                self._can.enqueue(msg_name, job.instance, f"Out_{node}")
+
+    def on_can_delivery(self, msg_name: str, instance: int) -> None:
+        now = self.events.now
+        route = self.system.route(msg_name)
+        msg = self.system.app.message(msg_name)
+        if route is MessageRoute.ET_TO_TT:
+            # Arrived at the gateway CAN controller; T moves it to Out_TTP.
+            transfer = self.system.arch.gateway_transfer_wcet
+
+            def into_fifo() -> None:
+                self._out_ttp.append((msg_name, instance))
+                self.adjust_queue("Out_TTP", +self.msg_size[msg_name])
+
+            self.events.schedule(now + transfer, into_fifo)
+            return
+        # ET->ET or TT->ET: delivered to the receiving ET process.
+        self.trace.note_message(msg_name, now - instance * self.hyper)
+        self._input_arrived(msg.dst, instance)
+
+    def _input_arrived(self, proc_name: str, instance: int) -> None:
+        key = (proc_name, instance)
+        missing = self._missing.get(key)
+        if missing is None:
+            return
+        missing -= 1
+        self._missing[key] = missing
+        if missing == 0:
+            self._activate_et(proc_name, instance, self.events.now)
+
+    # -- graph bookkeeping -------------------------------------------------------
+
+    def _note_sink(self, proc_name: str, instance: int, now: float) -> None:
+        graph = self.system.app.graph_of_process(proc_name)
+        if proc_name not in graph.sinks():
+            return
+        key = (graph.name, instance)
+        self._sink_latest[key] = max(self._sink_latest[key], now)
+        self._sink_left[key] -= 1
+        if self._sink_left[key] == 0:
+            release = instance * self.hyper
+            self.trace.note_graph(graph.name, self._sink_latest[key] - release)
+            self.trace.completed_instances += 1
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> SimulationTrace:
+        """Execute the simulation and return the trace."""
+        self._seed_events()
+        # Allow one extra period of drain time for late completions.
+        self.events.run_until((self.periods + 1) * self.hyper)
+        return self.trace
+
+
+def simulate(
+    system: System,
+    config: SystemConfiguration,
+    schedule: StaticSchedule,
+    periods: int = 4,
+    execution: Optional[ExecutionModel] = None,
+) -> SimulationTrace:
+    """Convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        system, config, schedule, periods=periods, execution=execution
+    ).run()

@@ -1,0 +1,65 @@
+"""Trace records collected by the simulator.
+
+The trace captures exactly the quantities the schedulability analysis
+bounds, so the two can be compared mechanically:
+
+* per-process worst observed response time (completion minus the start of
+  the owning graph's period instance);
+* per-graph worst end-to-end response;
+* per-message worst delivery latency;
+* peak byte occupancy of every output queue (``Out_Ni``, ``Out_CAN``,
+  ``Out_TTP``);
+* schedule violations: a TT process dispatched before all of its inputs
+  arrived (must never happen if the offsets were synthesized correctly —
+  asserting emptiness of this list is one of the strongest end-to-end
+  checks in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ScheduleViolation", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """A TT process started before one of its inputs was present."""
+
+    process: str
+    instance: int
+    dispatch_time: float
+    missing_message: str
+
+
+@dataclass
+class SimulationTrace:
+    """Aggregated observations of one simulation run."""
+
+    process_response: Dict[str, float] = field(default_factory=dict)
+    graph_response: Dict[str, float] = field(default_factory=dict)
+    message_latency: Dict[str, float] = field(default_factory=dict)
+    queue_peak: Dict[str, float] = field(default_factory=dict)
+    violations: List[ScheduleViolation] = field(default_factory=list)
+    completed_instances: int = 0
+
+    def note_process(self, name: str, response: float) -> None:
+        """Record one process completion (keep the maximum)."""
+        if response > self.process_response.get(name, -1.0):
+            self.process_response[name] = response
+
+    def note_graph(self, name: str, response: float) -> None:
+        """Record one graph-instance completion (keep the maximum)."""
+        if response > self.graph_response.get(name, -1.0):
+            self.graph_response[name] = response
+
+    def note_message(self, name: str, latency: float) -> None:
+        """Record one message delivery (keep the maximum)."""
+        if latency > self.message_latency.get(name, -1.0):
+            self.message_latency[name] = latency
+
+    def note_queue(self, queue: str, occupancy: float) -> None:
+        """Record a queue occupancy sample (keep the maximum)."""
+        if occupancy > self.queue_peak.get(queue, 0.0):
+            self.queue_peak[queue] = occupancy

@@ -1,0 +1,20 @@
+"""Workload synthesis: paper examples, random graphs, cruise controller."""
+
+from .cruise import CRUISE_DEADLINE, CRUISE_PERIOD, cruise_controller_system
+from .graphgen import GraphShape, random_graph_structure, realize_graph
+from .paper_example import FIG4_DEADLINE, fig4_configuration, fig4_system
+from .workload import WorkloadSpec, generate_workload
+
+__all__ = [
+    "CRUISE_DEADLINE",
+    "CRUISE_PERIOD",
+    "FIG4_DEADLINE",
+    "GraphShape",
+    "WorkloadSpec",
+    "cruise_controller_system",
+    "fig4_configuration",
+    "fig4_system",
+    "generate_workload",
+    "random_graph_structure",
+    "realize_graph",
+]

@@ -1,0 +1,112 @@
+"""Shared builders for the test suite: small hand-made systems."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
+from repro.model import (
+    Application,
+    Architecture,
+    Dependency,
+    Message,
+    PriorityAssignment,
+    Process,
+    ProcessGraph,
+    SystemConfiguration,
+)
+from repro.system import System
+
+
+def two_node_system(
+    period: float = 100.0,
+    deadline: float = 100.0,
+    can_frame_time: float = 2.0,
+    transfer_wcet: float = 1.0,
+) -> System:
+    """One TT node, one ET node, a single chain crossing the gateway twice.
+
+    ``A(TT) -> ma -> B(ET) -> mb -> C(TT)`` with an independent ET process
+    ``X`` that can interfere with ``B``.
+    """
+    graph = ProcessGraph(
+        name="G",
+        period=period,
+        deadline=deadline,
+        processes=[
+            Process("A", wcet=5.0, node="N1"),
+            Process("B", wcet=4.0, node="N2"),
+            Process("C", wcet=3.0, node="N1"),
+            Process("X", wcet=2.0, node="N2"),
+        ],
+        messages=[
+            Message("ma", src="A", dst="B", size=8),
+            Message("mb", src="B", dst="C", size=8),
+        ],
+    )
+    app = Application([graph])
+    arch = Architecture(
+        tt_nodes=["N1"],
+        et_nodes=["N2"],
+        gateway="NG",
+        gateway_transfer_wcet=transfer_wcet,
+    )
+    return System(
+        app,
+        arch,
+        can_spec=CanBusSpec(fixed_frame_time=can_frame_time),
+        ttp_spec=TTPBusSpec(byte_time=0.5, slot_overhead=1.0),
+    )
+
+
+def two_node_config(
+    slot_order: Sequence[str] = ("N1", "NG"),
+    capacity: int = 8,
+    duration: float = 10.0,
+) -> SystemConfiguration:
+    """A matching configuration for :func:`two_node_system`."""
+    bus = TTPBusConfig(
+        [Slot(node=n, capacity=capacity, duration=duration) for n in slot_order]
+    )
+    priorities = PriorityAssignment(
+        process_priorities={"B": 1, "X": 2},
+        message_priorities={"ma": 1, "mb": 2},
+    )
+    return SystemConfiguration(bus=bus, priorities=priorities)
+
+
+def et_only_system(
+    wcets: Dict[str, float],
+    period: float = 100.0,
+    deadline: float = 100.0,
+) -> System:
+    """Independent ET processes on one node (pure RTA testing).
+
+    Each process becomes its own single-process graph so that all are
+    sources/sinks with offset 0.  A dummy TT node exists because the
+    architecture requires one.
+    """
+    graphs = []
+    for name, wcet in sorted(wcets.items()):
+        graphs.append(
+            ProcessGraph(
+                name=f"g_{name}",
+                period=period,
+                deadline=deadline,
+                processes=[Process(name, wcet=wcet, node="ET1")],
+            )
+        )
+    app = Application(graphs)
+    arch = Architecture(tt_nodes=["TT1"], et_nodes=["ET1"], gateway="NG")
+    return System(app, arch)
+
+
+def simple_bus(
+    nodes: Sequence[str] = ("TT1", "NG"),
+    duration: float = 10.0,
+    capacity: int = 16,
+) -> TTPBusConfig:
+    """A plain TDMA round over ``nodes``."""
+    return TTPBusConfig(
+        [Slot(node=n, capacity=capacity, duration=duration) for n in nodes]
+    )

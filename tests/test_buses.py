@@ -1,0 +1,103 @@
+"""Unit tests for the CAN and TTP bus substrates."""
+
+import pytest
+
+from repro.buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestCanFrameTiming:
+    def test_single_frame_bit_count(self):
+        spec = CanBusSpec(bit_time=1.0)
+        # 8-byte frame: 34 + 64 = 98 exposed bits, 24 stuff bits, 13 tail.
+        assert spec.frame_bits(8) == 98 + (98 - 1) // 4 + 13
+
+    def test_one_byte_frame(self):
+        spec = CanBusSpec(bit_time=1.0)
+        exposed = 34 + 8
+        assert spec.frame_bits(1) == exposed + (exposed - 1) // 4 + 13
+
+    def test_segmentation_beyond_8_bytes(self):
+        spec = CanBusSpec(bit_time=1.0)
+        # 16 bytes = two full frames.
+        assert spec.frame_bits(16) == 2 * spec.frame_bits(8)
+        # 9 bytes = one 8-byte frame + one 1-byte frame.
+        assert spec.frame_bits(9) == spec.frame_bits(8) + spec.frame_bits(1)
+
+    def test_frame_time_scales_with_bit_time(self):
+        fast = CanBusSpec(bit_time=0.001)
+        slow = CanBusSpec(bit_time=0.002)
+        assert slow.frame_time(8) == pytest.approx(2 * fast.frame_time(8))
+
+    def test_fixed_frame_time_override(self):
+        spec = CanBusSpec(fixed_frame_time=10.0)
+        assert spec.frame_time(1) == 10.0
+        assert spec.frame_time(32) == 10.0
+
+    def test_monotone_in_size(self):
+        spec = CanBusSpec(bit_time=0.01)
+        times = [spec.frame_time(s) for s in range(1, 33)]
+        assert times == sorted(times)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CanBusSpec(bit_time=0.0)
+        with pytest.raises(ConfigurationError):
+            CanBusSpec(fixed_frame_time=0.0)
+        with pytest.raises(ConfigurationError):
+            CanBusSpec().frame_bits(0)
+
+
+class TestTTPBus:
+    def bus(self):
+        return TTPBusConfig(
+            [
+                Slot("A", capacity=16, duration=4.0),
+                Slot("B", capacity=8, duration=2.0),
+                Slot("NG", capacity=8, duration=2.0),
+            ]
+        )
+
+    def test_round_length(self):
+        assert self.bus().round_length == 8.0
+
+    def test_slot_offsets(self):
+        bus = self.bus()
+        assert bus.slot_offset("A") == 0.0
+        assert bus.slot_offset("B") == 4.0
+        assert bus.slot_offset("NG") == 6.0
+
+    def test_slot_start_end(self):
+        bus = self.bus()
+        assert bus.slot_start("B", 0) == 4.0
+        assert bus.slot_start("B", 3) == 28.0
+        assert bus.slot_end("B", 3) == 30.0
+
+    def test_next_slot_start_boundaries(self):
+        bus = self.bus()
+        # Exactly at the slot start: can still ride it.
+        assert bus.next_slot_start("B", 4.0) == (0, 4.0)
+        # Just after: next round.
+        assert bus.next_slot_start("B", 4.1) == (1, 12.0)
+        # Before time zero clamps.
+        assert bus.next_slot_start("A", -5.0) == (0, 0.0)
+
+    def test_waiting_time(self):
+        bus = self.bus()
+        assert bus.waiting_time("NG", 0.0) == 6.0
+        assert bus.waiting_time("NG", 6.0) == 0.0
+        assert bus.waiting_time("NG", 7.0) == 7.0  # next round's NG at 14
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.bus().slot_of("Z")
+
+    def test_spec_duration(self):
+        spec = TTPBusSpec(byte_time=0.5, slot_overhead=1.0)
+        assert spec.slot_duration(8) == 5.0
+        with pytest.raises(ConfigurationError):
+            spec.slot_duration(0)
+
+    def test_negative_round_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.bus().slot_start("A", -1)

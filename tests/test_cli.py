@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_system, config_to_dict
+from repro.synth import fig4_configuration, fig4_system
+
+
+@pytest.fixture()
+def system_file(tmp_path):
+    path = tmp_path / "system.json"
+    save_system(fig4_system(), path)
+    return path
+
+
+@pytest.fixture()
+def config_file(tmp_path):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(config_to_dict(fig4_configuration("b"))))
+    return path
+
+
+class TestGenerate:
+    def test_generates_system_file(self, tmp_path, capsys):
+        out = tmp_path / "workload.json"
+        code = main([
+            "generate", str(out),
+            "--nodes", "2", "--processes-per-node", "10",
+            "--gateway-messages", "6", "--seed", "3",
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-system-v1"
+        assert "6 via the gateway" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_schedulable_config_returns_zero(self, system_file, config_file, capsys):
+        code = main(["analyze", str(system_file), str(config_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedulable" in out
+
+    def test_unschedulable_config_returns_one(self, system_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(config_to_dict(fig4_configuration("a"))))
+        code = main(["analyze", str(system_file), str(bad), "--timing"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "MISSED" in out
+
+
+class TestSynthesize:
+    def test_writes_configuration(self, system_file, tmp_path, capsys):
+        out = tmp_path / "psi.json"
+        code = main(["synthesize", str(system_file), str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == "repro-config-v1"
+        assert "schedulable" in capsys.readouterr().out
+
+    def test_minimize_buffers_flag(self, system_file, tmp_path):
+        out = tmp_path / "psi.json"
+        code = main([
+            "synthesize", str(system_file), str(out), "--minimize-buffers"
+        ])
+        assert code == 0
+
+
+class TestSimulate:
+    def test_simulate_with_explicit_config(self, system_file, config_file, capsys):
+        code = main([
+            "simulate", str(system_file), "--config", str(config_file),
+            "--periods", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+
+    def test_simulate_synthesizes_by_default(self, system_file, capsys):
+        code = main(["simulate", str(system_file), "--periods", "2"])
+        assert code == 0
+
+
+class TestSensitivity:
+    def test_sensitivity_on_schedulable_config(self, system_file, config_file, capsys):
+        code = main([
+            "sensitivity", str(system_file), str(config_file), "--upper", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WCET scaling margin" in out
+
+    def test_sensitivity_on_unschedulable_config(self, system_file, tmp_path, capsys):
+        import json as _json
+        bad = tmp_path / "bad.json"
+        bad.write_text(_json.dumps(config_to_dict(fig4_configuration("a"))))
+        code = main(["sensitivity", str(system_file), str(bad)])
+        assert code == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the degree of schedulability and buffer bounds."""
+
+import pytest
+
+from repro.analysis import (
+    buffer_bounds,
+    degree_of_schedulability,
+    graph_response_time,
+    multi_cluster_scheduling,
+)
+from repro.synth import fig4_configuration, fig4_system
+
+from helpers import two_node_config, two_node_system
+
+
+@pytest.fixture(scope="module")
+def analysed():
+    system = two_node_system()
+    config = two_node_config()
+    result = multi_cluster_scheduling(system, config.bus, config.priorities)
+    return system, config, result
+
+
+class TestDegree:
+    def test_schedulable_degree_is_negative_laxity(self, analysed):
+        system, _config, result = analysed
+        report = degree_of_schedulability(system, result.rho)
+        assert report.schedulable
+        r_g = graph_response_time(system, result.rho, "G")
+        assert report.degree == pytest.approx(r_g - 100.0)
+        assert report.degree < 0
+
+    def test_unschedulable_degree_is_tardiness(self):
+        system = fig4_system()
+        config = fig4_configuration("a")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        report = degree_of_schedulability(system, result.rho)
+        assert not report.schedulable
+        assert report.degree == pytest.approx(10.0)  # 210 - 200
+
+    def test_local_deadline_violation_counts(self, analysed):
+        system, config, result = analysed
+        # Impose an impossible local deadline on the ET receiver.
+        system.app.process("B").deadline = 1.0
+        try:
+            report = degree_of_schedulability(system, result.rho)
+            assert not report.schedulable
+            assert report.degree > 0
+        finally:
+            system.app.process("B").deadline = None
+
+    def test_graph_response_uses_all_sinks(self, analysed):
+        system, _config, result = analysed
+        # Sinks of G are C (TT) and X (ET); response covers the later one.
+        r_g = graph_response_time(system, result.rho, "G")
+        ends = [
+            result.rho.processes["C"].worst_end,
+            result.rho.processes["X"].worst_end,
+        ]
+        assert r_g == max(ends)
+
+
+class TestBuffers:
+    def test_components_present(self, analysed):
+        system, config, result = analysed
+        buffers = buffer_bounds(system, config.priorities, result.rho)
+        assert buffers.out_can >= 8.0   # ma waits in Out_CAN
+        assert buffers.out_ttp >= 8.0   # mb waits in Out_TTP
+        assert buffers.out_node["N2"] >= 8.0  # mb in Out_N2
+        assert buffers.total == (
+            buffers.out_can + buffers.out_ttp + sum(buffers.out_node.values())
+        )
+
+    def test_single_messages_bound_tight(self, analysed):
+        system, config, result = analysed
+        buffers = buffer_bounds(system, config.priorities, result.rho)
+        # Only one message per queue in this system: bound is its size.
+        assert buffers.out_can == 8.0
+        assert buffers.out_ttp == 8.0
+        assert buffers.out_node["N2"] == 8.0
+
+    def test_fig4_buffer_values(self):
+        system = fig4_system()
+        config = fig4_configuration("a")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        buffers = buffer_bounds(system, config.priorities, result.rho)
+        # m1 and m2 arrive in the same frame: both co-reside in Out_CAN.
+        assert buffers.out_can == 16.0
+        # m3 is alone in Out_TTP and Out_N2.
+        assert buffers.out_ttp == 8.0
+        assert buffers.out_node["N2"] == 8.0
+        assert buffers.total == 32.0

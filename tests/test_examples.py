@@ -1,0 +1,50 @@
+"""Smoke tests: every bundled example runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "r_G1 = 210" in out
+    assert "schedulable: True" in out
+
+
+def test_cruise_control(capsys):
+    run_example("cruise_control.py")
+    out = capsys.readouterr().out
+    assert "SF" in out and "OR" in out
+
+
+def test_sensitivity_analysis(capsys):
+    run_example("sensitivity_analysis.py")
+    out = capsys.readouterr().out
+    assert "WCET scaling margin" in out
+
+
+def test_simulation_vs_analysis(capsys):
+    run_example("simulation_vs_analysis.py")
+    out = capsys.readouterr().out
+    assert "schedule violations: 0" in out
+
+
+def test_design_space_exploration(capsys):
+    # Seed 0 with a tiny SA budget: exercises the full pipeline quickly.
+    run_example("design_space_exploration.py", argv=["0", "10"])
+    out = capsys.readouterr().out
+    assert "SAR" in out

@@ -1,0 +1,63 @@
+"""Unit tests for the busy-window fixed-point primitives."""
+
+import math
+
+import pytest
+
+from repro.analysis import Interferer, ceil0_hits, solve_busy_window
+from repro.analysis.fixed_point import interferer_utilization
+
+
+def make(jitter=0.0, rel=0.0, period=100.0, cost=10.0):
+    return Interferer(jitter=jitter, rel_offset=rel, period=period, cost=cost)
+
+
+class TestCeil0Hits:
+    def test_zero_window_no_jitter(self):
+        assert ceil0_hits(0.0, make()) == 0
+
+    def test_epsilon_breaks_simultaneous_tie(self):
+        assert ceil0_hits(0.0, make(), epsilon=1e-9) == 1
+
+    def test_negative_window_clamped(self):
+        assert ceil0_hits(5.0, make(rel=50.0)) == 0
+
+    def test_multiple_periods(self):
+        assert ceil0_hits(250.0, make()) == 3
+
+    def test_jitter_adds_hits(self):
+        assert ceil0_hits(95.0, make(jitter=10.0)) == 2
+
+
+class TestSolveBusyWindow:
+    def test_no_interferers_returns_base(self):
+        w, ok = solve_busy_window(7.0, [])
+        assert (w, ok) == (7.0, True)
+
+    def test_single_interferer_fixed_point(self):
+        # w = 5 + ceil((w+1)/100)*10 -> w = 15.
+        w, ok = solve_busy_window(5.0, [make(jitter=1.0)])
+        assert ok and w == 15.0
+
+    def test_two_activations(self):
+        # Window grows past one period: w = 5 + ceil((w+96)/100)*10 -> 25.
+        w, ok = solve_busy_window(5.0, [make(jitter=96.0)])
+        assert ok and w == 25.0
+
+    def test_overload_diverges(self):
+        heavy = [make(cost=60.0), make(cost=60.0)]
+        w, ok = solve_busy_window(1.0, heavy)
+        assert not ok and math.isinf(w)
+
+    def test_near_saturation_converges(self):
+        # U = 0.9: still converges.
+        w, ok = solve_busy_window(1.0, [make(cost=90.0, jitter=1.0)])
+        assert ok and math.isfinite(w)
+
+    def test_utilization_helper(self):
+        assert interferer_utilization([make(cost=10.0), make(cost=30.0)]) == pytest.approx(0.4)
+
+    def test_monotone_in_base(self):
+        low, _ = solve_busy_window(1.0, [make(jitter=1.0)])
+        high, _ = solve_busy_window(9.0, [make(jitter=1.0)])
+        assert high >= low

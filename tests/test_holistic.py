@@ -1,0 +1,152 @@
+"""Unit tests for the holistic response-time analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import multi_cluster_scheduling, response_time_analysis
+from repro.model import GATEWAY_TRANSFER_PROCESS, PriorityAssignment
+from repro.model.configuration import OffsetTable
+
+from helpers import et_only_system, simple_bus, two_node_config, two_node_system
+
+
+def analyse_et(wcets, priorities):
+    """Analyse independent same-node ET processes with zero offsets."""
+    system = et_only_system(wcets)
+    offsets = OffsetTable({name: 0.0 for name in wcets}, {})
+    pa = PriorityAssignment(priorities, {})
+    bus = simple_bus()
+    return response_time_analysis(system, offsets, pa, bus)
+
+
+class TestProcessRTA:
+    def test_highest_priority_runs_unimpeded(self):
+        rho = analyse_et({"hi": 5.0, "lo": 3.0}, {"hi": 1, "lo": 2})
+        assert rho.processes["hi"].response == 5.0
+        assert rho.processes["hi"].queuing == 0.0
+
+    def test_lower_priority_suffers_interference(self):
+        rho = analyse_et({"hi": 5.0, "lo": 3.0}, {"hi": 1, "lo": 2})
+        assert rho.processes["lo"].queuing == 5.0
+        assert rho.processes["lo"].response == 8.0
+
+    def test_three_level_stack(self):
+        rho = analyse_et(
+            {"a": 2.0, "b": 3.0, "c": 4.0}, {"a": 1, "b": 2, "c": 3}
+        )
+        assert rho.processes["c"].response == 9.0
+
+    def test_overload_marks_nonconverged(self):
+        # The lowest-priority process sees interferers with U = 1.1: its
+        # busy window has no finite fixed point.
+        rho = analyse_et(
+            {"a": 60.0, "b": 50.0, "c": 10.0}, {"a": 1, "b": 2, "c": 3}
+        )
+        assert not rho.processes["c"].converged
+        assert math.isinf(rho.processes["c"].response)
+        assert not rho.all_converged()
+
+    def test_heavy_but_converging_window(self):
+        # Interferer utilization 0.6 < 1: window converges even though the
+        # total CPU load exceeds 1 (the victim's own share is not rolled
+        # into its interference).
+        rho = analyse_et({"a": 60.0, "b": 60.0}, {"a": 1, "b": 2})
+        assert rho.processes["b"].converged
+        assert rho.processes["b"].response == 180.0
+
+    def test_gateway_transfer_recorded(self):
+        rho = analyse_et({"a": 1.0}, {"a": 1})
+        assert GATEWAY_TRANSFER_PROCESS in rho.processes
+
+
+class TestEndToEnd:
+    def test_two_node_chain_values(self):
+        system = two_node_system()
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        rho = result.rho
+        # A is TT: r = C, no jitter.
+        assert rho.processes["A"].response == 5.0
+        assert rho.processes["A"].jitter == 0.0
+        # B's jitter is ma's CAN response (transfer + queue + wire).
+        ma = rho.can["ma"]
+        assert rho.processes["B"].jitter == pytest.approx(ma.response)
+        # mb's TTP leg ends at C's offset (schedule waits for it).
+        mb_arrival = rho.ttp["mb"].worst_end
+        assert result.offsets.process_offset("C") >= mb_arrival - 1e-9
+
+    def test_tt_processes_have_zero_queuing(self):
+        system = two_node_system()
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        for name in ("A", "C"):
+            timing = result.rho.processes[name]
+            assert timing.queuing == 0.0
+            assert timing.jitter == 0.0
+
+    def test_phase_locked_interferer_excluded(self):
+        system = two_node_system()
+        config = two_node_config()
+        # X is higher priority than B, but X (offset 0, no jitter) always
+        # finishes before B's earliest activation (the TT->ET message
+        # arrival): the offset-aware analysis proves zero interference.
+        config.priorities.swap_processes("B", "X")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        assert result.offsets.process_offset("B") > 2.0  # X's window
+        assert result.rho.processes["B"].queuing == 0.0
+
+    def test_unlocked_interferer_counted(self):
+        # Same shape, but X gets a different period (its own graph is not
+        # phase-locked with the chain): one preemption must be charged.
+        from repro.buses import CanBusSpec, TTPBusSpec
+        from repro.model import (
+            Application, Architecture, Message, Process, ProcessGraph,
+        )
+        from repro.system import System
+
+        chain = ProcessGraph(
+            name="G",
+            period=100.0,
+            deadline=100.0,
+            processes=[
+                Process("A", wcet=5.0, node="N1"),
+                Process("B", wcet=4.0, node="N2"),
+                Process("C", wcet=3.0, node="N1"),
+            ],
+            messages=[
+                Message("ma", src="A", dst="B", size=8),
+                Message("mb", src="B", dst="C", size=8),
+            ],
+        )
+        other = ProcessGraph(
+            name="H",
+            period=70.0,
+            deadline=70.0,
+            processes=[Process("X", wcet=2.0, node="N2")],
+        )
+        system = System(
+            Application([chain, other]),
+            Architecture(
+                tt_nodes=["N1"], et_nodes=["N2"], gateway="NG",
+                gateway_transfer_wcet=1.0,
+            ),
+            can_spec=CanBusSpec(fixed_frame_time=2.0),
+            ttp_spec=TTPBusSpec(byte_time=0.5, slot_overhead=1.0),
+        )
+        config = two_node_config()
+        config.priorities.process_priorities = {"X": 1, "B": 2}
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        assert result.rho.processes["B"].queuing == pytest.approx(2.0)
+
+    def test_monotone_in_wcet(self):
+        base = two_node_system()
+        heavier = two_node_system()
+        heavier.app.process("X").wcet = 3.5
+        config = two_node_config()
+        config.priorities.swap_processes("B", "X")  # X interferes with B
+        r1 = multi_cluster_scheduling(base, config.bus, config.priorities)
+        r2 = multi_cluster_scheduling(heavier, config.bus, config.priorities)
+        assert (
+            r2.rho.processes["B"].response >= r1.rho.processes["B"].response
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the hyper-graph combination (section 2.1)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import (
+    Dependency,
+    Message,
+    Process,
+    ProcessGraph,
+    combine,
+    instance_name,
+)
+
+
+def graph(name, period, n=2):
+    procs = [Process(f"{name}_P{i}", wcet=1.0, node="N1") for i in range(n)]
+    deps = [
+        Dependency(src=f"{name}_P{i}", dst=f"{name}_P{i+1}")
+        for i in range(n - 1)
+    ]
+    return ProcessGraph(
+        name=name,
+        period=period,
+        deadline=period,
+        processes=procs,
+        dependencies=deps,
+    )
+
+
+class TestCombine:
+    def test_instance_counts_follow_lcm(self):
+        hyper, releases = combine([graph("A", 50.0), graph("B", 100.0)])
+        assert hyper.period == 100.0
+        # A activates twice, B once: 2*2 + 1*2 processes.
+        assert len(hyper.processes) == 6
+
+    def test_release_times_shifted(self):
+        hyper, releases = combine([graph("A", 50.0), graph("B", 100.0)])
+        assert releases[instance_name("A_P0", 0)] == 0.0
+        assert releases[instance_name("A_P0", 1)] == 50.0
+        assert releases[instance_name("B_P0", 0)] == 0.0
+
+    def test_local_deadlines_shifted(self):
+        hyper, _ = combine([graph("A", 50.0), graph("B", 100.0)])
+        # Second activation of A: released at 50, deadline 50 + 50.
+        assert hyper.processes[instance_name("A_P0", 1)].deadline == 100.0
+
+    def test_dependencies_replicated_within_instances(self):
+        hyper, _ = combine([graph("A", 50.0), graph("B", 100.0)])
+        preds = hyper.predecessors(instance_name("A_P1", 1))
+        assert preds == [(instance_name("A_P0", 1), None)]
+
+    def test_single_graph_is_identity_sized(self):
+        hyper, releases = combine([graph("A", 50.0)])
+        assert hyper.period == 50.0
+        assert len(hyper.processes) == 2
+        assert all(r == 0.0 for r in releases.values())
+
+    def test_messages_replicated(self):
+        g = ProcessGraph(
+            name="M",
+            period=50.0,
+            deadline=50.0,
+            processes=[
+                Process("M_a", wcet=1.0, node="N1"),
+                Process("M_b", wcet=1.0, node="N2"),
+            ],
+            messages=[Message("M_m", src="M_a", dst="M_b", size=4)],
+        )
+        hyper, _ = combine([g, graph("A", 100.0)])
+        assert instance_name("M_m", 0) in hyper.messages
+        assert instance_name("M_m", 1) in hyper.messages
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ModelError):
+            combine([])
+
+    def test_acyclic_result(self):
+        hyper, _ = combine([graph("A", 25.0), graph("B", 100.0, n=3)])
+        order = hyper.topological_order()
+        assert len(order) == len(hyper.processes)

@@ -1,0 +1,105 @@
+"""Tests for JSON serialization and the report formatting."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    buffer_bounds,
+    degree_of_schedulability,
+    multi_cluster_scheduling,
+)
+from repro.io import (
+    comparison_table,
+    config_from_dict,
+    config_to_dict,
+    format_table,
+    load_system,
+    save_system,
+    schedulability_report,
+    system_from_dict,
+    system_to_dict,
+    timing_report,
+)
+from repro.synth import WorkloadSpec, fig4_configuration, fig4_system, generate_workload
+
+from helpers import two_node_config, two_node_system
+
+
+class TestSystemRoundTrip:
+    def test_fig4_round_trip(self):
+        system = fig4_system()
+        clone = system_from_dict(system_to_dict(system))
+        assert clone.app.process_count() == system.app.process_count()
+        assert clone.app.message_count() == system.app.message_count()
+        assert clone.arch.gateway == system.arch.gateway
+        assert clone.can_spec.fixed_frame_time == 10.0
+
+    def test_generated_round_trip_preserves_analysis(self):
+        system = generate_workload(WorkloadSpec(nodes=2, processes_per_node=8, seed=2))
+        clone = system_from_dict(system_to_dict(system))
+        from repro.optim import run_straightforward
+
+        a = run_straightforward(system)
+        b = run_straightforward(clone)
+        assert a.degree == b.degree
+        assert a.total_buffers == b.total_buffers
+
+    def test_json_serializable(self):
+        system = fig4_system()
+        text = json.dumps(system_to_dict(system))
+        assert "G1" in text
+
+    def test_file_round_trip(self, tmp_path):
+        system = fig4_system()
+        path = tmp_path / "system.json"
+        save_system(system, path)
+        clone = load_system(path)
+        assert clone.app.process_count() == 4
+
+
+class TestConfigRoundTrip:
+    def test_round_trip(self):
+        config = fig4_configuration("a")
+        config.tt_delays["m1"] = 3.0
+        clone = config_from_dict(config_to_dict(config))
+        assert [s.node for s in clone.bus.slots] == ["NG", "N1"]
+        assert clone.priorities.message_priority("m2") == 2
+        assert clone.tt_delays == {"m1": 3.0}
+
+    def test_offsets_round_trip(self):
+        system = fig4_system()
+        config = fig4_configuration("a")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        config.offsets = result.offsets
+        clone = config_from_dict(config_to_dict(config))
+        assert clone.offsets.process_offset("P4") == 180.0
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[:2])
+
+    def test_timing_report_contains_paper_values(self):
+        system = fig4_system()
+        config = fig4_configuration("a")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        text = timing_report(system, result.rho)
+        assert "P2" in text and "55.00" in text  # r2 = 55
+
+    def test_schedulability_report_verdicts(self):
+        system = fig4_system()
+        config = fig4_configuration("a")
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        report = degree_of_schedulability(system, result.rho)
+        buffers = buffer_bounds(system, config.priorities, result.rho)
+        text = schedulability_report(system, report, buffers)
+        assert "MISSED" in text
+        assert "s_total" in text
+
+    def test_comparison_table_titled(self):
+        text = comparison_table("Fig9a", ["x"], [[1]])
+        assert text.startswith("Fig9a\n=====")

@@ -1,0 +1,157 @@
+"""Unit tests for the application model (processes, messages, graphs)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Application, Dependency, Message, Process, ProcessGraph
+
+
+def make_graph(**overrides):
+    kwargs = dict(
+        name="G",
+        period=100.0,
+        deadline=80.0,
+        processes=[
+            Process("A", wcet=5.0, node="N1"),
+            Process("B", wcet=3.0, node="N2"),
+            Process("C", wcet=2.0, node="N1"),
+        ],
+        messages=[Message("m1", src="A", dst="B", size=8)],
+        dependencies=[Dependency(src="A", dst="C")],
+    )
+    kwargs.update(overrides)
+    return ProcessGraph(**kwargs)
+
+
+class TestProcess:
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P", wcet=-1.0, node="N1")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Process("", wcet=1.0, node="N1")
+
+    def test_zero_wcet_allowed(self):
+        assert Process("P", wcet=0.0, node="N1").wcet == 0.0
+
+    def test_bad_local_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            Process("P", wcet=1.0, node="N1", deadline=0.0)
+
+
+class TestMessage:
+    def test_self_message_rejected(self):
+        with pytest.raises(ModelError):
+            Message("m", src="A", dst="A", size=8)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ModelError):
+            Message("m", src="A", dst="B", size=0)
+
+
+class TestProcessGraph:
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ModelError):
+            make_graph(deadline=150.0)
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(ModelError):
+            make_graph(
+                processes=[
+                    Process("A", wcet=1.0, node="N1"),
+                    Process("A", wcet=2.0, node="N2"),
+                ],
+                messages=[],
+                dependencies=[],
+            )
+
+    def test_unknown_message_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            make_graph(messages=[Message("m", src="A", dst="ZZZ", size=4)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError):
+            make_graph(
+                dependencies=[
+                    Dependency("A", "C"),
+                    Dependency("C", "A"),
+                ],
+                messages=[],
+            )
+
+    def test_topological_order_respects_arcs(self):
+        graph = make_graph()
+        order = graph.topological_order()
+        assert order.index("A") < order.index("B")
+        assert order.index("A") < order.index("C")
+
+    def test_sources_and_sinks(self):
+        graph = make_graph()
+        assert graph.sources() == ["A"]
+        assert sorted(graph.sinks()) == ["B", "C"]
+
+    def test_predecessors_carry_message_names(self):
+        graph = make_graph()
+        assert graph.predecessors("B") == [("A", "m1")]
+        assert graph.predecessors("C") == [("A", None)]
+
+    def test_message_of_arc(self):
+        graph = make_graph()
+        assert graph.message_of("A", "B").name == "m1"
+        assert graph.message_of("A", "C") is None
+
+    def test_critical_path_length(self):
+        graph = make_graph()
+        # Longest chain: A(5) -> C(2) = 7 vs A(5) -> B(3) = 8.
+        assert graph.critical_path_length() == 8.0
+
+    def test_deterministic_topological_order(self):
+        a = make_graph().topological_order()
+        b = make_graph().topological_order()
+        assert a == b
+
+
+class TestApplication:
+    def test_cross_graph_duplicate_process_rejected(self):
+        g1 = make_graph()
+        g2 = make_graph(name="G2", messages=[], dependencies=[])
+        with pytest.raises(ModelError):
+            Application([g1, g2])
+
+    def test_lookup_helpers(self):
+        app = Application([make_graph()])
+        assert app.process("A").wcet == 5.0
+        assert app.message("m1").size == 8
+        assert app.graph_of_process("B").name == "G"
+        assert app.graph_of_message("m1").name == "G"
+        assert app.period_of_process("A") == 100.0
+        assert app.period_of_message("m1") == 100.0
+
+    def test_unknown_lookup_raises(self):
+        app = Application([make_graph()])
+        with pytest.raises(ModelError):
+            app.process("nope")
+        with pytest.raises(ModelError):
+            app.message("nope")
+
+    def test_counts(self):
+        app = Application([make_graph()])
+        assert app.process_count() == 3
+        assert app.message_count() == 1
+
+    def test_hyper_period_lcm(self):
+        g1 = make_graph()
+        g2 = ProcessGraph(
+            name="G2",
+            period=60.0,
+            deadline=60.0,
+            processes=[Process("Z", wcet=1.0, node="N1")],
+        )
+        app = Application([g1, g2])
+        assert app.hyper_period() == 300.0
+
+    def test_iteration_is_deterministic(self):
+        app = Application([make_graph()])
+        names = [p.name for p in app.all_processes()]
+        assert names == [p.name for p in app.all_processes()]

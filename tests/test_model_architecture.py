@@ -1,0 +1,116 @@
+"""Unit tests for the architecture model and message routing."""
+
+import pytest
+
+from repro.exceptions import MappingError, ModelError
+from repro.model import (
+    Application,
+    Architecture,
+    Message,
+    MessageRoute,
+    Process,
+    ProcessGraph,
+    validate_system,
+)
+
+
+def make_app(node_a="TT1", node_b="ET1"):
+    graph = ProcessGraph(
+        name="G",
+        period=50.0,
+        deadline=50.0,
+        processes=[
+            Process("A", wcet=1.0, node=node_a),
+            Process("B", wcet=1.0, node=node_b),
+        ],
+        messages=[Message("m", src="A", dst="B", size=4)],
+    )
+    return Application([graph])
+
+
+def make_arch(**kwargs):
+    defaults = dict(tt_nodes=["TT1", "TT2"], et_nodes=["ET1", "ET2"], gateway="NG")
+    defaults.update(kwargs)
+    return Architecture(**defaults)
+
+
+class TestArchitecture:
+    def test_node_partitions(self):
+        arch = make_arch()
+        assert arch.tt_node_names() == ["TT1", "TT2"]
+        assert arch.et_node_names() == ["ET1", "ET2"]
+        assert arch.ttp_slot_owners() == ["TT1", "TT2", "NG"]
+
+    def test_gateway_is_et_scheduled(self):
+        arch = make_arch()
+        assert arch.is_et_node("NG")
+        assert not arch.is_tt_node("NG")
+
+    def test_duplicate_gateway_name_rejected(self):
+        with pytest.raises(ModelError):
+            make_arch(gateway="TT1")
+
+    def test_needs_both_clusters(self):
+        with pytest.raises(ModelError):
+            Architecture(tt_nodes=[], et_nodes=["ET1"])
+        with pytest.raises(ModelError):
+            Architecture(tt_nodes=["TT1"], et_nodes=[])
+
+    def test_unknown_node_raises(self):
+        arch = make_arch()
+        with pytest.raises(MappingError):
+            arch.is_tt_node("nope")
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "src,dst,expected",
+        [
+            ("TT1", "TT2", MessageRoute.TT_TO_TT),
+            ("TT1", "ET1", MessageRoute.TT_TO_ET),
+            ("ET1", "TT1", MessageRoute.ET_TO_TT),
+            ("ET1", "ET2", MessageRoute.ET_TO_ET),
+            ("ET1", "ET1", MessageRoute.LOCAL),
+        ],
+    )
+    def test_route_classification(self, src, dst, expected):
+        app = make_app(node_a=src, node_b=dst)
+        arch = make_arch()
+        msg = app.message("m")
+        assert arch.route_of(app, msg) is expected
+
+    def test_gateway_messages_listing(self):
+        app = make_app("TT1", "ET1")
+        arch = make_arch()
+        assert [m.name for m in arch.gateway_messages(app)] == ["m"]
+        app2 = make_app("TT1", "TT2")
+        assert arch.gateway_messages(app2) == []
+
+
+class TestValidation:
+    def test_process_on_gateway_rejected(self):
+        app = make_app(node_a="NG")
+        arch = make_arch()
+        with pytest.raises(MappingError):
+            validate_system(app, arch)
+
+    def test_local_message_rejected(self):
+        app = make_app("ET1", "ET1")
+        arch = make_arch()
+        with pytest.raises(MappingError):
+            validate_system(app, arch)
+
+    def test_unknown_mapped_node_rejected(self):
+        app = make_app("XX", "ET1")
+        arch = make_arch()
+        with pytest.raises(MappingError):
+            validate_system(app, arch)
+
+    def test_valid_system_passes(self):
+        validate_system(make_app(), make_arch())
+
+    def test_processes_on(self):
+        app = make_app()
+        arch = make_arch()
+        assert arch.processes_on(app, "TT1") == ["A"]
+        assert arch.processes_on(app, "ET2") == []

@@ -1,0 +1,129 @@
+"""Unit tests for configurations ψ: priorities, offsets, validation."""
+
+import pytest
+
+from repro.buses import Slot, TTPBusConfig
+from repro.exceptions import ConfigurationError
+from repro.model import (
+    OffsetTable,
+    PriorityAssignment,
+    SystemConfiguration,
+    validate_configuration,
+)
+
+from helpers import two_node_config, two_node_system
+
+
+class TestPriorityAssignment:
+    def test_missing_priority_raises(self):
+        pa = PriorityAssignment()
+        with pytest.raises(ConfigurationError):
+            pa.process_priority("P")
+        with pytest.raises(ConfigurationError):
+            pa.message_priority("m")
+
+    def test_swap_processes(self):
+        pa = PriorityAssignment({"a": 1, "b": 2}, {})
+        pa.swap_processes("a", "b")
+        assert pa.process_priority("a") == 2
+        assert pa.process_priority("b") == 1
+
+    def test_swap_messages(self):
+        pa = PriorityAssignment({}, {"x": 3, "y": 7})
+        pa.swap_messages("x", "y")
+        assert pa.message_priority("x") == 7
+        assert pa.message_priority("y") == 3
+
+    def test_copy_is_independent(self):
+        pa = PriorityAssignment({"a": 1}, {"m": 1})
+        clone = pa.copy()
+        clone.process_priorities["a"] = 99
+        assert pa.process_priority("a") == 1
+
+    def test_duplicate_process_priority_same_node_rejected(self):
+        system = two_node_system()
+        pa = PriorityAssignment(
+            {"B": 1, "X": 1}, {"ma": 1, "mb": 2}
+        )
+        with pytest.raises(ConfigurationError):
+            pa.validate(system.app, system.arch)
+
+    def test_duplicate_message_priority_rejected(self):
+        system = two_node_system()
+        pa = PriorityAssignment(
+            {"B": 1, "X": 2}, {"ma": 1, "mb": 1}
+        )
+        with pytest.raises(ConfigurationError):
+            pa.validate(system.app, system.arch)
+
+    def test_valid_assignment_passes(self):
+        system = two_node_system()
+        two_node_config().priorities.validate(system.app, system.arch)
+
+
+class TestOffsetTable:
+    def test_lookup_errors(self):
+        table = OffsetTable()
+        with pytest.raises(ConfigurationError):
+            table.process_offset("P")
+        with pytest.raises(ConfigurationError):
+            table.message_offset("m")
+
+    def test_max_abs_delta(self):
+        a = OffsetTable({"p": 10.0}, {"m": 5.0})
+        b = OffsetTable({"p": 12.0}, {"m": 5.0})
+        assert a.max_abs_delta(b) == 2.0
+        assert a.max_abs_delta(a.copy()) == 0.0
+
+    def test_delta_covers_missing_keys(self):
+        a = OffsetTable({"p": 10.0}, {})
+        b = OffsetTable({}, {})
+        assert a.max_abs_delta(b) == 10.0
+
+
+class TestSystemConfiguration:
+    def test_copy_deep(self):
+        config = two_node_config()
+        config.tt_delays["A"] = 5.0
+        clone = config.copy()
+        clone.tt_delays["A"] = 9.0
+        clone.priorities.process_priorities["B"] = 42
+        assert config.tt_delays["A"] == 5.0
+        assert config.priorities.process_priority("B") == 1
+
+    def test_validate_requires_all_slots(self):
+        system = two_node_system()
+        config = two_node_config(slot_order=("N1",))
+        with pytest.raises(ConfigurationError):
+            validate_configuration(system.app, system.arch, config)
+
+    def test_validate_rejects_small_slot(self):
+        system = two_node_system()
+        config = two_node_config(capacity=4)  # messages are 8 bytes
+        with pytest.raises(ConfigurationError):
+            validate_configuration(system.app, system.arch, config)
+
+    def test_validate_passes(self):
+        system = two_node_system()
+        validate_configuration(system.app, system.arch, two_node_config())
+
+
+class TestBusConfigErrors:
+    def test_duplicate_slot_owner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TTPBusConfig(
+                [
+                    Slot("N1", capacity=8, duration=5.0),
+                    Slot("N1", capacity=8, duration=5.0),
+                ]
+            )
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TTPBusConfig([])
+
+    def test_bad_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Slot("N1", capacity=0, duration=5.0)
+        with pytest.raises(ConfigurationError):
+            Slot("N1", capacity=8, duration=0.0)

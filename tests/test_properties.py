@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The headline property: for randomly generated two-cluster systems, the
+schedulability analysis *dominates* the discrete-event simulation — every
+simulated response time, message latency and queue peak stays below its
+analytic bound, and no TT process is ever dispatched before its inputs.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    buffer_bounds,
+    graph_response_time,
+    multi_cluster_scheduling,
+)
+from repro.buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
+from repro.model import (
+    Application,
+    Architecture,
+    Message,
+    PriorityAssignment,
+    Process,
+    ProcessGraph,
+    SystemConfiguration,
+)
+from repro.schedule import static_schedule
+from repro.sim import simulate
+from repro.synth import GraphShape, random_graph_structure
+from repro.system import System
+
+
+# -- strategies ---------------------------------------------------------------
+
+def build_random_system(seed: int, n_graphs: int, chain_len: int):
+    """A small random two-cluster system with an aligned TDMA grid.
+
+    Chains hop between one TT node and two ET nodes, exercising every
+    message route: TT->TT (impossible with one TT node, covered by the
+    scheduler tests), TT->ET, ET->TT and ET->ET (between ET1 and ET2).
+    """
+    rng = stdlib_random.Random(seed)
+    nodes = ["TT1", "ET1", "ET2"]
+    graphs = []
+    for g in range(n_graphs):
+        procs = []
+        messages = []
+        deps = []
+        prev = None
+        prev_node = None
+        for i in range(chain_len):
+            node = rng.choice(nodes)
+            name = f"g{g}p{i}"
+            procs.append(Process(name, wcet=rng.randint(1, 4), node=node))
+            if prev is not None:
+                if node == prev_node:
+                    from repro.model import Dependency
+
+                    deps.append(Dependency(src=prev, dst=name))
+                else:
+                    messages.append(
+                        Message(
+                            f"g{g}m{i}", src=prev, dst=name,
+                            size=rng.choice([4, 8]),
+                        )
+                    )
+            prev = name
+            prev_node = node
+        graphs.append(
+            ProcessGraph(
+                name=f"g{g}",
+                period=200.0,
+                deadline=200.0,
+                processes=procs,
+                messages=messages,
+                dependencies=deps,
+            )
+        )
+    app = Application(graphs)
+    arch = Architecture(
+        tt_nodes=["TT1"], et_nodes=["ET1", "ET2"], gateway="NG",
+        gateway_transfer_wcet=0.5,
+    )
+    system = System(
+        app, arch,
+        can_spec=CanBusSpec(fixed_frame_time=1.0),
+        ttp_spec=TTPBusSpec(byte_time=0.25, slot_overhead=1.0),
+    )
+    # Round of 20 divides the period 200.
+    bus = TTPBusConfig(
+        [Slot("TT1", capacity=16, duration=10.0), Slot("NG", capacity=16, duration=10.0)]
+    )
+    proc_prios = {
+        p: i + 1 for i, p in enumerate(system.et_processes())
+    }
+    msg_prios = {m: i + 1 for i, m in enumerate(system.can_messages())}
+    config = SystemConfiguration(
+        bus=bus, priorities=PriorityAssignment(proc_prios, msg_prios)
+    )
+    return system, config
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_graphs=st.integers(min_value=1, max_value=3),
+    chain_len=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_analysis_dominates_simulation(seed, n_graphs, chain_len):
+    system, config = build_random_system(seed, n_graphs, chain_len)
+    result = multi_cluster_scheduling(system, config.bus, config.priorities)
+    if not (result.converged and result.rho.all_converged()):
+        return  # overload: nothing to validate
+    config.offsets = result.offsets
+    trace = simulate(system, config, result.schedule, periods=3)
+    assert trace.violations == []
+    rho = result.rho
+    for name, observed in trace.process_response.items():
+        assert observed <= rho.processes[name].worst_end + 1e-6
+    for graph, observed in trace.graph_response.items():
+        assert observed <= graph_response_time(system, rho, graph) + 1e-6
+    bounds = buffer_bounds(system, config.priorities, rho)
+    assert trace.queue_peak.get("Out_CAN", 0.0) <= bounds.out_can + 1e-6
+    assert trace.queue_peak.get("Out_TTP", 0.0) <= bounds.out_ttp + 1e-6
+    for node, bound in bounds.out_node.items():
+        assert trace.queue_peak.get(f"Out_{node}", 0.0) <= bound + 1e-6
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    processes=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_generated_skeletons_are_dags(seed, processes):
+    layers, edges = random_graph_structure(
+        GraphShape(processes=processes), stdlib_random.Random(seed)
+    )
+    position = {}
+    for i, layer in enumerate(layers):
+        for p in layer:
+            position[p] = i
+    assert sorted(position) == list(range(processes))
+    for src, dst in edges:
+        assert position[src] < position[dst]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_graphs=st.integers(min_value=1, max_value=3),
+    chain_len=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_scheduler_preserves_precedence(seed, n_graphs, chain_len):
+    system, config = build_random_system(seed, n_graphs, chain_len)
+    schedule = static_schedule(system, config.bus)
+    offsets = schedule.offsets
+    for graph in system.app.graphs.values():
+        for proc in graph.processes:
+            if not system.arch.is_tt_node(system.app.process(proc).node):
+                continue
+            start = offsets.process_offset(proc)
+            for pred, msg_name in graph.predecessors(proc):
+                if msg_name is None:
+                    pred_end = offsets.process_offset(pred) + system.app.process(pred).wcet
+                    assert start >= pred_end - 1e-9
+                elif msg_name in schedule.message_arrival:
+                    assert start >= schedule.message_arrival[msg_name] - 1e-9
+
+
+@given(
+    wcet=st.floats(min_value=0.5, max_value=20.0),
+    bump=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_rta_monotone_in_interferer_wcet(wcet, bump):
+    """Growing an interferer's WCET never shrinks a victim's response."""
+    from repro.analysis import response_time_analysis
+    from repro.model.configuration import OffsetTable
+
+    def response(hi_wcet):
+        graphs = [
+            ProcessGraph(
+                name="hi", period=100.0, deadline=100.0,
+                processes=[Process("hi_p", wcet=hi_wcet, node="ET1")],
+            ),
+            ProcessGraph(
+                name="lo", period=90.0, deadline=90.0,
+                processes=[Process("lo_p", wcet=5.0, node="ET1")],
+            ),
+        ]
+        system = System(
+            Application(graphs),
+            Architecture(tt_nodes=["TT1"], et_nodes=["ET1"], gateway="NG"),
+        )
+        offsets = OffsetTable({"hi_p": 0.0, "lo_p": 0.0}, {})
+        pa = PriorityAssignment({"hi_p": 1, "lo_p": 2}, {})
+        bus = TTPBusConfig(
+            [Slot("TT1", 8, 5.0), Slot("NG", 8, 5.0)]
+        )
+        rho = response_time_analysis(system, offsets, pa, bus)
+        return rho.processes["lo_p"].response
+
+    assert response(wcet + bump) >= response(wcet) - 1e-9

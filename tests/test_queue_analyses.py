@@ -1,0 +1,187 @@
+"""Unit tests for the CAN and Out_TTP queue analyses (section 4.1)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    can_blocking,
+    can_queuing_delay,
+    ttp_blocking,
+    ttp_bytes_ahead,
+    ttp_queue_delay,
+)
+from repro.buses import CanBusSpec, Slot, TTPBusConfig
+from repro.model import (
+    Application,
+    Architecture,
+    Message,
+    PriorityAssignment,
+    Process,
+    ProcessGraph,
+)
+from repro.system import System
+
+
+def can_system(n_messages=3, period=100.0, frame_time=2.0, periods=None):
+    """n ET->ET messages between two ET nodes, one per small graph."""
+    graphs = []
+    for i in range(n_messages):
+        graphs.append(
+            ProcessGraph(
+                name=f"g{i}",
+                period=periods[i] if periods else period,
+                deadline=periods[i] if periods else period,
+                processes=[
+                    Process(f"s{i}", wcet=1.0, node="ET1"),
+                    Process(f"d{i}", wcet=1.0, node="ET2"),
+                ],
+                messages=[Message(f"m{i}", src=f"s{i}", dst=f"d{i}", size=8)],
+            )
+        )
+    app = Application(graphs)
+    arch = Architecture(tt_nodes=["TT1"], et_nodes=["ET1", "ET2"], gateway="NG")
+    return System(app, arch, can_spec=CanBusSpec(fixed_frame_time=frame_time))
+
+
+class TestCanBlocking:
+    def test_lowest_priority_has_no_blocking(self):
+        system = can_system()
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        assert can_blocking(system, pa, "m2", offsets) == 0.0
+
+    def test_phase_locked_later_sibling_does_not_block(self):
+        system = can_system()
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        # m1/m2 are queued at or after m0's offset: no blocking for m0.
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 5.0}
+        assert can_blocking(system, pa, "m0", offsets) == 0.0
+
+    def test_phase_locked_earlier_sibling_blocks(self):
+        system = can_system()
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 10.0, "m1": 0.0, "m2": 10.0}
+        assert can_blocking(system, pa, "m0", offsets) == 2.0
+
+    def test_unlocked_message_always_blocks(self):
+        system = can_system(periods=[100.0, 150.0, 100.0])
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        # m1 has a different period: it can be mid-flight at any phase.
+        assert can_blocking(system, pa, "m0", offsets) == 2.0
+
+
+class TestCanQueueing:
+    def test_simultaneous_higher_priority_counts_once(self):
+        system = can_system()
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        jitters = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        w, ok = can_queuing_delay(system, pa, "m1", offsets, jitters)
+        assert ok and w == pytest.approx(2.0)
+
+    def test_top_priority_zero_delay_when_alone_first(self):
+        system = can_system()
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        jitters = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        w, ok = can_queuing_delay(system, pa, "m0", offsets, jitters)
+        assert ok and w == 0.0
+
+    def test_bus_overload_diverges(self):
+        system = can_system(n_messages=3, period=5.0, frame_time=2.0)
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        jitters = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        # hp utilization for m2: 2*2/5 = 0.8 -> converges; add jitter churn
+        w, ok = can_queuing_delay(system, pa, "m2", offsets, jitters)
+        assert ok
+        # Shrink the period below sustainability: 2 frames of 2 in 3.9.
+        system2 = can_system(n_messages=3, period=3.9, frame_time=2.0)
+        w2, ok2 = can_queuing_delay(system2, pa, "m2", offsets, jitters)
+        assert not ok2 and math.isinf(w2)
+
+
+def ettt_system(sizes, period=100.0):
+    """ET->TT messages through the gateway FIFO, one per graph."""
+    graphs = []
+    for i, size in enumerate(sizes):
+        graphs.append(
+            ProcessGraph(
+                name=f"g{i}",
+                period=period,
+                deadline=period,
+                processes=[
+                    Process(f"s{i}", wcet=1.0, node="ET1"),
+                    Process(f"d{i}", wcet=1.0, node="TT1"),
+                ],
+                messages=[
+                    Message(f"m{i}", src=f"s{i}", dst=f"d{i}", size=size)
+                ],
+            )
+        )
+    app = Application(graphs)
+    arch = Architecture(tt_nodes=["TT1"], et_nodes=["ET1"], gateway="NG")
+    return System(app, arch, can_spec=CanBusSpec(fixed_frame_time=2.0))
+
+
+def gw_bus(capacity=8):
+    return TTPBusConfig(
+        [
+            Slot("TT1", capacity=16, duration=10.0),
+            Slot("NG", capacity=capacity, duration=10.0),
+        ]
+    )
+
+
+class TestTtpQueue:
+    def test_blocking_is_wait_to_gateway_slot(self):
+        bus = gw_bus()
+        # Gateway slot spans [10, 20) each round of 20.
+        assert ttp_blocking(bus, "NG", 0.0) == 10.0
+        assert ttp_blocking(bus, "NG", 10.0) == 0.0
+        assert ttp_blocking(bus, "NG", 12.0) == 18.0
+
+    def test_fits_next_slot_no_extra_round(self):
+        system = ettt_system([8])
+        pa = PriorityAssignment({}, {"m0": 1})
+        w, ahead, ok = ttp_queue_delay(
+            system, pa, gw_bus(), "m0", 0.0, {"m0": 0.0}, {"m0": 0.0}
+        )
+        assert ok and ahead == 0.0
+        assert w == 10.0  # just the wait until the slot
+
+    def test_bytes_ahead_force_extra_rounds(self):
+        system = ettt_system([8, 8, 8])
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        jitters = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        w, ahead, ok = ttp_queue_delay(
+            system, pa, gw_bus(capacity=8), "m2", 0.0, offsets, jitters
+        )
+        # Two 8-byte messages ahead, 8-byte slot: two extra rounds.
+        assert ok and ahead == 16.0
+        assert w == 10.0 + 2 * 20.0
+
+    def test_larger_slot_drains_faster(self):
+        system = ettt_system([8, 8, 8])
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2, "m2": 3})
+        offsets = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        jitters = {"m0": 0.0, "m1": 0.0, "m2": 0.0}
+        w_small, _, _ = ttp_queue_delay(
+            system, pa, gw_bus(capacity=8), "m2", 0.0, offsets, jitters
+        )
+        w_big, _, _ = ttp_queue_delay(
+            system, pa, gw_bus(capacity=24), "m2", 0.0, offsets, jitters
+        )
+        assert w_big < w_small
+
+    def test_bytes_ahead_window_scaling(self):
+        system = ettt_system([8, 8])
+        pa = PriorityAssignment({}, {"m0": 1, "m1": 2})
+        offsets = {"m0": 0.0, "m1": 0.0}
+        jitters = {"m0": 5.0, "m1": 0.0}
+        # Window of 150 spans two periods of m0 (with jitter 5).
+        ahead = ttp_bytes_ahead(system, pa, "m1", 150.0, offsets, jitters)
+        assert ahead == 16.0

@@ -1,0 +1,114 @@
+"""Simulator tests: dominance of the analysis over simulated traces."""
+
+import pytest
+
+from repro.analysis import (
+    buffer_bounds,
+    graph_response_time,
+    multi_cluster_scheduling,
+)
+from repro.exceptions import SimulationError
+from repro.sim import simulate
+from repro.synth import fig4_configuration, fig4_system
+
+from helpers import two_node_config, two_node_system
+
+
+def run_fig4(variant, periods=3, execution=None):
+    system = fig4_system()
+    config = fig4_configuration(variant)
+    result = multi_cluster_scheduling(system, config.bus, config.priorities)
+    config.offsets = result.offsets
+    trace = simulate(
+        system, config, result.schedule, periods=periods, execution=execution
+    )
+    return system, config, result, trace
+
+
+class TestFig4Simulation:
+    def test_no_schedule_violations(self):
+        _sys, _cfg, _res, trace = run_fig4("a")
+        assert trace.violations == []
+
+    def test_exact_match_on_graph_response(self):
+        system, _cfg, result, trace = run_fig4("a")
+        # The Fig. 4a chain is fully deterministic: the simulated response
+        # equals the analysis bound exactly.
+        assert trace.graph_response["G1"] == graph_response_time(
+            system, result.rho, "G1"
+        )
+
+    @pytest.mark.parametrize("variant", ["a", "b", "c"])
+    def test_analysis_dominates_simulation(self, variant):
+        system, config, result, trace = run_fig4(variant)
+        rho = result.rho
+        for name, observed in trace.process_response.items():
+            assert observed <= rho.processes[name].worst_end + 1e-6
+        for graph, observed in trace.graph_response.items():
+            assert observed <= graph_response_time(system, rho, graph) + 1e-6
+
+    @pytest.mark.parametrize("variant", ["a", "b", "c"])
+    def test_queue_bounds_dominate_peaks(self, variant):
+        system, config, result, trace = run_fig4(variant)
+        bounds = buffer_bounds(system, config.priorities, result.rho)
+        assert trace.queue_peak.get("Out_CAN", 0.0) <= bounds.out_can
+        assert trace.queue_peak.get("Out_TTP", 0.0) <= bounds.out_ttp
+        for node, peak in trace.queue_peak.items():
+            if node.startswith("Out_N"):
+                pass  # covered below
+        assert trace.queue_peak.get("Out_N2", 0.0) <= bounds.out_node["N2"]
+
+    def test_message_latencies_bounded(self):
+        system, _cfg, result, trace = run_fig4("a")
+        assert trace.message_latency["m1"] <= result.rho.can["m1"].worst_end
+        assert trace.message_latency["m3"] <= result.rho.ttp["m3"].worst_end
+
+    def test_all_instances_complete(self):
+        _sys, _cfg, _res, trace = run_fig4("a", periods=4)
+        assert trace.completed_instances == 4
+
+    def test_faster_execution_never_violates(self):
+        # 60% execution times: responses can only shrink.
+        def execution(name, _instance):
+            system = fig4_system()
+            return system.app.process(name).wcet * 0.6
+
+        _sys, _cfg, result, trace = run_fig4("a", execution=execution)
+        full = run_fig4("a")[3]
+        for name, observed in trace.process_response.items():
+            assert observed <= full.process_response[name] + 1e-6
+
+
+class TestTwoNodeSimulation:
+    def test_dominance_on_chain(self):
+        system = two_node_system()
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        config.offsets = result.offsets
+        trace = simulate(system, config, result.schedule, periods=3)
+        assert trace.violations == []
+        rho = result.rho
+        for name, observed in trace.process_response.items():
+            assert observed <= rho.processes[name].worst_end + 1e-6
+
+    def test_misaligned_period_rejected(self):
+        system = two_node_system(period=95.0, deadline=95.0)
+        config = two_node_config()  # round length 20 does not divide 95
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        config.offsets = result.offsets
+        with pytest.raises(SimulationError):
+            simulate(system, config, result.schedule)
+
+    def test_execution_above_wcet_rejected(self):
+        system = two_node_system()
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        config.offsets = result.offsets
+        with pytest.raises(SimulationError):
+            simulate(
+                system,
+                config,
+                result.schedule,
+                periods=1,
+                execution=lambda name, k: 1e9,
+            )

@@ -1,0 +1,82 @@
+"""Tests for utilization accounting and ASAP/ALAP slack computation."""
+
+import pytest
+
+from repro.analysis import multi_cluster_scheduling
+from repro.analysis.utilization import (
+    can_bus_utilization,
+    node_utilization,
+    system_overloaded,
+    ttp_bus_demand,
+)
+from repro.schedule import alap_starts, slack_of_message, slack_of_process
+
+from helpers import two_node_config, two_node_system
+
+
+@pytest.fixture()
+def system():
+    return two_node_system()
+
+
+class TestUtilization:
+    def test_node_utilization(self, system):
+        load = node_utilization(system)
+        # N1 hosts A (5) and C (3) at period 100.
+        assert load["N1"] == pytest.approx(0.08)
+        # N2 hosts B (4) and X (2).
+        assert load["N2"] == pytest.approx(0.06)
+
+    def test_can_bus_utilization(self, system):
+        # ma and mb, fixed 2.0 frame time, period 100.
+        assert can_bus_utilization(system) == pytest.approx(0.04)
+
+    def test_ttp_demand(self, system):
+        demand = ttp_bus_demand(system)
+        assert demand["N1"] == pytest.approx(8 / 100)   # ma over TTP leg
+        assert demand["NG"] == pytest.approx(8 / 100)   # mb relayed
+
+    def test_not_overloaded(self, system):
+        assert not system_overloaded(system)
+
+    def test_overload_detection(self, system):
+        system.app.process("B").wcet = 150.0
+        try:
+            assert system_overloaded(system)
+        finally:
+            system.app.process("B").wcet = 4.0
+
+
+class TestAsapAlap:
+    def test_alap_ordering_along_chain(self, system):
+        graph = system.app.graphs["G"]
+        alap = alap_starts(system, graph)
+        # A must start early enough for B then C to finish by 100.
+        assert alap["A"] < alap["B"] < alap["C"]
+        assert alap["C"] == pytest.approx(100.0 - 3.0)
+
+    def test_alap_uses_message_latencies(self, system):
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        graph = system.app.graphs["G"]
+        loose = alap_starts(system, graph)
+        tight = alap_starts(system, graph, result.rho)
+        # Charging real message latencies only tightens ALAP times.
+        for name in graph.processes:
+            assert tight[name] <= loose[name] + 1e-9
+
+    def test_slack_nonnegative_and_decreasing(self, system):
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        offset_a = result.offsets.process_offset("A")
+        slack = slack_of_process(system, "A", offset_a, result.rho)
+        assert slack >= 0.0
+        later = slack_of_process(system, "A", offset_a + 10.0, result.rho)
+        assert later <= slack
+
+    def test_message_slack(self, system):
+        config = two_node_config()
+        result = multi_cluster_scheduling(system, config.bus, config.priorities)
+        arrival = result.offsets.message_offset("ma")
+        slack = slack_of_message(system, "ma", arrival, result.rho)
+        assert slack >= 0.0

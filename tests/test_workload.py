@@ -1,0 +1,111 @@
+"""Tests for the random workload generator (paper section 6 setup)."""
+
+import random
+
+import pytest
+
+from repro.model import MessageRoute, validate_system
+from repro.synth import (
+    GraphShape,
+    WorkloadSpec,
+    generate_workload,
+    random_graph_structure,
+)
+from repro.analysis.utilization import can_bus_utilization, node_utilization
+
+
+class TestGraphStructure:
+    def test_all_processes_covered(self):
+        layers, edges = random_graph_structure(
+            GraphShape(processes=17), random.Random(1)
+        )
+        flat = [p for layer in layers for p in layer]
+        assert sorted(flat) == list(range(17))
+
+    def test_edges_point_forward(self):
+        layers, edges = random_graph_structure(
+            GraphShape(processes=20), random.Random(2)
+        )
+        layer_of = {}
+        for i, layer in enumerate(layers):
+            for p in layer:
+                layer_of[p] = i
+        for src, dst in edges:
+            assert layer_of[src] < layer_of[dst]
+
+    def test_non_sources_have_predecessors(self):
+        layers, edges = random_graph_structure(
+            GraphShape(processes=12), random.Random(3)
+        )
+        dsts = {d for _s, d in edges}
+        for layer in layers[1:]:
+            for p in layer:
+                assert p in dsts
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            random_graph_structure(GraphShape(processes=0), random.Random(0))
+
+
+class TestWorkloadGeneration:
+    def test_process_count_matches_spec(self):
+        spec = WorkloadSpec(nodes=4, processes_per_node=10, seed=5)
+        system = generate_workload(spec)
+        assert system.app.process_count() == 40
+
+    def test_valid_system(self):
+        system = generate_workload(WorkloadSpec(nodes=4, seed=6))
+        validate_system(system.app, system.arch)
+
+    def test_gateway_message_target_hit(self):
+        for target in (10, 30, 50):
+            spec = WorkloadSpec(nodes=4, gateway_messages=target, seed=7)
+            system = generate_workload(spec)
+            count = len(system.arch.gateway_messages(system.app))
+            assert count == target
+
+    def test_node_utilization_close_to_target(self):
+        spec = WorkloadSpec(nodes=4, target_utilization=0.3, seed=8)
+        system = generate_workload(spec)
+        for node, load in node_utilization(system).items():
+            if node == system.arch.gateway:
+                continue
+            assert load == pytest.approx(0.3, abs=0.02)
+
+    def test_message_sizes_in_paper_range(self):
+        system = generate_workload(WorkloadSpec(nodes=2, seed=9))
+        for msg in system.app.all_messages():
+            assert 8 <= msg.size <= 32
+
+    def test_deterministic_for_seed(self):
+        a = generate_workload(WorkloadSpec(nodes=2, seed=10))
+        b = generate_workload(WorkloadSpec(nodes=2, seed=10))
+        assert [p.name for p in a.app.all_processes()] == [
+            p.name for p in b.app.all_processes()
+        ]
+        assert [p.wcet for p in a.app.all_processes()] == [
+            p.wcet for p in b.app.all_processes()
+        ]
+
+    def test_seeds_differ(self):
+        a = generate_workload(WorkloadSpec(nodes=2, seed=11))
+        b = generate_workload(WorkloadSpec(nodes=2, seed=12))
+        assert [p.wcet for p in a.app.all_processes()] != [
+            p.wcet for p in b.app.all_processes()
+        ]
+
+    def test_exponential_distribution_supported(self):
+        system = generate_workload(
+            WorkloadSpec(nodes=2, wcet_distribution="exponential", seed=13)
+        )
+        assert system.app.process_count() == 80
+
+    def test_can_bus_not_overloaded(self):
+        system = generate_workload(WorkloadSpec(nodes=10, seed=14))
+        assert can_bus_utilization(system) < 1.0
+
+    def test_paper_dimensions(self):
+        # The five application dimensions of section 6.
+        for nodes, total in [(2, 80), (4, 160), (6, 240), (8, 320), (10, 400)]:
+            spec = WorkloadSpec(nodes=nodes)
+            assert spec.total_processes() == total
