@@ -1,0 +1,119 @@
+"""Bench: `Session.evaluate_many` batch throughput (configs/sec).
+
+Seeds the performance trajectory of the batch-evaluation path introduced
+with the :mod:`repro.api` facade: the same configuration grid is scored
+
+* serially (``workers=1``),
+* on a process pool (``workers=N``), and
+* from the memo cache (a repeated pass, zero backend invocations),
+
+and the throughputs are reported side by side.  Functional assertions
+keep the benchmark honest (identical verdicts across paths, zero backend
+calls on the memoized pass); wall-clock numbers are informational — CI
+boxes vary too much to gate on a speedup factor.
+
+Scale knob: ``REPRO_BATCH_CONFIGS`` (default 48).
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.buses import Slot, TTPBusConfig
+from repro.io import comparison_table
+from repro.optim import straightforward_configuration
+from repro.synth import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_workload(
+        WorkloadSpec(nodes=2, processes_per_node=10, gateway_messages=6, seed=0)
+    )
+
+
+def _config_variants(system, count, seed=0):
+    """``count`` distinct configurations around the SF baseline.
+
+    Varies slot capacities and swaps CAN message priorities; durations
+    are left untouched so every variant keeps the SF round timing (the
+    analysis stays feasible and comparable across the batch).
+    """
+    rng = random.Random(seed)
+    base = straightforward_configuration(system)
+    msgs = sorted(base.priorities.message_priorities)
+    variants = []
+    for i in range(count):
+        config = base.copy()
+        slots = list(config.bus.slots)
+        j = i % len(slots)
+        grow = 2 * (1 + i // len(slots))
+        s = slots[j]
+        slots[j] = Slot(
+            node=s.node, capacity=s.capacity + grow, duration=s.duration
+        )
+        config.bus = TTPBusConfig(slots)
+        if len(msgs) >= 2 and i % 2:
+            a, b = rng.sample(msgs, 2)
+            config.priorities.swap_messages(a, b)
+        variants.append(config)
+    return variants
+
+
+def test_batch_eval_throughput(system, capsys):
+    count = int(os.environ.get("REPRO_BATCH_CONFIGS", 48))
+    # Always exercise the pool path (>= 2 workers), even on 1-core boxes.
+    workers = max(2, min(4, os.cpu_count() or 2))
+    configs = _config_variants(system, count)
+
+    serial_session = Session(system)
+    t0 = time.perf_counter()
+    serial_runs = serial_session.evaluate_many(configs, workers=1)
+    serial_time = time.perf_counter() - t0
+
+    pool_session = Session(system)
+    t0 = time.perf_counter()
+    pool_runs = pool_session.evaluate_many(
+        _config_variants(system, count), workers=workers
+    )
+    pool_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    memo_runs = serial_session.evaluate_many(_config_variants(system, count))
+    memo_time = time.perf_counter() - t0
+
+    rows = [
+        ["serial (1 worker)", f"{serial_time:.2f}",
+         f"{count / serial_time:.1f}"],
+        [f"pool ({workers} workers)", f"{pool_time:.2f}",
+         f"{count / pool_time:.1f}"],
+        ["memoized repeat", f"{memo_time:.3f}",
+         f"{count / memo_time:.0f}"],
+    ]
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            f"evaluate_many over {count} configurations "
+            f"(analysis backend, speedup x{serial_time / pool_time:.2f})",
+            ["path", "wall time [s]", "configs/sec"],
+            rows,
+        ))
+
+    # Identical verdicts on every path.
+    for a, b, c in zip(serial_runs, pool_runs, memo_runs):
+        assert a.degree == b.degree == c.degree
+        assert a.total_buffers == b.total_buffers == c.total_buffers
+    # The memoized pass touched the backend exactly zero times.
+    assert serial_session.backend_calls == count
+    assert serial_session.cache_info().hits == count
+
+
+def test_bench_single_evaluation(benchmark, system):
+    """Time one analysis-backend evaluation (the batch unit of work)."""
+    session = Session(system)
+    config = straightforward_configuration(system)
+    run = benchmark(session.evaluate, config, memoize=False)
+    assert run.feasible

@@ -2,13 +2,17 @@
 """Design-space exploration on a generated workload (section 6 style).
 
 Generates a random 160-process two-cluster application (4 nodes, 40
-processes each, 20 gateway messages — the paper's experimental recipe),
-then walks the full synthesis pipeline:
+processes each, 20 gateway messages — the paper's experimental recipe)
+through :meth:`repro.api.Session.from_workload`, then walks the full
+synthesis pipeline:
 
 1. SF      — straightforward bus configuration;
 2. OS      — greedy schedulability optimization (Fig. 8);
 3. OR      — buffer-need minimization seeded by OS (Fig. 7);
 4. SAS/SAR — the simulated-annealing reference points.
+
+OS and OR share the session's analysis memo cache, so configurations the
+heuristics revisit are scored once.
 
 Run:  python examples/design_space_exploration.py [seed] [sa_iterations]
 """
@@ -16,22 +20,22 @@ Run:  python examples/design_space_exploration.py [seed] [sa_iterations]
 import sys
 import time
 
-from repro import (
+from repro.api import Session
+from repro.io import comparison_table
+from repro.optim import (
     optimize_resources,
-    optimize_schedule,
     run_straightforward,
     sa_resources,
     sa_schedule,
 )
-from repro.io import comparison_table
-from repro.synth import WorkloadSpec, generate_workload
+from repro.synth import WorkloadSpec
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
     sa_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 120
-    spec = WorkloadSpec(nodes=4, seed=seed)
-    system = generate_workload(spec)
+    session = Session.from_workload(WorkloadSpec(nodes=4, seed=seed))
+    system = session.system
     print(
         f"Workload (seed {seed}): {system.app.process_count()} processes in "
         f"{len(system.app.graphs)} graphs, {system.app.message_count()} "
@@ -49,7 +53,8 @@ def main() -> None:
     )
 
     t0 = time.perf_counter()
-    os_result = optimize_schedule(system)
+    synth = session.synthesize()
+    os_result = synth.os_result
     rows.append(
         ["OS", f"{os_result.best.degree:.1f}",
          "yes" if os_result.schedulable else "NO",
@@ -58,7 +63,7 @@ def main() -> None:
     )
 
     t0 = time.perf_counter()
-    or_result = optimize_resources(system, os_result=os_result)
+    or_result = optimize_resources(system, os_result=os_result, session=session)
     rows.append(
         ["OR", f"{or_result.best.degree:.1f}",
          "yes" if or_result.schedulable else "NO",
@@ -88,6 +93,9 @@ def main() -> None:
         ["heuristic", "degree", "schedulable", "s_total [B]", "runtime"],
         rows,
     ))
+    info = session.cache_info()
+    print(f"\n(session cache: {info.backend_calls} analysis runs, "
+          f"{info.hits} memo hits)")
 
 
 if __name__ == "__main__":

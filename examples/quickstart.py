@@ -4,47 +4,40 @@
 Builds the paper's running example (Fig. 1 graph G1 on the Fig. 3
 platform), reproduces the section 4.2 worked analysis for the bad bus
 configuration, and then lets the OptimizeSchedule heuristic find a
-schedulable one.
+schedulable one — everything through the :class:`repro.api.Session`
+facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    degree_of_schedulability,
-    buffer_bounds,
-    graph_response_time,
-    multi_cluster_scheduling,
-    optimize_schedule,
-)
+from repro.api import Session
 from repro.io import schedulability_report, timing_report
 from repro.synth import FIG4_DEADLINE, fig4_configuration, fig4_system
 
 
 def main() -> None:
-    system = fig4_system()
+    session = Session(fig4_system())
+    system = session.system
     print(f"System: {system.app} on {system.arch}\n")
 
     # -- 1. analyse the hand-written configuration of Fig. 4a -------------
-    config = fig4_configuration("a")
-    result = multi_cluster_scheduling(system, config.bus, config.priorities)
+    run = session.evaluate(fig4_configuration("a"))
     print("Fig. 4a configuration (gateway slot first, P3 > P2):")
-    print(timing_report(system, result.rho))
-    report = degree_of_schedulability(system, result.rho)
-    buffers = buffer_bounds(system, config.priorities, result.rho)
+    print(timing_report(system, run.analysis.rho))
     print()
-    print(schedulability_report(system, report, buffers))
-    r = graph_response_time(system, result.rho, "G1")
+    print(schedulability_report(system, run.report, run.buffers))
+    r = run.graph_responses["G1"]
     print(f"\n=> r_G1 = {r:.0f} ms vs deadline {FIG4_DEADLINE:.0f} ms "
           f"({'MISSED' if r > FIG4_DEADLINE else 'met'})\n")
 
     # -- 2. let OptimizeSchedule synthesize beta and pi --------------------
     print("Running OptimizeSchedule (greedy slot assignment + HOPA)...")
-    os_result = optimize_schedule(system)
-    best = os_result.best
+    synth = session.synthesize()
+    best = synth.best
     slots = ", ".join(
         f"{s.node}({s.capacity}B/{s.duration:g}ms)" for s in best.config.bus.slots
     )
-    print(f"  evaluated {os_result.evaluations} configurations")
+    print(f"  evaluated {synth.os_result.evaluations} configurations")
     print(f"  best TDMA round: [{slots}]")
     print(f"  schedulable: {best.schedulable}")
     print(f"  degree of schedulability: {best.degree:.1f}")

@@ -8,42 +8,37 @@ the questions a system integrator asks next:
 * which activities are closest to their deadlines?
 * what does the synthesized schedule actually look like on a timeline?
 
+All through :meth:`repro.api.Session.sensitivity`, which packs the
+margins into the unified :class:`repro.api.RunResult` metadata.
+
 Run:  python examples/sensitivity_analysis.py
 """
 
-from repro.analysis import (
-    critical_activities,
-    multi_cluster_scheduling,
-    wcet_scaling_margin,
-)
+from repro.api import Session
 from repro.io import format_table, render_schedule
-from repro.optim import optimize_schedule
 from repro.synth import fig4_system
 
 
 def main() -> None:
-    system = fig4_system()
-    best = optimize_schedule(system).best
-    config = best.config
-    result = multi_cluster_scheduling(
-        system, config.bus, config.priorities, tt_delays=config.tt_delays
-    )
+    session = Session(fig4_system())
+    config = session.synthesize().config
+    run = session.sensitivity(config, upper=6.0)
 
     print("Synthesized schedule (one period):\n")
-    print(render_schedule(system, result.schedule, config.bus))
+    print(render_schedule(session.system, run.analysis.schedule, config.bus))
 
     print("\nMost critical activities (least slack to a deadline):")
     rows = [
-        [name, f"{slack:.1f}"]
-        for name, slack in critical_activities(system, result.rho)
+        [entry["activity"], f"{entry['slack']:.1f}"]
+        for entry in run.metadata["critical_activities"]
     ]
     print(format_table(["process", "slack [ms]"], rows))
 
-    margin = wcet_scaling_margin(system, config, upper=6.0)
+    margin = run.metadata["wcet_margin"]
     print(
         f"\nWCET scaling margin: all execution times can grow by "
-        f"{margin.margin_percent:.0f}% (factor {margin.factor:.2f}) before a "
-        f"deadline breaks ({margin.iterations} analysis runs)."
+        f"{margin['margin_percent']:.0f}% (factor {margin['factor']:.2f}) before a "
+        f"deadline breaks ({margin['iterations']} analysis runs)."
     )
 
 

@@ -1,40 +1,39 @@
 #!/usr/bin/env python3
 """Validate analysis bounds against the discrete-event simulator.
 
-Synthesizes a schedulable configuration for the Fig. 4 example system,
-executes the platform simulator for several periods — TT schedule tables,
-preemptive ETC scheduling, CAN arbitration, TDMA rounds, gateway queues —
-and compares every observed response time, message latency and queue peak
-against its analytic bound.  The analysis must dominate the simulation;
-on this fully deterministic example most bounds are *exact*.
+Takes the schedulable Fig. 4 configuration, runs the ``"simulation"``
+evaluation backend for several periods — TT schedule tables, preemptive
+ETC scheduling, CAN arbitration, TDMA rounds, gateway queues — and
+compares every observed response time, message latency and queue peak
+(delivered in the :class:`repro.api.RunResult` metadata) against its
+analytic bound.  The analysis must dominate the simulation; on this
+fully deterministic example most bounds are *exact*.
 
 Run:  python examples/simulation_vs_analysis.py
 """
 
-from repro import multi_cluster_scheduling, buffer_bounds, graph_response_time
+from repro.api import Session
 from repro.io import format_table
-from repro.sim import simulate
 from repro.synth import fig4_configuration, fig4_system
 
 
 def main() -> None:
-    system = fig4_system()
+    session = Session(fig4_system())
     config = fig4_configuration("b")  # the schedulable slot order
-    result = multi_cluster_scheduling(system, config.bus, config.priorities)
-    config.offsets = result.offsets
-    trace = simulate(system, config, result.schedule, periods=4)
+    run = session.simulate(config, periods=4)
+    meta = run.metadata
 
-    print(f"Simulated 4 periods; schedule violations: {len(trace.violations)}\n")
+    print(f"Simulated 4 periods; schedule violations: {meta['violations']}\n")
 
     rows = []
-    rho = result.rho
-    for name in sorted(trace.process_response):
-        observed = trace.process_response[name]
+    rho = run.analysis.rho
+    for name in sorted(meta["observed_process_response"]):
+        observed = meta["observed_process_response"][name]
         bound = rho.processes[name].worst_end
         rows.append([f"process {name}", f"{observed:.1f}", f"{bound:.1f}",
                      "exact" if abs(observed - bound) < 1e-9 else "ok"])
-    for name in sorted(trace.message_latency):
-        observed = trace.message_latency[name]
+    for name in sorted(meta["observed_message_latency"]):
+        observed = meta["observed_message_latency"][name]
         if name in rho.ttp:
             bound = rho.ttp[name].worst_end
         else:
@@ -43,20 +42,21 @@ def main() -> None:
                      "exact" if abs(observed - bound) < 1e-9 else "ok"])
     print(format_table(["activity", "simulated", "analysis bound", ""], rows))
 
-    bounds = buffer_bounds(system, config.priorities, rho)
+    bounds = run.buffers
+    queue_peak = meta["observed_queue_peak"]
     print("\nQueue peaks (bytes):")
     queue_rows = [
-        ["Out_CAN", f"{trace.queue_peak.get('Out_CAN', 0):.0f}", f"{bounds.out_can:.0f}"],
-        ["Out_TTP", f"{trace.queue_peak.get('Out_TTP', 0):.0f}", f"{bounds.out_ttp:.0f}"],
+        ["Out_CAN", f"{queue_peak.get('Out_CAN', 0):.0f}", f"{bounds.out_can:.0f}"],
+        ["Out_TTP", f"{queue_peak.get('Out_TTP', 0):.0f}", f"{bounds.out_ttp:.0f}"],
     ]
     for node, bound in sorted(bounds.out_node.items()):
         queue_rows.append(
-            [f"Out_{node}", f"{trace.queue_peak.get(f'Out_{node}', 0):.0f}", f"{bound:.0f}"]
+            [f"Out_{node}", f"{queue_peak.get(f'Out_{node}', 0):.0f}", f"{bound:.0f}"]
         )
     print(format_table(["queue", "simulated peak", "analysis bound"], queue_rows))
 
-    sim_r = trace.graph_response["G1"]
-    ana_r = graph_response_time(system, rho, "G1")
+    sim_r = meta["observed_graph_response"]["G1"]
+    ana_r = run.graph_responses["G1"]
     print(f"\nEnd-to-end r_G1: simulated {sim_r:.1f} ms, bound {ana_r:.1f} ms")
 
 

@@ -1,11 +1,18 @@
-"""Setup entry point.
+"""Legacy setup entry point.
 
-Metadata lives in ``setup.cfg``.  The project deliberately avoids
-``pyproject.toml``: the target environment is fully offline and its pip
-would attempt to download setuptools/wheel for PEP 517 build isolation,
-so ``pip install -e .`` must take the legacy ``setup.py develop`` path.
+Canonical metadata lives in ``pyproject.toml`` (PEP 621); the minimal
+duplicate below keeps ``python setup.py develop`` working on offline
+boxes with setuptools < 61 (which cannot read PEP 621 metadata), since
+even ``pip install -e . --no-build-isolation`` requires a local
+``wheel`` package that offline environments may lack.  Development and
+CI simply run with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

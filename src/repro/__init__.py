@@ -5,22 +5,24 @@ Reproduction of Pop, Eles, Peng, *"Schedulability Analysis and
 Optimization for the Synthesis of Multi-Cluster Distributed Embedded
 Systems"*, DATE 2003.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the supported entry point)::
 
-    from repro import (
-        Application, Architecture, Message, Process, ProcessGraph, System,
-        multi_cluster_scheduling, optimize_schedule,
-    )
+    from repro.api import Session
+    from repro import Application, Architecture, Message, Process, ProcessGraph, System
 
     graph = ProcessGraph("G1", period=240, deadline=200, processes=[...],
                          messages=[...])
     system = System(Application([graph]),
                     Architecture(tt_nodes=["N1"], et_nodes=["N2"]))
-    result = optimize_schedule(system)        # synthesize beta + pi
-    print(result.best.schedulable, result.best.total_buffers)
+    session = Session(system)
+    synth = session.synthesize()              # synthesize beta + pi (OS)
+    print(synth.schedulable, synth.best.total_buffers)
+    runs = session.evaluate_many(configs, workers=4)   # batch evaluation
 
 Package map (see DESIGN.md for the full inventory):
 
+* :mod:`repro.api` — the public facade: :class:`Session`, pluggable
+  evaluation backends, the unified :class:`RunResult`, batch evaluation;
 * :mod:`repro.model` — applications, architectures, configurations;
 * :mod:`repro.buses` — TTP/TDMA and CAN protocol substrates;
 * :mod:`repro.schedule` — static list scheduling (schedule tables, MEDL);
@@ -31,7 +33,15 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.synth` — paper examples and random workload generation;
 * :mod:`repro.sim` — discrete-event simulator used for validation;
 * :mod:`repro.io` — JSON serialization and paper-style reports.
+
+The historical flat function surface (``repro.multi_cluster_scheduling``,
+``repro.evaluate``, ``repro.optimize_schedule``, ...) is kept as thin
+deprecation shims over the same engines; new code should go through
+:class:`repro.api.Session`.
 """
+
+import functools as _functools
+import warnings as _warnings
 
 from .analysis import (
     ActivityTiming,
@@ -42,8 +52,20 @@ from .analysis import (
     buffer_bounds,
     degree_of_schedulability,
     graph_response_time,
-    multi_cluster_scheduling,
     response_time_analysis,
+)
+from .analysis import multi_cluster_scheduling as _multi_cluster_scheduling
+from .api import (
+    AnalysisBackend,
+    EvaluationBackend,
+    RunResult,
+    Session,
+    SimulationBackend,
+    SynthesisResult,
+    available_backends,
+    config_hash,
+    get_backend,
+    register_backend,
 )
 from .buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
 from .exceptions import (
@@ -75,23 +97,61 @@ from .optim import (
     ORResult,
     OSResult,
     SAResult,
-    evaluate,
     hopa_priorities,
-    optimize_resources,
-    optimize_schedule,
     run_straightforward,
     sa_resources,
     sa_schedule,
     straightforward_configuration,
 )
+from .optim import evaluate as _evaluate
+from .optim import optimize_resources as _optimize_resources
+from .optim import optimize_schedule as _optimize_schedule
 from .schedule import StaticSchedule, static_schedule
-from .sim import SimulationTrace, Simulator, simulate
+from .sim import SimulationTrace, Simulator
+from .sim import simulate as _simulate
 from .system import System
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated_shim(func, replacement):
+    """Wrap a legacy top-level function with a deprecation warning.
+
+    The submodule originals (e.g.
+    :func:`repro.analysis.multi_cluster_scheduling`) stay warning-free;
+    only the flat ``repro.<name>`` aliases nudge callers to the facade.
+    """
+
+    @_functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        _warnings.warn(
+            f"repro.{func.__name__} is deprecated; use {replacement} "
+            f"(see repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    wrapper.__doc__ = (
+        f"Deprecated alias of :func:`{func.__module__}.{func.__name__}`; "
+        f"use {replacement} instead.\n\n{func.__doc__ or ''}"
+    )
+    return wrapper
+
+
+multi_cluster_scheduling = _deprecated_shim(
+    _multi_cluster_scheduling, "Session.evaluate"
+)
+evaluate = _deprecated_shim(_evaluate, "Session.evaluate")
+optimize_schedule = _deprecated_shim(_optimize_schedule, "Session.synthesize")
+optimize_resources = _deprecated_shim(
+    _optimize_resources, "Session.synthesize(minimize_buffers=True)"
+)
+simulate = _deprecated_shim(_simulate, "Session.simulate")
 
 __all__ = [
     "ActivityTiming",
+    "AnalysisBackend",
     "AnalysisError",
     "Application",
     "Architecture",
@@ -102,6 +162,7 @@ __all__ = [
     "ConvergenceError",
     "Dependency",
     "Evaluation",
+    "EvaluationBackend",
     "MappingError",
     "Message",
     "MessageRoute",
@@ -115,27 +176,35 @@ __all__ = [
     "ProcessGraph",
     "ReproError",
     "ResponseTimes",
+    "RunResult",
     "SAResult",
     "SchedulabilityReport",
     "SchedulingError",
+    "Session",
+    "SimulationBackend",
     "SimulationError",
     "SimulationTrace",
     "Simulator",
     "Slot",
     "StaticSchedule",
+    "SynthesisResult",
     "System",
     "SystemConfiguration",
     "TTPBusConfig",
     "TTPBusSpec",
     "UnschedulableError",
+    "available_backends",
     "buffer_bounds",
+    "config_hash",
     "degree_of_schedulability",
     "evaluate",
+    "get_backend",
     "graph_response_time",
     "hopa_priorities",
     "multi_cluster_scheduling",
     "optimize_resources",
     "optimize_schedule",
+    "register_backend",
     "response_time_analysis",
     "run_straightforward",
     "sa_resources",

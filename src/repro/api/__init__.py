@@ -1,0 +1,45 @@
+"""The canonical public API: sessions, backends and unified run results.
+
+This facade is the supported entry point for programmatic use::
+
+    from repro.api import Session
+
+    session = Session.from_file("system.json")     # or Session(system)
+    run = session.evaluate(config)                 # "analysis" backend
+    print(run.schedulable, run.degree, run.total_buffers)
+
+    runs = session.evaluate_many(configs, workers=4)   # batch + memo
+    synth = session.synthesize(minimize_buffers=True)  # OS + OR
+    sim = session.simulate(synth.config, periods=8)    # DES validation
+
+Backends are pluggable (:func:`register_backend`); every engine returns
+the same :class:`RunResult` record, so tooling built on the facade works
+unchanged as new evaluation strategies are added.
+"""
+
+from .backends import (
+    AnalysisBackend,
+    EvaluationBackend,
+    SimulationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .result import INFEASIBLE_COST, RunResult, timing_table
+from .session import CacheInfo, Session, SynthesisResult, config_hash
+
+__all__ = [
+    "AnalysisBackend",
+    "CacheInfo",
+    "EvaluationBackend",
+    "INFEASIBLE_COST",
+    "RunResult",
+    "Session",
+    "SimulationBackend",
+    "SynthesisResult",
+    "available_backends",
+    "config_hash",
+    "get_backend",
+    "register_backend",
+    "timing_table",
+]

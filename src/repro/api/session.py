@@ -1,0 +1,523 @@
+"""The :class:`Session` facade: one entry point for analyse/synthesize/
+simulate/batch-evaluate workflows.
+
+A session owns a :class:`repro.system.System` (and therefore all of its
+derived caches — routes, frame times, ancestor sets) and exposes every
+evaluation path through one coherent surface:
+
+* :meth:`Session.evaluate` — score one configuration with any registered
+  backend (``"analysis"``, ``"simulation"``, or a user-registered one);
+* :meth:`Session.evaluate_many` — the batch path: configuration-hash
+  memoization plus optional process-pool parallelism;
+* :meth:`Session.synthesize` — the paper's OS/OR pipeline, its analysis
+  runs routed through the session cache;
+* :meth:`Session.simulate` / :meth:`Session.sensitivity` — validation and
+  robustness companions, returning the same :class:`RunResult` record.
+
+Results are memoized by a stable configuration hash
+(:func:`config_hash`): the hash covers the synthesis decisions ``<β, π>``
+plus the ``tt_delays`` knobs and deliberately excludes ``offsets`` —
+offsets are *derived* by the analysis, so two configurations that differ
+only in (stale) offsets are the same evaluation problem.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import warnings
+from collections import namedtuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..model.configuration import SystemConfiguration
+from ..system import System
+from .backends import EvaluationBackend, get_backend
+from .result import RunResult
+
+__all__ = ["CacheInfo", "Session", "SynthesisResult", "config_hash"]
+
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "size", "backend_calls"])
+
+
+def config_hash(config: SystemConfiguration) -> str:
+    """Stable content hash of a configuration's synthesis decisions.
+
+    Hashes the TDMA round ``β``, the priorities ``π`` and the
+    ``tt_delays`` in a canonical JSON form.  ``offsets`` are excluded on
+    purpose: they are outputs of the multi-cluster loop, not inputs, so
+    including them would defeat memoization across optimizer iterations.
+    """
+    payload = {
+        "bus": [
+            {"node": s.node, "capacity": s.capacity, "duration": s.duration}
+            for s in config.bus.slots
+        ],
+        "process_priorities": config.priorities.process_priorities,
+        "message_priorities": config.priorities.message_priorities,
+        "tt_delays": config.tt_delays,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: Backend options that carry derived inputs rather than evaluation
+#: parameters; excluded from cache keys so equal evaluations still hit.
+_NON_KEY_OPTIONS = frozenset({"analysis_run"})
+
+
+def _options_key(options: Dict[str, Any]) -> Tuple:
+    """Hashable cache-key component for backend keyword options.
+
+    Plain values (ints, strings, ...) key by value.  Object-valued
+    options (e.g. an ``execution`` callable) necessarily key by object
+    identity — logically equal but distinct objects will not share cache
+    entries, so reuse the same object across calls to benefit from
+    memoization.
+    """
+    parts = []
+    for name in sorted(options):
+        value = options[name]
+        try:
+            hash(value)
+        except TypeError:
+            value = repr(value)
+        parts.append((name, value))
+    return tuple(parts)
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of :meth:`Session.synthesize` (OS, optionally + OR)."""
+
+    best: Any  # repro.optim.common.Evaluation
+    os_result: Any  # repro.optim.optimize_schedule.OSResult
+    or_result: Optional[Any] = None  # repro.optim.optimize_resources.ORResult
+
+    @property
+    def config(self) -> SystemConfiguration:
+        """The synthesized configuration ``ψ``."""
+        return self.best.config
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether the synthesized configuration meets all deadlines."""
+        return self.best.schedulable
+
+    @property
+    def evaluations(self) -> int:
+        """Total analysis runs spent across OS (and OR, when enabled)."""
+        if self.or_result is not None:
+            return self.or_result.evaluations
+        return self.os_result.evaluations
+
+
+# -- process-pool plumbing --------------------------------------------------
+#
+# Workers rebuild the System once (per process) from its serialized form
+# and then evaluate pickled configurations.  With the default ``fork``
+# start method the backend registry is inherited, so user-registered
+# backend names resolve in the children too; under ``spawn`` only
+# importable/picklable backends work across the pool.
+
+_POOL_STATE: Optional[Tuple[System, Union[str, EvaluationBackend], Dict]] = None
+
+
+def _pool_init(
+    system_payload: Dict[str, Any],
+    backend: Union[str, EvaluationBackend],
+    options: Dict[str, Any],
+) -> None:
+    global _POOL_STATE
+    from ..io.serialize import system_from_dict
+
+    _POOL_STATE = (system_from_dict(system_payload), backend, options)
+
+
+def _pool_eval(config: SystemConfiguration) -> RunResult:
+    assert _POOL_STATE is not None, "worker pool not initialized"
+    system, backend, options = _POOL_STATE
+    return get_backend(backend).run(system, config, **options)
+
+
+class Session:
+    """A long-lived evaluation context around one :class:`System`.
+
+    Parameters
+    ----------
+    system:
+        The analysis/synthesis problem instance.
+    default_backend:
+        Backend used when a call does not name one explicitly.
+    cache_size:
+        Maximum number of memoized results (cached entries retain the
+        full analysis payload, so the cache is bounded by default;
+        insertion-order eviction).  ``None`` disables the bound.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        default_backend: str = "analysis",
+        cache_size: Optional[int] = 4096,
+    ) -> None:
+        self.system = system
+        self.default_backend = default_backend
+        self.cache_size = cache_size
+        self._cache: Dict[Tuple, RunResult] = {}
+        self._hits = 0
+        self._misses = 0
+        #: Number of actual backend invocations (cache misses included,
+        #: cache hits excluded) — the observable the memoization tests
+        #: and throughput benchmarks assert on.
+        self.backend_calls = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], **kwargs) -> "Session":
+        """Open a session on a system JSON file."""
+        from ..io.serialize import load_system
+
+        return cls(load_system(path), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], **kwargs) -> "Session":
+        """Open a session on a serialized system dictionary."""
+        from ..io.serialize import system_from_dict
+
+        return cls(system_from_dict(data), **kwargs)
+
+    @classmethod
+    def from_workload(cls, spec=None, **spec_kwargs) -> "Session":
+        """Open a session on a freshly generated random workload.
+
+        Accepts either a :class:`repro.synth.WorkloadSpec` or its keyword
+        arguments directly (``Session.from_workload(nodes=4, seed=7)``).
+        """
+        from ..synth.workload import WorkloadSpec, generate_workload
+
+        if spec is None:
+            spec = WorkloadSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError(
+                "pass either a WorkloadSpec or keyword arguments, not both"
+            )
+        return cls(generate_workload(spec))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the session's system to a JSON file."""
+        from ..io.serialize import save_system
+
+        save_system(self.system, path)
+
+    # -- caching ------------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Memoization statistics of this session."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            backend_calls=self.backend_calls,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results (statistics are kept)."""
+        self._cache.clear()
+
+    def _key(
+        self,
+        config: SystemConfiguration,
+        backend: Union[str, EvaluationBackend],
+        options: Dict[str, Any],
+    ) -> Tuple:
+        name = backend if isinstance(backend, str) else backend.name
+        keyed = {
+            k: v for k, v in options.items() if k not in _NON_KEY_OPTIONS
+        }
+        return (name, _options_key(keyed), config_hash(config))
+
+    @staticmethod
+    def _snapshot(run: RunResult, config: SystemConfiguration) -> RunResult:
+        """Copy of ``run`` whose mutable containers are private.
+
+        ``metadata`` is deep-copied (simulation observations and margins
+        nest dicts/lists inside it) and ``timing``/``graph_responses``
+        shallow-copied so neither the cache nor any caller can mutate
+        another holder's record through shared containers
+        (``buffers``/``report``/``analysis`` are treated as immutable
+        analysis outputs and stay shared).
+        """
+        return replace(
+            run,
+            config=config,
+            graph_responses=dict(run.graph_responses),
+            timing={k: dict(v) for k, v in run.timing.items()},
+            metadata=copy.deepcopy(run.metadata),
+        )
+
+    def _remember(self, key: Tuple, run: RunResult) -> None:
+        """Insert into the cache with snapshotted mutable state.
+
+        Callers may keep mutating the config object (or the result's
+        dicts) they were handed; caching copies keeps the memoized
+        offsets (the re-homing source of :meth:`_adapt`) and the cached
+        verdict immune to that aliasing.
+        """
+        config = run.config.copy() if run.config is not None else None
+        if self.cache_size is not None:
+            while len(self._cache) >= max(1, self.cache_size):
+                self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = self._snapshot(run, config)
+
+    def _adapt(
+        self, cached: RunResult, config: SystemConfiguration
+    ) -> RunResult:
+        """Re-home a memoized result onto the caller's config object.
+
+        Evaluation promises to leave the synthesized offsets on the
+        evaluated configuration; a cache hit must honor that contract for
+        the *new* object too.  The returned record gets its own mutable
+        containers so the caller cannot poison the cache entry.
+        """
+        if cached.config is not None and cached.config.offsets is not None:
+            config.offsets = cached.config.offsets.copy()
+        return self._snapshot(cached, config)
+
+    # -- single evaluation --------------------------------------------------
+
+    def evaluate(
+        self,
+        config: SystemConfiguration,
+        backend: Optional[Union[str, EvaluationBackend]] = None,
+        memoize: bool = True,
+        **options,
+    ) -> RunResult:
+        """Evaluate one configuration, consulting the memo cache."""
+        backend = backend if backend is not None else self.default_backend
+        key = self._key(config, backend, options)
+        if memoize and key in self._cache:
+            self._hits += 1
+            return self._adapt(self._cache[key], config)
+        self._misses += 1
+        run = get_backend(backend).run(self.system, config, **options)
+        self.backend_calls += 1
+        if memoize:
+            self._remember(key, run)
+        return run
+
+    # -- batch evaluation ---------------------------------------------------
+
+    def evaluate_many(
+        self,
+        configs: Iterable[SystemConfiguration],
+        backend: Optional[Union[str, EvaluationBackend]] = None,
+        workers: int = 1,
+        memoize: bool = True,
+        **options,
+    ) -> List[RunResult]:
+        """Evaluate many configurations; the session's batch path.
+
+        Deduplicates by configuration hash first (within the batch *and*
+        against the session cache), evaluates one representative per
+        distinct configuration, and shares the result across duplicates.
+        ``workers > 1`` dispatches the distinct configurations to a
+        process pool; when a pool cannot be created (restricted
+        environments) the batch silently degrades to serial evaluation.
+        """
+        backend = backend if backend is not None else self.default_backend
+        configs = list(configs)
+        results: List[Optional[RunResult]] = [None] * len(configs)
+        pending: Dict[Tuple, List[int]] = {}
+        for index, config in enumerate(configs):
+            key = self._key(config, backend, options)
+            if memoize and key in self._cache:
+                self._hits += 1
+                results[index] = self._adapt(self._cache[key], config)
+            else:
+                pending.setdefault(key, []).append(index)
+
+        reps = [(key, configs[indices[0]]) for key, indices in pending.items()]
+        if workers > 1 and len(reps) > 1:
+            runs = self._run_pool(reps, backend, options, workers)
+        else:
+            runs = None
+        if runs is None:
+            runs = []
+            for _, config in reps:
+                self._misses += 1
+                runs.append(
+                    get_backend(backend).run(self.system, config, **options)
+                )
+                self.backend_calls += 1
+
+        for (key, _), run in zip(reps, runs):
+            if memoize:
+                self._remember(key, run)
+            for index in pending[key]:
+                results[index] = self._adapt(run, configs[index])
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        reps: List[Tuple[Tuple, SystemConfiguration]],
+        backend: Union[str, EvaluationBackend],
+        options: Dict[str, Any],
+        workers: int,
+    ) -> Optional[List[RunResult]]:
+        """Evaluate representatives on a process pool; None on failure."""
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..io.serialize import system_to_dict
+
+        # Only pool-infrastructure failures degrade to serial; a backend
+        # raising on some configuration is a real error and propagates
+        # (exactly as it would on the serial path).
+        # ConfigurationError is included for spawn-start platforms, where
+        # workers re-import this module with a fresh registry and a
+        # name-registered custom backend fails to resolve; the serial
+        # path in the parent (whose registry has it) still succeeds.
+        pool_failures = (OSError, PermissionError, pickle.PicklingError,
+                         BrokenProcessPool, ConfigurationError)
+        try:
+            payload = system_to_dict(self.system)
+            pickle.dumps(backend)  # fail fast on unpicklable backends
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_init,
+                initargs=(payload, backend, options),
+            ) as pool:
+                chunksize = max(1, len(reps) // (workers * 4))
+                runs = list(
+                    pool.map(
+                        _pool_eval,
+                        [config for _, config in reps],
+                        chunksize=chunksize,
+                    )
+                )
+        except pool_failures as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self._misses += len(reps)
+        self.backend_calls += len(reps)
+        # Workers evaluated pickled copies; re-home each result (and its
+        # synthesized offsets) onto the caller's configuration objects.
+        return [
+            self._adapt(run, config)
+            for (_, config), run in zip(reps, runs)
+        ]
+
+    # -- synthesis ----------------------------------------------------------
+
+    def synthesize(
+        self,
+        minimize_buffers: bool = False,
+        os_options: Optional[Dict[str, Any]] = None,
+        or_options: Optional[Dict[str, Any]] = None,
+    ) -> SynthesisResult:
+        """Run OptimizeSchedule (and optionally OptimizeResources).
+
+        The heuristics' analysis runs flow through this session, so
+        repeated configurations inside (or across) synthesis runs hit the
+        memo cache.
+        """
+        from ..optim.optimize_resources import optimize_resources
+        from ..optim.optimize_schedule import optimize_schedule
+
+        os_result = optimize_schedule(
+            self.system, session=self, **(os_options or {})
+        )
+        or_result = None
+        best = os_result.best
+        if minimize_buffers:
+            or_result = optimize_resources(
+                self.system,
+                os_result=os_result,
+                session=self,
+                **(or_options or {}),
+            )
+            best = or_result.best
+        return SynthesisResult(
+            best=best, os_result=os_result, or_result=or_result
+        )
+
+    # -- validation & robustness -------------------------------------------
+
+    def simulate(
+        self,
+        config: SystemConfiguration,
+        periods: int = 4,
+        memoize: bool = True,
+        **options,
+    ) -> RunResult:
+        """Evaluate with the discrete-event simulation backend.
+
+        The analysis pass the simulator needs (schedule tables + bounds)
+        is obtained through :meth:`evaluate` first, so it is shared with
+        — and memoized alongside — plain ``"analysis"`` evaluations of
+        the same configuration.
+        """
+        base = self.evaluate(config, backend="analysis", memoize=memoize)
+        return self.evaluate(
+            config,
+            backend="simulation",
+            memoize=memoize,
+            periods=periods,
+            analysis_run=base,
+            **options,
+        )
+
+    def sensitivity(
+        self,
+        config: SystemConfiguration,
+        upper: float = 4.0,
+        top: int = 5,
+    ) -> RunResult:
+        """Analysis run augmented with robustness metadata.
+
+        Adds to the result metadata the WCET scaling margin (binary
+        search up to ``upper``) and the ``top`` most deadline-critical
+        activities; both tools come from
+        :mod:`repro.analysis.sensitivity`.
+        """
+        from ..analysis.sensitivity import (
+            critical_activities,
+            wcet_scaling_margin,
+        )
+
+        run = self.evaluate(config, backend="analysis")
+        if not run.feasible or run.analysis is None:
+            return run
+        critical = critical_activities(
+            self.system, run.analysis.rho, limit=top
+        )
+        margin = wcet_scaling_margin(self.system, config, upper=upper)
+        metadata = dict(run.metadata)
+        metadata["critical_activities"] = [
+            {"activity": name, "slack": slack} for name, slack in critical
+        ]
+        metadata["wcet_margin"] = {
+            "factor": margin.factor,
+            "margin_percent": margin.margin_percent,
+            "schedulable_at_factor": margin.schedulable_at_factor,
+            "iterations": margin.iterations,
+        }
+        return replace(run, metadata=metadata)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self.system!r}, cache={len(self._cache)} entries, "
+            f"backend_calls={self.backend_calls})"
+        )

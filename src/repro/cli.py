@@ -10,7 +10,8 @@ Commands
 ``analyze``
     Run the multi-cluster schedulability analysis for a system + an
     explicit configuration, printing the per-activity timing table, the
-    per-graph verdicts and the buffer bounds.
+    per-graph verdicts and the buffer bounds.  ``--format json`` emits
+    the full :class:`repro.api.RunResult` record instead.
 
 ``synthesize``
     Run the synthesis pipeline (OS, optionally followed by OR) on a
@@ -22,9 +23,12 @@ Commands
 
 ``sensitivity``
     Compute the WCET scaling margin and the most deadline-critical
-    activities of a configuration.
+    activities of a configuration.  ``--format json`` emits the
+    :class:`repro.api.RunResult` (margins and critical activities in its
+    metadata).
 
-All files are the JSON formats of :mod:`repro.io.serialize`.
+All commands are thin shells over :class:`repro.api.Session`; files are
+the JSON formats of :mod:`repro.io.serialize`.
 """
 
 from __future__ import annotations
@@ -34,26 +38,21 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from .analysis import (
-    buffer_bounds,
-    critical_activities,
-    degree_of_schedulability,
-    graph_response_time,
-    multi_cluster_scheduling,
-    wcet_scaling_margin,
-)
+from .api import Session
 from .io.report import schedulability_report, timing_report
 from .io.serialize import (
     config_from_dict,
     config_to_dict,
-    load_system,
-    save_system,
+    run_result_to_dict,
 )
-from .optim import optimize_resources, optimize_schedule
-from .sim import simulate
-from .synth import WorkloadSpec, generate_workload
+from .synth import WorkloadSpec
 
 __all__ = ["main"]
+
+
+def _load_config(path: str):
+    with open(path) as handle:
+        return config_from_dict(json.load(handle))
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -65,8 +64,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         wcet_distribution=args.distribution,
         seed=args.seed,
     )
-    system = generate_workload(spec)
-    save_system(system, args.output)
+    session = Session.from_workload(spec)
+    session.save(args.output)
+    system = session.system
     print(
         f"wrote {args.output}: {system.app.process_count()} processes, "
         f"{system.app.message_count()} messages, "
@@ -76,80 +76,83 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    system = load_system(args.system)
-    config = config_from_dict(json.loads(open(args.config).read()))
-    result = multi_cluster_scheduling(
-        system, config.bus, config.priorities, tt_delays=config.tt_delays
-    )
-    report = degree_of_schedulability(system, result.rho)
-    buffers = buffer_bounds(system, config.priorities, result.rho)
+    session = Session.from_file(args.system)
+    run = session.evaluate(_load_config(args.config))
+    if args.format == "json":
+        print(json.dumps(run_result_to_dict(run), indent=2))
+        return 0 if run.schedulable else 1
+    if not run.feasible:
+        print(f"configuration could not be analysed: {run.error}")
+        return 1
     if args.timing:
-        print(timing_report(system, result.rho))
+        print(timing_report(session.system, run.analysis.rho))
         print()
-    print(schedulability_report(system, report, buffers))
-    return 0 if report.schedulable else 1
+    print(schedulability_report(session.system, run.report, run.buffers))
+    return 0 if run.schedulable else 1
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    system = load_system(args.system)
-    os_result = optimize_schedule(system)
-    evaluation = os_result.best
-    if args.minimize_buffers:
-        or_result = optimize_resources(system, os_result=os_result)
-        evaluation = or_result.best
+    session = Session.from_file(args.system)
+    synth = session.synthesize(minimize_buffers=args.minimize_buffers)
+    evaluation = synth.best
     with open(args.output, "w") as handle:
         json.dump(config_to_dict(evaluation.config), handle, indent=2)
     verdict = "schedulable" if evaluation.schedulable else "NOT schedulable"
     print(
         f"wrote {args.output}: {verdict}, degree {evaluation.degree:.1f}, "
         f"s_total {evaluation.total_buffers:.0f} bytes "
-        f"({os_result.evaluations} analysis runs)"
+        f"({synth.evaluations} analysis runs)"
     )
     return 0 if evaluation.schedulable else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    system = load_system(args.system)
+    session = Session.from_file(args.system)
     if args.config:
-        config = config_from_dict(json.loads(open(args.config).read()))
+        config = _load_config(args.config)
     else:
-        config = optimize_schedule(system).best.config
-    result = multi_cluster_scheduling(
-        system, config.bus, config.priorities, tt_delays=config.tt_delays
-    )
-    config.offsets = result.offsets
-    trace = simulate(system, config, result.schedule, periods=args.periods)
+        config = session.synthesize().config
+    run = session.simulate(config, periods=args.periods)
+    if not run.feasible:
+        print(f"configuration could not be simulated: {run.error}")
+        return 2
+    violations = run.metadata["violations"]
     print(f"simulated {args.periods} periods; "
-          f"violations: {len(trace.violations)}")
-    for graph_name in sorted(trace.graph_response):
-        observed = trace.graph_response[graph_name]
-        bound = graph_response_time(system, result.rho, graph_name)
+          f"violations: {violations}")
+    observed_by_graph = run.metadata["observed_graph_response"]
+    for graph_name in sorted(observed_by_graph):
+        observed = observed_by_graph[graph_name]
+        bound = run.graph_responses[graph_name]
         print(f"  {graph_name}: simulated {observed:.2f}, bound {bound:.2f}")
-    worst = 0.0
-    for graph_name, observed in trace.graph_response.items():
-        bound = graph_response_time(system, result.rho, graph_name)
-        worst = max(worst, observed - bound)
-    return 0 if worst <= 1e-6 and not trace.violations else 2
+    worst = run.metadata["bound_excess"]
+    return 0 if worst <= 1e-6 and not violations else 2
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
-    system = load_system(args.system)
-    config = config_from_dict(json.loads(open(args.config).read()))
-    result = multi_cluster_scheduling(
-        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    session = Session.from_file(args.system)
+    run = session.sensitivity(
+        _load_config(args.config), upper=args.upper, top=args.top
     )
-    critical = critical_activities(system, result.rho, limit=args.top)
+    margin = run.metadata.get("wcet_margin")
+    unschedulable_at_nominal = margin is not None and (
+        not margin["schedulable_at_factor"] and margin["factor"] == 1.0
+    )
+    if args.format == "json":
+        print(json.dumps(run_result_to_dict(run), indent=2))
+        return 1 if (margin is None or unschedulable_at_nominal) else 0
+    if not run.feasible or margin is None:
+        print(f"configuration could not be analysed: {run.error}")
+        return 1
     print("most critical activities (slack to deadline):")
-    for name, slack in critical:
-        print(f"  {name}: {slack:.2f}")
-    margin = wcet_scaling_margin(system, config, upper=args.upper)
-    if not margin.schedulable_at_factor and margin.factor == 1.0:
+    for entry in run.metadata["critical_activities"]:
+        print(f"  {entry['activity']}: {entry['slack']:.2f}")
+    if unschedulable_at_nominal:
         print("system is not schedulable at nominal WCETs")
         return 1
     print(
-        f"WCET scaling margin: factor {margin.factor:.2f} "
-        f"({margin.margin_percent:.0f}% headroom, "
-        f"{margin.iterations} analysis runs)"
+        f"WCET scaling margin: factor {margin['factor']:.2f} "
+        f"({margin['margin_percent']:.0f}% headroom, "
+        f"{margin['iterations']} analysis runs)"
     )
     return 0
 
@@ -183,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument(
         "--timing", action="store_true", help="print the per-activity table"
     )
+    ana.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the RunResult record)",
+    )
     ana.set_defaults(func=_cmd_analyze)
 
     syn = sub.add_parser("synthesize", help="synthesize a configuration")
@@ -210,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("config", help="configuration JSON file")
     sens.add_argument("--upper", type=float, default=4.0)
     sens.add_argument("--top", type=int, default=5)
+    sens.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the RunResult record)",
+    )
     sens.set_defaults(func=_cmd_sensitivity)
     return parser
 

@@ -11,6 +11,8 @@ from .serialize import (
     config_from_dict,
     config_to_dict,
     load_system,
+    run_result_from_dict,
+    run_result_to_dict,
     save_system,
     system_from_dict,
     system_to_dict,
@@ -23,6 +25,8 @@ __all__ = [
     "config_to_dict",
     "format_table",
     "load_system",
+    "run_result_from_dict",
+    "run_result_to_dict",
     "save_system",
     "schedulability_report",
     "system_from_dict",

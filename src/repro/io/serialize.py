@@ -27,6 +27,8 @@ __all__ = [
     "system_from_dict",
     "config_to_dict",
     "config_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
     "save_system",
     "load_system",
 ]
@@ -190,6 +192,22 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfiguration:
         offsets=offsets,
         tt_delays=data.get("tt_delays", {}),
     )
+
+
+def run_result_to_dict(run) -> Dict[str, Any]:
+    """Serialize a :class:`repro.api.result.RunResult` (JSON-compatible).
+
+    The rich ``analysis`` payload is dropped; see the ``repro.api.result``
+    module docstring.
+    """
+    return run.to_dict()
+
+
+def run_result_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`repro.api.result.RunResult` from its dict form."""
+    from ..api.result import RunResult
+
+    return RunResult.from_dict(data)
 
 
 def save_system(system: System, path: Union[str, Path]) -> None:

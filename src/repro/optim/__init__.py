@@ -1,7 +1,7 @@
 """Synthesis heuristics: SF, HOPA, OS, OR and the SA baselines (section 5)."""
 
 from .annealing import SAResult, sa_resources, sa_schedule, simulated_annealing
-from .common import Evaluation, evaluate
+from .common import Evaluation, evaluate, evaluation_from_run
 from .hopa import hopa_priorities, local_deadlines
 from .moves import (
     DelayActivity,
@@ -38,6 +38,7 @@ __all__ = [
     "build_bus",
     "default_capacities",
     "evaluate",
+    "evaluation_from_run",
     "generate_neighbors",
     "hopa_priorities",
     "local_deadlines",

@@ -6,26 +6,32 @@ degree of schedulability ``δΓ`` and the buffer bound ``s_total``.  The
 :class:`Evaluation` record bundles the outcome; configurations that cannot
 be scheduled at all (e.g. a slot too small for a frame) are mapped to a
 large finite penalty so the heuristics keep a total order.
+
+Since the :mod:`repro.api` facade the evaluation itself lives in the
+``"analysis"`` backend (:class:`repro.api.backends.AnalysisBackend`);
+this module adapts its :class:`repro.api.result.RunResult` into the
+:class:`Evaluation` shape the heuristics climb on, and routes through a
+:class:`repro.api.session.Session` when the caller provides one (gaining
+configuration-hash memoization across optimizer iterations).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
-from ..analysis.buffers import BufferReport, buffer_bounds
-from ..analysis.degree import SchedulabilityReport, degree_of_schedulability
-from ..analysis.multicluster import MultiClusterResult, multi_cluster_scheduling
-from ..exceptions import AnalysisError, ConfigurationError, SchedulingError
+from ..analysis.buffers import BufferReport
+from ..analysis.degree import SchedulabilityReport
+from ..analysis.multicluster import MultiClusterResult
+from ..api.backends import AnalysisBackend
+from ..api.result import INFEASIBLE_COST, RunResult
 from ..model.configuration import SystemConfiguration
-from ..model.validation import validate_configuration
 from ..system import System
 
-__all__ = ["Evaluation", "evaluate", "INFEASIBLE_COST"]
+__all__ = ["Evaluation", "evaluate", "evaluation_from_run", "INFEASIBLE_COST"]
 
-#: Cost assigned to configurations that cannot be evaluated at all.
-INFEASIBLE_COST = 1e15
+#: Shared stateless backend instance for session-less evaluation calls.
+_ANALYSIS = AnalysisBackend()
 
 
 @dataclass
@@ -68,29 +74,39 @@ class Evaluation:
         return self.buffers.total
 
 
-def evaluate(system: System, config: SystemConfiguration) -> Evaluation:
-    """Run the full analysis pipeline on one configuration."""
-    try:
-        validate_configuration(system.app, system.arch, config)
-        result = multi_cluster_scheduling(
-            system,
-            config.bus,
-            config.priorities,
-            tt_delays=config.tt_delays,
-        )
-    except (SchedulingError, AnalysisError, ConfigurationError) as exc:
-        return Evaluation(config=config, error=str(exc))
-    config.offsets = result.offsets
-    report = degree_of_schedulability(system, result.rho)
-    buffers = buffer_bounds(system, config.priorities, result.rho)
-    if not result.converged:
-        # Treat a non-converged outer loop as unschedulable with a large
-        # but ordered penalty (section 4's termination conditions failed).
-        report = SchedulabilityReport(
-            degree=max(report.degree, 0.0) + INFEASIBLE_COST / 1e3,
-            schedulable=False,
-            graph_responses=report.graph_responses,
-        )
+def evaluation_from_run(run: RunResult) -> Evaluation:
+    """Adapt a facade :class:`RunResult` into the heuristics' record."""
+    if not run.feasible:
+        return Evaluation(config=run.config, error=run.error)
     return Evaluation(
-        config=config, result=result, report=report, buffers=buffers
+        config=run.config,
+        result=run.analysis,
+        report=run.report,
+        buffers=run.buffers,
     )
+
+
+def evaluate(
+    system: System,
+    config: SystemConfiguration,
+    session=None,
+) -> Evaluation:
+    """Run the full analysis pipeline on one configuration.
+
+    ``session`` (a :class:`repro.api.session.Session`) is optional; when
+    given, the run is memoized by configuration hash so optimizers that
+    revisit a configuration pay for it once.  The session must wrap the
+    same :class:`System` instance — evaluating against a different
+    system than the one the heuristic planned for would silently score
+    the wrong problem.
+    """
+    if session is not None:
+        if session.system is not system:
+            raise ValueError(
+                "session wraps a different System than the one being "
+                "evaluated; pass a Session(system) for this system"
+            )
+        run = session.evaluate(config, backend="analysis")
+    else:
+        run = _ANALYSIS.run(system, config)
+    return evaluation_from_run(run)

@@ -129,6 +129,7 @@ def hopa_priorities(
     system: System,
     bus: Optional[TTPBusConfig] = None,
     iterations: int = 1,
+    session=None,
 ) -> PriorityAssignment:
     """Compute a HOPA priority assignment.
 
@@ -136,7 +137,8 @@ def hopa_priorities(
     directly (no analysis pass — this is the fast mode OptimizeSchedule
     calls in its inner loop).  With more iterations and a ``bus`` to
     analyse against, local deadlines are refined from observed completion
-    times and the best assignment (by ``δΓ``) is returned.
+    times and the best assignment (by ``δΓ``) is returned.  The
+    refinement's analysis runs route through ``session`` when given.
     """
     deadlines = local_deadlines(system)
     priorities = _priorities_from_deadlines(system, deadlines)
@@ -148,7 +150,9 @@ def hopa_priorities(
     for _ in range(iterations):
         priorities = _priorities_from_deadlines(system, deadlines)
         evaluation = evaluate(
-            system, SystemConfiguration(bus=bus, priorities=priorities)
+            system,
+            SystemConfiguration(bus=bus, priorities=priorities),
+            session=session,
         )
         if evaluation.degree < best_degree:
             best_degree = evaluation.degree

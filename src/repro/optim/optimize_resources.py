@@ -53,6 +53,7 @@ def optimize_resources(
     seed: int = 0,
     require_schedulable: bool = False,
     max_climbs: Optional[int] = None,
+    session=None,
 ) -> ORResult:
     """Run the two-step OR strategy; see module docstring.
 
@@ -62,11 +63,14 @@ def optimize_resources(
     mapping and/or architecture" escape hatch, which is outside the scope
     of this algorithm); otherwise the best-effort configuration is
     returned.  ``max_climbs`` bounds how many seed solutions are climbed
-    from (best-buffer seeds first); ``None`` climbs them all.
+    from (best-buffer seeds first); ``None`` climbs them all.  ``session``
+    (a :class:`repro.api.session.Session`) memoizes analysis runs by
+    configuration hash — hill climbs that revisit a neighbor (or step
+    back onto a seed) score it once.
     """
     rng = random.Random(seed)
     if os_result is None:
-        os_result = optimize_schedule(system)
+        os_result = optimize_schedule(system, session=session)
     evaluations = os_result.evaluations
     if not os_result.schedulable:
         if require_schedulable:
@@ -106,7 +110,9 @@ def optimize_resources(
             )
             best_move_eval: Optional[Evaluation] = None
             for move in moves:
-                candidate = evaluate(system, move.apply(current.config))
+                candidate = evaluate(
+                    system, move.apply(current.config), session=session
+                )
                 evaluations += 1
                 if not candidate.schedulable:
                     continue

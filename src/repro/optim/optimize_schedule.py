@@ -88,6 +88,7 @@ def optimize_schedule(
     seed_limit: int = 5,
     hopa_iterations: int = 1,
     max_capacity_candidates: int = 5,
+    session=None,
 ) -> OSResult:
     """Run the greedy OS heuristic; see module docstring.
 
@@ -95,6 +96,10 @@ def optimize_schedule(
     final (fixed) bus configuration; inside the greedy loop the fast
     deadline-proportional assignment is always used, as one analysis run
     per candidate is already the dominating cost.
+
+    ``session`` (a :class:`repro.api.session.Session`) routes all
+    analysis runs through the facade's memo cache; candidate ``β``/``π``
+    pairs the greedy loop revisits are then scored only once.
     """
     pool = SeedPool(limit=seed_limit)
     priorities = hopa_priorities(system)
@@ -123,7 +128,7 @@ def optimize_schedule(
                     bus=build_bus(system, tentative, caps),
                     priorities=priorities.copy(),
                 )
-                evaluation = evaluate(system, config)
+                evaluation = evaluate(system, config, session=session)
                 evaluations += 1
                 pool.add(evaluation)
                 if best_overall is None or evaluation.degree < best_overall.degree:
@@ -146,12 +151,15 @@ def optimize_schedule(
 
     if hopa_iterations > 1 and best_overall.feasible:
         refined = hopa_priorities(
-            system, bus=best_overall.config.bus, iterations=hopa_iterations
+            system,
+            bus=best_overall.config.bus,
+            iterations=hopa_iterations,
+            session=session,
         )
         config = SystemConfiguration(
             bus=best_overall.config.bus, priorities=refined
         )
-        evaluation = evaluate(system, config)
+        evaluation = evaluate(system, config, session=session)
         evaluations += 1
         pool.add(evaluation)
         if evaluation.degree < best_overall.degree:

@@ -1,0 +1,84 @@
+"""Public-API contract: ``__all__`` inventories match reality.
+
+Guards against re-export drift: every name a subpackage advertises in
+``__all__`` must actually be importable from it, and the top-level
+``repro`` namespace must cover the :mod:`repro.api` facade symbols.
+"""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.api",
+    "repro.buses",
+    "repro.io",
+    "repro.model",
+    "repro.optim",
+    "repro.schedule",
+    "repro.sim",
+    "repro.synth",
+]
+
+#: Facade symbols that must stay reachable straight off ``repro``.
+FACADE_SYMBOLS = [
+    "AnalysisBackend",
+    "EvaluationBackend",
+    "RunResult",
+    "Session",
+    "SimulationBackend",
+    "SynthesisResult",
+    "available_backends",
+    "config_hash",
+    "get_backend",
+    "register_backend",
+]
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_every_all_name_is_importable(modname):
+    mod = importlib.import_module(modname)
+    assert hasattr(mod, "__all__"), f"{modname} defines no __all__"
+    missing = [name for name in mod.__all__ if not hasattr(mod, name)]
+    assert not missing, (
+        f"{modname}.__all__ advertises names that do not exist: {missing}"
+    )
+
+
+@pytest.mark.parametrize("modname", SUBPACKAGES)
+def test_all_names_unique(modname):
+    mod = importlib.import_module(modname)
+    names = list(mod.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {modname}.__all__"
+
+
+def test_top_level_covers_facade_symbols():
+    repro = importlib.import_module("repro")
+    for name in FACADE_SYMBOLS:
+        assert name in repro.__all__, f"repro.__all__ misses facade {name}"
+        assert hasattr(repro, name)
+
+
+def test_facade_exports_match_api_package():
+    """Facade symbols resolve to the same objects as repro.api's."""
+    repro = importlib.import_module("repro")
+    api = importlib.import_module("repro.api")
+    for name in FACADE_SYMBOLS:
+        assert getattr(repro, name) is getattr(api, name)
+
+
+def test_deprecated_shims_warn_and_delegate():
+    import repro
+    from helpers import two_node_config, two_node_system
+    from repro.analysis import multi_cluster_scheduling as original
+
+    assert repro.multi_cluster_scheduling is not original
+    system = two_node_system()
+    config = two_node_config()
+    with pytest.warns(DeprecationWarning):
+        result = repro.multi_cluster_scheduling(
+            system, config.bus, config.priorities
+        )
+    assert result.converged

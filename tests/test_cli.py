@@ -85,6 +85,42 @@ class TestSimulate:
         assert code == 0
 
 
+class TestJsonFormat:
+    def test_analyze_json_emits_run_result(self, system_file, config_file, capsys):
+        code = main([
+            "analyze", str(system_file), str(config_file), "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "repro-runresult-v1"
+        assert data["backend"] == "analysis"
+        assert data["schedulable"] is True
+        assert data["timing"]
+        assert data["buffers"]["out_can"] >= 0
+        assert data["config"]["format"] == "repro-config-v1"
+
+    def test_analyze_json_unschedulable_exit_code(self, system_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(config_to_dict(fig4_configuration("a"))))
+        code = main([
+            "analyze", str(system_file), str(bad), "--format", "json",
+        ])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["schedulable"] is False
+
+    def test_sensitivity_json_carries_margins(self, system_file, config_file, capsys):
+        code = main([
+            "sensitivity", str(system_file), str(config_file),
+            "--upper", "3", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "wcet_margin" in data["metadata"]
+        assert data["metadata"]["wcet_margin"]["factor"] >= 1.0
+        assert data["metadata"]["critical_activities"]
+
+
 class TestSensitivity:
     def test_sensitivity_on_schedulable_config(self, system_file, config_file, capsys):
         code = main([
