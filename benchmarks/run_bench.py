@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Kernel performance trajectory: write a ``BENCH_kernel.json`` record.
+
+Times the three layers the compiled kernel accelerated, on the paper's
+160-process experimental scale (``WorkloadSpec(nodes=4, seed=0)``):
+
+* ``rta``          — one holistic analysis pass, legacy vs kernel;
+* ``multicluster`` — one full Fig. 5 fixed-point loop, legacy-style
+  (fresh compile per analysis pass) vs kernel (compile once + exact
+  within-pass warm starts) vs kernel with the opt-in cross-iteration
+  warm seeding;
+* ``os_run``       — a whole OptimizeSchedule synthesis (the
+  section-6 "minutes not hours" argument), which now routes through a
+  session-owned kernel with incremental recompilation.
+
+The record is appended-safe: each invocation rewrites the file with a
+fresh measurement plus the machine's Python version, so committed
+snapshots form a trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+
+Scale knobs: ``REPRO_BENCH_NODES`` (default 4), ``REPRO_BENCH_RTA_REPS``
+(default 10).
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.analysis.holistic import legacy_response_time_analysis
+from repro.analysis.kernel import AnalysisContext
+from repro.analysis.multicluster import multi_cluster_scheduling
+from repro.optim import optimize_schedule, straightforward_configuration
+from repro.schedule import static_schedule
+from repro.synth import WorkloadSpec, generate_workload
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def main(argv):
+    output = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
+    nodes = int(os.environ.get("REPRO_BENCH_NODES", 4))
+    reps = int(os.environ.get("REPRO_BENCH_RTA_REPS", 10))
+    spec = WorkloadSpec(nodes=nodes, seed=0)
+    system = generate_workload(spec)
+    config = straightforward_configuration(system)
+    offsets = static_schedule(system, config.bus).offsets
+
+    # -- one analysis pass, repeated ----------------------------------------
+    legacy_rta, _ = _timed(lambda: [
+        legacy_response_time_analysis(
+            system, offsets, config.priorities, config.bus
+        )
+        for _ in range(reps)
+    ])
+    kernel = AnalysisContext(system, config.priorities, config.bus)
+    kernel_rta, _ = _timed(lambda: [
+        kernel.solve(offsets) for _ in range(reps)
+    ])
+
+    # -- the Fig. 5 loop ----------------------------------------------------
+    def legacy_multicluster():
+        # The pre-kernel loop, reconstructed verbatim: static
+        # scheduling alternated with the legacy (recompile-per-call)
+        # response-time analysis.
+        import math
+
+        schedule = static_schedule(system, config.bus, rho=None)
+        loop_offsets = schedule.offsets
+        rho = legacy_response_time_analysis(
+            system, loop_offsets, config.priorities, config.bus
+        )
+        floors = {}
+        for _ in range(30):
+            for msg_name, timing in rho.ttp.items():
+                end = timing.worst_end
+                if math.isfinite(end):
+                    floors[msg_name] = max(floors.get(msg_name, 0.0), end)
+            new_schedule = static_schedule(
+                system, config.bus, rho=rho, arrival_floors=floors
+            )
+            if new_schedule.offsets.max_abs_delta(loop_offsets) <= 1e-9:
+                break
+            loop_offsets = new_schedule.offsets
+            rho = legacy_response_time_analysis(
+                system, loop_offsets, config.priorities, config.bus
+            )
+        return rho
+
+    mc_legacy, _ = _timed(legacy_multicluster)
+    mc_kernel, _ = _timed(
+        multi_cluster_scheduling, system, config.bus, config.priorities
+    )
+    mc_warm, _ = _timed(
+        multi_cluster_scheduling, system, config.bus, config.priorities,
+        warm_start=True,
+    )
+
+    # -- a whole OptimizeSchedule run ---------------------------------------
+    os_time, osr = _timed(
+        optimize_schedule, system, max_capacity_candidates=3
+    )
+
+    record = {
+        "benchmark": "kernel",
+        "workload": {
+            "nodes": nodes,
+            "seed": 0,
+            "processes": system.app.process_count(),
+            "can_messages": len(system.can_messages()),
+        },
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "rta": {
+            "reps": reps,
+            "legacy_s": legacy_rta,
+            "kernel_s": kernel_rta,
+            "speedup": legacy_rta / max(kernel_rta, 1e-9),
+        },
+        "multicluster": {
+            "legacy_s": mc_legacy,
+            "kernel_s": mc_kernel,
+            "kernel_warm_s": mc_warm,
+            "speedup": mc_legacy / max(mc_kernel, 1e-9),
+        },
+        "os_run": {
+            "wall_s": os_time,
+            "evaluations": osr.evaluations,
+            "schedulable": osr.schedulable,
+            "degree": osr.best.degree,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -45,13 +45,16 @@ import warnings as _warnings
 
 from .analysis import (
     ActivityTiming,
+    AnalysisContext,
     BufferReport,
+    KernelStats,
     MultiClusterResult,
     ResponseTimes,
     SchedulabilityReport,
     buffer_bounds,
     degree_of_schedulability,
     graph_response_time,
+    legacy_response_time_analysis,
     response_time_analysis,
 )
 from .analysis import multi_cluster_scheduling as _multi_cluster_scheduling
@@ -205,6 +208,9 @@ __all__ = [
     "optimize_resources",
     "optimize_schedule",
     "register_backend",
+    "AnalysisContext",
+    "KernelStats",
+    "legacy_response_time_analysis",
     "response_time_analysis",
     "run_straightforward",
     "sa_resources",

@@ -8,7 +8,8 @@ from .degree import (
     graph_response_time,
 )
 from .fixed_point import Interferer, ceil0_hits, solve_busy_window
-from .holistic import response_time_analysis
+from .holistic import legacy_response_time_analysis, response_time_analysis
+from .kernel import AnalysisContext, KernelStats, SolveState
 from .multicluster import MultiClusterResult, multi_cluster_scheduling
 from .sensitivity import ScalingResult, critical_activities, wcet_scaling_margin
 from .timing import INFEASIBLE, ActivityTiming, ResponseTimes
@@ -22,7 +23,11 @@ from .utilization import (
 
 __all__ = [
     "ActivityTiming",
+    "AnalysisContext",
     "BufferReport",
+    "KernelStats",
+    "SolveState",
+    "legacy_response_time_analysis",
     "INFEASIBLE",
     "Interferer",
     "MultiClusterResult",

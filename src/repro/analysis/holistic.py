@@ -49,10 +49,41 @@ from ..system import System
 from .can_analysis import TIE_EPSILON, can_blocking
 from .timing import ActivityTiming, ResponseTimes
 
-__all__ = ["response_time_analysis"]
+__all__ = ["legacy_response_time_analysis", "response_time_analysis"]
 
 _MAX_OUTER_ITERATIONS = 1_000
 _MAX_INNER_ITERATIONS = 50_000
+
+
+def response_time_analysis(
+    system: System,
+    offsets: OffsetTable,
+    priorities: PriorityAssignment,
+    bus: TTPBusConfig,
+    kernel=None,
+) -> ResponseTimes:
+    """Run the holistic analysis; see module docstring.
+
+    Since the compiled kernel (:mod:`repro.analysis.kernel`) became the
+    hot path this is a thin wrapper: it compiles (or re-targets) an
+    :class:`~repro.analysis.kernel.AnalysisContext` and solves once.
+    Pass ``kernel`` to reuse a compiled context across calls; the
+    pre-kernel implementation is kept verbatim as
+    :func:`legacy_response_time_analysis` and the parity suite asserts
+    the two agree.
+    """
+    from .kernel import AnalysisContext
+
+    if kernel is None:
+        kernel = AnalysisContext(system, priorities, bus)
+    else:
+        if kernel.system is not system:
+            raise AnalysisError(
+                "analysis kernel was compiled for a different System"
+            )
+        kernel.update(priorities, bus)
+    rho, _ = kernel.solve(offsets)
+    return rho
 
 
 def phase_locked_hits(
@@ -157,13 +188,18 @@ def _rel_offset(offset_j: float, offset_i: float, period: float, locked: bool) -
     return (offset_j - offset_i) % period
 
 
-def response_time_analysis(
+def legacy_response_time_analysis(
     system: System,
     offsets: OffsetTable,
     priorities: PriorityAssignment,
     bus: TTPBusConfig,
 ) -> ResponseTimes:
-    """Run the holistic analysis; see module docstring.
+    """The pre-kernel reference implementation of the holistic analysis.
+
+    Recompiles the whole interference structure on every call; kept as
+    the semantic reference the compiled kernel is parity-tested against
+    (``tests/test_kernel_parity.py``) and as the baseline the kernel
+    benchmark measures speedups over.
 
     Activities whose equations diverge (overload) are reported with
     ``converged=False`` and infinite response times; the caller decides

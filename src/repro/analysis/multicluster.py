@@ -13,6 +13,18 @@ stop changing:
 Termination is guaranteed when processor and bus loads are below 100% and
 deadlines do not exceed periods (section 4); an iteration cap converts
 pathological cases into a non-converged result instead of a hang.
+
+The analysis runs on the compiled kernel
+(:class:`repro.analysis.kernel.AnalysisContext`): the interference
+structure is compiled once per call (or reused across calls when the
+caller — typically a :class:`repro.api.session.Session` — hands a kernel
+in), and every analysis pass warm-starts its busy-window equations from
+the previous outer iteration *within* the pass, which is exact.
+``warm_start=True`` additionally seeds each Fig. 5 iteration's whole
+jitter vector from the previous iteration's solution — fast and always a
+*safe* (upper) bound, but possibly pessimistic when re-scheduling moves
+an offset so that an activity's true fixed point shrinks, so it is
+opt-in; see :mod:`repro.analysis.kernel` for the soundness analysis.
 """
 
 from __future__ import annotations
@@ -22,11 +34,12 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from ..buses.ttp import TTPBusConfig
+from ..exceptions import AnalysisError
 from ..model.configuration import OffsetTable, PriorityAssignment
 from ..schedule.list_scheduler import static_schedule
 from ..schedule.schedule_table import StaticSchedule
 from ..system import System
-from .holistic import response_time_analysis
+from .kernel import AnalysisContext
 from .timing import ResponseTimes
 
 __all__ = ["MultiClusterResult", "multi_cluster_scheduling"]
@@ -42,7 +55,10 @@ class MultiClusterResult:
     ``offsets``/``rho`` are the paper's ``φ``/``ρ``; ``schedule`` carries
     the concrete schedule tables and MEDL behind ``φ``.  ``converged`` is
     False when the loop hit its iteration cap with offsets still moving
-    (treated as unschedulable by the optimizers).
+    (treated as unschedulable by the optimizers).  ``iterations`` is the
+    *true* number of analysis passes performed — when the cap is hit it
+    reads ``max_iterations + 1``, not a value clamped to the cap, so
+    memoized results stay honest about the work done.
     """
 
     offsets: OffsetTable
@@ -58,6 +74,8 @@ def multi_cluster_scheduling(
     priorities: PriorityAssignment,
     tt_delays: Optional[Mapping[str, float]] = None,
     max_iterations: int = 30,
+    kernel: Optional[AnalysisContext] = None,
+    warm_start: bool = False,
 ) -> MultiClusterResult:
     """Run the fixed-point loop of Fig. 5; see module docstring.
 
@@ -67,10 +85,25 @@ def multi_cluster_scheduling(
     — when an offset shift moves a frame to an earlier TDMA round, which
     shifts the offset back — while preserving soundness: a larger arrival
     bound only delays TT consumers further.
+
+    ``kernel`` reuses a compiled :class:`AnalysisContext` (it is
+    re-targeted at ``(π, β)`` incrementally).  ``warm_start=True`` seeds
+    each iteration's fixed point from the previous solution — a safe but
+    potentially pessimistic accelerator (see module docstring); the
+    default reproduces the pre-kernel results bit for bit.
     """
+    if kernel is None:
+        kernel = AnalysisContext(system, priorities, bus)
+    else:
+        if kernel.system is not system:
+            raise AnalysisError(
+                "analysis kernel was compiled for a different System"
+            )
+        kernel.update(priorities, bus)
+
     schedule = static_schedule(system, bus, rho=None, tt_delays=tt_delays)
     offsets = schedule.offsets
-    rho = response_time_analysis(system, offsets, priorities, bus)
+    rho, state = kernel.solve(offsets)
     iterations = 1
     converged = False
     floors: dict = {}
@@ -92,9 +125,10 @@ def multi_cluster_scheduling(
             break
         schedule = new_schedule
         offsets = new_schedule.offsets
-        rho = response_time_analysis(system, offsets, priorities, bus)
+        rho, state = kernel.solve(
+            offsets, warm=state if warm_start else None
+        )
         iterations += 1
-    iterations = min(iterations, max_iterations)
     return MultiClusterResult(
         offsets=offsets,
         rho=rho,

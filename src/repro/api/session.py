@@ -26,21 +26,34 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import time
 import warnings
 from collections import namedtuple
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ReproError
 from ..model.configuration import SystemConfiguration
 from ..system import System
-from .backends import EvaluationBackend, get_backend
+from .backends import AnalysisBackend, EvaluationBackend, get_backend
 from .result import RunResult
 
 __all__ = ["CacheInfo", "Session", "SynthesisResult", "config_hash"]
 
-CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "size", "backend_calls"])
+#: Memoization and hot-path statistics of a session.  The first four
+#: fields are the original cache counters; the tail is the kernel
+#: instrumentation: total wall-time spent inside evaluation backends,
+#: full kernel compiles, incremental kernel recompiles, and solves that
+#: were warm-started from a previous solution.
+CacheInfo = namedtuple(
+    "CacheInfo",
+    [
+        "hits", "misses", "size", "backend_calls",
+        "analysis_time", "kernel_compiles", "kernel_updates",
+        "warm_starts",
+    ],
+)
 
 
 def config_hash(config: SystemConfiguration) -> str:
@@ -66,7 +79,34 @@ def config_hash(config: SystemConfiguration) -> str:
 
 #: Backend options that carry derived inputs rather than evaluation
 #: parameters; excluded from cache keys so equal evaluations still hit.
-_NON_KEY_OPTIONS = frozenset({"analysis_run"})
+#: ``kernel`` is the session's compiled analysis context — evaluation
+#: plumbing, not an evaluation parameter.
+_NON_KEY_OPTIONS = frozenset({"analysis_run", "kernel"})
+
+#: Per-backend-type memo of "run() accepts a kernel= keyword".
+_KERNEL_CAPABLE: Dict[type, bool] = {}
+
+
+def _accepts_kernel(resolved: "EvaluationBackend") -> bool:
+    """Whether a backend's ``run`` takes the ``kernel`` plumbing kwarg.
+
+    Checked by signature, not only by type: a user subclass of
+    :class:`AnalysisBackend` may override ``run`` with the pre-kernel
+    signature and must not receive an unexpected keyword.  Memoized per
+    backend type — this sits on the per-evaluation hot path.
+    """
+    kind = type(resolved)
+    cached = _KERNEL_CAPABLE.get(kind)
+    if cached is None:
+        import inspect
+
+        try:
+            parameters = inspect.signature(kind.run).parameters
+            cached = "kernel" in parameters
+        except (TypeError, ValueError):  # uninspectable callable
+            cached = False
+        _KERNEL_CAPABLE[kind] = cached
+    return cached
 
 
 def _options_key(options: Dict[str, Any]) -> Tuple:
@@ -124,6 +164,10 @@ class SynthesisResult:
 # importable/picklable backends work across the pool.
 
 _POOL_STATE: Optional[Tuple[System, Union[str, EvaluationBackend], Dict]] = None
+#: Per-worker compiled analysis kernel, bound to the worker's rebuilt
+#: System: one full interference compile per worker, incremental
+#: re-targets per configuration (mirrors Session._kernel in the parent).
+_POOL_KERNEL = None
 
 
 def _pool_init(
@@ -131,16 +175,36 @@ def _pool_init(
     backend: Union[str, EvaluationBackend],
     options: Dict[str, Any],
 ) -> None:
-    global _POOL_STATE
+    global _POOL_STATE, _POOL_KERNEL
     from ..io.serialize import system_from_dict
 
     _POOL_STATE = (system_from_dict(system_payload), backend, options)
+    _POOL_KERNEL = None
 
 
 def _pool_eval(config: SystemConfiguration) -> RunResult:
+    global _POOL_KERNEL
     assert _POOL_STATE is not None, "worker pool not initialized"
     system, backend, options = _POOL_STATE
-    return get_backend(backend).run(system, config, **options)
+    resolved = get_backend(backend)
+    if (
+        isinstance(resolved, AnalysisBackend)
+        and "kernel" not in options
+        and _accepts_kernel(resolved)
+    ):
+        if _POOL_KERNEL is None:
+            from ..analysis.kernel import AnalysisContext
+
+            try:
+                _POOL_KERNEL = AnalysisContext(
+                    system, config.priorities, config.bus
+                )
+            except ReproError:
+                return resolved.run(system, config, **options)
+        return resolved.run(
+            system, config, kernel=_POOL_KERNEL, **options
+        )
+    return resolved.run(system, config, **options)
 
 
 class Session:
@@ -174,6 +238,14 @@ class Session:
         #: cache hits excluded) — the observable the memoization tests
         #: and throughput benchmarks assert on.
         self.backend_calls = 0
+        #: The compiled analysis kernel shared by every ``"analysis"``
+        #: evaluation of this session.  Compiled on first use and then
+        #: re-targeted incrementally as optimizer moves flip priorities
+        #: or reshape the TDMA round (see repro.analysis.kernel).
+        self._kernel = None
+        #: Wall-clock seconds spent inside backend invocations (cache
+        #: hits cost nothing and are excluded).
+        self._analysis_time = 0.0
 
     # -- constructors -------------------------------------------------------
 
@@ -217,17 +289,79 @@ class Session:
     # -- caching ------------------------------------------------------------
 
     def cache_info(self) -> CacheInfo:
-        """Memoization statistics of this session."""
+        """Memoization and hot-path statistics of this session."""
+        stats = self._kernel.stats if self._kernel is not None else None
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
             size=len(self._cache),
             backend_calls=self.backend_calls,
+            analysis_time=self._analysis_time,
+            kernel_compiles=stats.compiles if stats else 0,
+            kernel_updates=stats.updates if stats else 0,
+            warm_starts=stats.warm_starts if stats else 0,
         )
+
+    def _kernel_for(self, config: SystemConfiguration):
+        """The session's compiled analysis kernel, building it lazily.
+
+        Returns ``None`` when the configuration cannot even be compiled
+        (e.g. incomplete priorities): the backend then runs kernel-less
+        and reports the failure as an error result, exactly as the
+        uncached path would.
+        """
+        if self._kernel is None:
+            from ..analysis.kernel import AnalysisContext
+
+            try:
+                self._kernel = AnalysisContext(
+                    self.system, config.priorities, config.bus
+                )
+            except ReproError:
+                return None
+        return self._kernel
+
+    def _with_kernel(
+        self,
+        resolved: EvaluationBackend,
+        config: SystemConfiguration,
+        options: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Inject the session kernel into analysis-backend options.
+
+        ``resolved`` is the backend *instance* about to run; the check
+        is by type, not by registry name, because a user backend
+        registered over ``"analysis"`` (``replace=True``) may not take a
+        ``kernel`` argument and must not receive one.
+        """
+        if "kernel" in options or not isinstance(
+            resolved, AnalysisBackend
+        ) or not _accepts_kernel(resolved):
+            return options
+        kernel = self._kernel_for(config)
+        if kernel is None:
+            return options
+        return {**options, "kernel": kernel}
 
     def clear_cache(self) -> None:
         """Drop all memoized results (statistics are kept)."""
         self._cache.clear()
+
+    def _check_kernel_option(self, options: Dict[str, Any]) -> None:
+        """Reject a caller-supplied kernel compiled for another System.
+
+        ``kernel`` is excluded from cache keys (it is plumbing, not an
+        evaluation parameter), so a mismatched one must fail loudly
+        *before* the cache: letting the backend turn it into an error
+        RunResult would memoize that error under the plain key and
+        poison every later evaluation of the same configuration.
+        """
+        kernel = options.get("kernel")
+        if kernel is not None and kernel.system is not self.system:
+            raise ValueError(
+                "kernel was compiled for a different System than this "
+                "session wraps; pass a kernel built from session.system"
+            )
 
     def _key(
         self,
@@ -299,12 +433,17 @@ class Session:
     ) -> RunResult:
         """Evaluate one configuration, consulting the memo cache."""
         backend = backend if backend is not None else self.default_backend
+        self._check_kernel_option(options)
         key = self._key(config, backend, options)
         if memoize and key in self._cache:
             self._hits += 1
             return self._adapt(self._cache[key], config)
         self._misses += 1
-        run = get_backend(backend).run(self.system, config, **options)
+        resolved = get_backend(backend)
+        run_options = self._with_kernel(resolved, config, options)
+        started = time.perf_counter()
+        run = resolved.run(self.system, config, **run_options)
+        self._analysis_time += time.perf_counter() - started
         self.backend_calls += 1
         if memoize:
             self._remember(key, run)
@@ -330,6 +469,7 @@ class Session:
         environments) the batch silently degrades to serial evaluation.
         """
         backend = backend if backend is not None else self.default_backend
+        self._check_kernel_option(options)
         configs = list(configs)
         results: List[Optional[RunResult]] = [None] * len(configs)
         pending: Dict[Tuple, List[int]] = {}
@@ -348,11 +488,15 @@ class Session:
             runs = None
         if runs is None:
             runs = []
+            resolved = get_backend(backend)
             for _, config in reps:
                 self._misses += 1
+                run_options = self._with_kernel(resolved, config, options)
+                started = time.perf_counter()
                 runs.append(
-                    get_backend(backend).run(self.system, config, **options)
+                    resolved.run(self.system, config, **run_options)
                 )
+                self._analysis_time += time.perf_counter() - started
                 self.backend_calls += 1
 
         for (key, _), run in zip(reps, runs):
@@ -386,6 +530,13 @@ class Session:
         # path in the parent (whose registry has it) still succeeds.
         pool_failures = (OSError, PermissionError, pickle.PicklingError,
                          BrokenProcessPool, ConfigurationError)
+        # A compiled kernel is bound to *this* process's System object;
+        # workers rebuild their own System from the payload, so shipping
+        # the kernel would mismatch there (and its error results would
+        # be memoized under kernel-less keys).  Workers compile their
+        # own.
+        options = {k: v for k, v in options.items() if k != "kernel"}
+        elapsed = 0.0
         try:
             payload = system_to_dict(self.system)
             pickle.dumps(backend)  # fail fast on unpicklable backends
@@ -395,6 +546,9 @@ class Session:
                 initargs=(payload, backend, options),
             ) as pool:
                 chunksize = max(1, len(reps) // (workers * 4))
+                # Only the evaluation itself counts as analysis time;
+                # serialization and pool start-up are dispatch overhead.
+                started = time.perf_counter()
                 runs = list(
                     pool.map(
                         _pool_eval,
@@ -402,6 +556,7 @@ class Session:
                         chunksize=chunksize,
                     )
                 )
+                elapsed = time.perf_counter() - started
         except pool_failures as exc:
             warnings.warn(
                 f"process pool unavailable ({exc!r}); "
@@ -410,6 +565,7 @@ class Session:
                 stacklevel=3,
             )
             return None
+        self._analysis_time += elapsed
         self._misses += len(reps)
         self.backend_calls += len(reps)
         # Workers evaluated pickled copies; re-home each result (and its

@@ -11,7 +11,9 @@ Commands
     Run the multi-cluster schedulability analysis for a system + an
     explicit configuration, printing the per-activity timing table, the
     per-graph verdicts and the buffer bounds.  ``--format json`` emits
-    the full :class:`repro.api.RunResult` record instead.
+    the full :class:`repro.api.RunResult` record instead; ``--stats``
+    adds the session's hot-path statistics (analysis wall-time, kernel
+    compiles and incremental recompiles, memoization counters).
 
 ``synthesize``
     Run the synthesis pipeline (OS, optionally followed by OR) on a
@@ -75,19 +77,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_session_stats(session: Session) -> None:
+    info = session.cache_info()
+    print("session statistics:")
+    print(f"  analysis wall-time: {info.analysis_time:.3f} s "
+          f"({info.backend_calls} backend calls)")
+    print(f"  memo cache: {info.hits} hits, {info.misses} misses, "
+          f"{info.size} entries")
+    print(f"  kernel: {info.kernel_compiles} full compiles, "
+          f"{info.kernel_updates} incremental recompiles, "
+          f"{info.warm_starts} warm-started solves")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     session = Session.from_file(args.system)
     run = session.evaluate(_load_config(args.config))
     if args.format == "json":
-        print(json.dumps(run_result_to_dict(run), indent=2))
+        payload = run_result_to_dict(run)
+        if args.stats:
+            payload["session_stats"] = session.cache_info()._asdict()
+        print(json.dumps(payload, indent=2))
         return 0 if run.schedulable else 1
     if not run.feasible:
         print(f"configuration could not be analysed: {run.error}")
+        if args.stats:
+            print()
+            _print_session_stats(session)
         return 1
     if args.timing:
         print(timing_report(session.system, run.analysis.rho))
         print()
     print(schedulability_report(session.system, run.report, run.buffers))
+    if args.stats:
+        print()
+        _print_session_stats(session)
     return 0 if run.schedulable else 1
 
 
@@ -189,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="output format (json emits the RunResult record)",
+    )
+    ana.add_argument(
+        "--stats", action="store_true",
+        help="print session statistics (analysis wall-time, kernel "
+             "compiles/incremental recompiles, memoization counters)",
     )
     ana.set_defaults(func=_cmd_analyze)
 

@@ -66,15 +66,23 @@ def simulated_annealing(
     initial_temperature: Optional[float] = None,
     cooling: float = 0.98,
     seed: int = 0,
+    session=None,
 ) -> SAResult:
     """Generic annealer over the section-5.1 move set.
 
     Classic Metropolis acceptance with geometric cooling.  The initial
     temperature defaults to a scale estimated from the initial cost so the
-    early phase accepts most moves.
+    early phase accepts most moves.  ``session`` (default: a private
+    :class:`repro.api.session.Session`) carries the compiled analysis
+    kernel, so each move's evaluation recompiles only the interference
+    rows the move touched; revisited states hit the memo cache.
     """
+    if session is None:
+        from ..api.session import Session
+
+        session = Session(system)
     rng = random.Random(seed)
-    current = evaluate(system, initial)
+    current = evaluate(system, initial, session=session)
     evaluations = 1
     best = current
     current_cost = cost(current)
@@ -85,7 +93,9 @@ def simulated_annealing(
     accepted = 0
     for _ in range(iterations):
         move = random_move(system, current.config, rng, evaluation=current)
-        candidate = evaluate(system, move.apply(current.config))
+        candidate = evaluate(
+            system, move.apply(current.config), session=session
+        )
         evaluations += 1
         candidate_cost = cost(candidate)
         delta = candidate_cost - current_cost
@@ -107,11 +117,13 @@ def sa_schedule(
     iterations: int = 400,
     seed: int = 0,
     initial: Optional[SystemConfiguration] = None,
+    session=None,
 ) -> SAResult:
     """SAS: anneal the degree of schedulability ``δΓ``."""
     start = initial if initial is not None else straightforward_configuration(system)
     return simulated_annealing(
-        system, start, _degree_cost, iterations=iterations, seed=seed
+        system, start, _degree_cost, iterations=iterations, seed=seed,
+        session=session,
     )
 
 
@@ -120,9 +132,11 @@ def sa_resources(
     iterations: int = 400,
     seed: int = 0,
     initial: Optional[SystemConfiguration] = None,
+    session=None,
 ) -> SAResult:
     """SAR: anneal the total buffer need ``s_total``."""
     start = initial if initial is not None else straightforward_configuration(system)
     return simulated_annealing(
-        system, start, _buffer_cost, iterations=iterations, seed=seed
+        system, start, _buffer_cost, iterations=iterations, seed=seed,
+        session=session,
     )

@@ -144,6 +144,13 @@ def hopa_priorities(
     priorities = _priorities_from_deadlines(system, deadlines)
     if iterations <= 1 or bus is None:
         return priorities
+    if session is None:
+        # A private session so the refinement's analysis passes share
+        # one compiled kernel (each pass only flips priorities, which
+        # the kernel absorbs as an incremental row recompile).
+        from ..api.session import Session
+
+        session = Session(system)
     best = priorities
     best_degree = math.inf
     weights: Dict[str, float] = {}

@@ -66,8 +66,14 @@ def optimize_resources(
     from (best-buffer seeds first); ``None`` climbs them all.  ``session``
     (a :class:`repro.api.session.Session`) memoizes analysis runs by
     configuration hash — hill climbs that revisit a neighbor (or step
-    back onto a seed) score it once.
+    back onto a seed) score it once.  When no session is given a private
+    one is created so the climbs still run on the session's compiled
+    analysis kernel (incremental recompiles per move) with memoization.
     """
+    if session is None:
+        from ..api.session import Session
+
+        session = Session(system)
     rng = random.Random(seed)
     if os_result is None:
         os_result = optimize_schedule(system, session=session)

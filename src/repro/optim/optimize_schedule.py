@@ -99,8 +99,15 @@ def optimize_schedule(
 
     ``session`` (a :class:`repro.api.session.Session`) routes all
     analysis runs through the facade's memo cache; candidate ``β``/``π``
-    pairs the greedy loop revisits are then scored only once.
+    pairs the greedy loop revisits are then scored only once.  When no
+    session is given a private one is created, so every OS run gets the
+    compiled-kernel hot path (one interference-table compile, then
+    incremental recompiles per candidate) and in-run memoization.
     """
+    if session is None:
+        from ..api.session import Session
+
+        session = Session(system)
     pool = SeedPool(limit=seed_limit)
     priorities = hopa_priorities(system)
     order = list(system.arch.ttp_slot_owners())

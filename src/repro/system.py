@@ -80,6 +80,32 @@ class System:
                 self._et_procs_by_node.setdefault(proc.node, []).append(proc.name)
         for names in self._et_procs_by_node.values():
             names.sort()
+        # Sorted activity lists, cached at construction: the analysis
+        # kernel and the queue analyses iterate them inside hot loops,
+        # so they must not be re-derived (and re-sorted) per call.
+        self._sorted_can = sorted(self._can_frame_time)
+        self._sorted_ettt = sorted(
+            name
+            for name, route in self._route.items()
+            if route is MessageRoute.ET_TO_TT
+        )
+        self._sorted_ttet = sorted(
+            name
+            for name, route in self._route.items()
+            if route is MessageRoute.TT_TO_ET
+        )
+        self._sorted_et_procs = sorted(
+            p.name for p in app.all_processes() if arch.is_et_node(p.node)
+        )
+        self._sorted_tt_procs = sorted(
+            p.name for p in app.all_processes() if arch.is_tt_node(p.node)
+        )
+        self._outgoing_by_node: Dict[str, List[str]] = {}
+        for name, route in sorted(self._route.items()):
+            if route not in (MessageRoute.ET_TO_ET, MessageRoute.ET_TO_TT):
+                continue
+            node = app.process(app.message(name).src).node
+            self._outgoing_by_node.setdefault(node, []).append(name)
         # Transitive ancestors, for precedence-aware interference: the
         # same-instance execution of an ancestor always precedes its
         # descendant's activation, so it can never overlap it.
@@ -122,37 +148,22 @@ class System:
         ET->TT messages (sent by ETC nodes) plus TT->ET messages (relayed
         by the gateway from the Out_CAN queue) all compete on the same bus.
         """
-        return sorted(self._can_frame_time)
+        return list(self._sorted_can)
 
     def et_to_tt_messages(self) -> List[str]:
         """Messages that traverse the gateway's Out_TTP FIFO, sorted."""
-        return sorted(
-            name
-            for name, route in self._route.items()
-            if route is MessageRoute.ET_TO_TT
-        )
+        return list(self._sorted_ettt)
 
     def tt_to_et_messages(self) -> List[str]:
         """Messages that traverse the gateway's Out_CAN queue, sorted."""
-        return sorted(
-            name
-            for name, route in self._route.items()
-            if route is MessageRoute.TT_TO_ET
-        )
+        return list(self._sorted_ttet)
 
     def et_to_et_messages_from(self, node: str) -> List[str]:
         """ET->ET and ET->TT messages enqueued in ``Out_node``, sorted.
 
         Both kinds leave the node through its CAN controller queue.
         """
-        result = []
-        for name, route in sorted(self._route.items()):
-            if route not in (MessageRoute.ET_TO_ET, MessageRoute.ET_TO_TT):
-                continue
-            msg = self.app.message(name)
-            if self.app.process(msg.src).node == node:
-                result.append(name)
-        return result
+        return list(self._outgoing_by_node.get(node, []))
 
     def can_frame_time(self, msg_name: str) -> float:
         """Worst-case CAN transmission time ``C_m`` of a message."""
@@ -175,19 +186,11 @@ class System:
 
     def tt_processes(self) -> List[str]:
         """Statically scheduled processes (on TTC nodes), sorted."""
-        return sorted(
-            p.name
-            for p in self.app.all_processes()
-            if self.arch.is_tt_node(p.node)
-        )
+        return list(self._sorted_tt_procs)
 
     def et_processes(self) -> List[str]:
         """Priority-scheduled processes (on ETC nodes), sorted."""
-        return sorted(
-            p.name
-            for p in self.app.all_processes()
-            if self.arch.is_et_node(p.node)
-        )
+        return list(self._sorted_et_procs)
 
     def release_of(self, proc_name: str) -> float:
         """Earliest release of a process instance (0 unless hyper-graph)."""
