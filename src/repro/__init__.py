@@ -32,6 +32,12 @@ Package map (see DESIGN.md for the full inventory):
   (sections 5–6);
 * :mod:`repro.synth` — paper examples and random workload generation;
 * :mod:`repro.sim` — discrete-event simulator used for validation;
+* :mod:`repro.semantics` — the timing-semantics contract shared by the
+  scheduler, the analyses and the simulator (message readiness, gateway
+  transfer, FIFO drain, dispatch eligibility);
+* :mod:`repro.conformance` — the simulator–analysis conformance
+  harness: seeded campaigns, violation classification, counterexample
+  shrinking, replayable fixtures (CLI: ``repro conform``);
 * :mod:`repro.io` — JSON serialization and paper-style reports.
 
 The historical flat function surface (``repro.multi_cluster_scheduling``,

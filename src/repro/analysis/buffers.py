@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping
 
 from ..model.configuration import PriorityAssignment
+from ..semantics import fifo_competitors
 from ..system import System
 from .fixed_point import Interferer, ceil0_hits
 from .holistic import phase_locked_hits
@@ -143,13 +144,17 @@ def ttp_resident_bytes(
     timing,
     rho: ResponseTimes,
 ) -> float:
-    """``I_m`` evaluated at the final fixed point (bytes ahead of ``msg``)."""
+    """``I_m`` evaluated at the final fixed point (bytes ahead of ``msg``).
+
+    ``Out_TTP`` is a FIFO: every other ET->TT message can co-reside ahead
+    of ``msg`` regardless of CAN priority (the shared contract of
+    :func:`repro.semantics.fifo_competitors`); ``priorities`` is kept for
+    signature symmetry with the priority-ordered queue bounds.
+    """
+    del priorities  # FIFO ordering ignores CAN priorities.
     app = system.app
-    own_prio = priorities.message_priority(msg)
     total = 0.0
-    for j in system.et_to_tt_messages():
-        if j == msg or priorities.message_priority(j) > own_prio:
-            continue
+    for j in fifo_competitors(system, msg):
         other = rho.ttp[j]
         if not other.converged:
             return UNBOUNDED_PENALTY

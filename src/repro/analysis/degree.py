@@ -50,8 +50,25 @@ class SchedulabilityReport:
 def graph_response_time(
     system: System, rho: ResponseTimes, graph_name: str
 ) -> float:
-    """``R_G = max over sink processes of (O_sink + r_sink)``."""
+    """``R_G = max over sink processes of (O_sink + r_sink)``.
+
+    Returns ``math.inf`` when *any* of the graph's activities failed to
+    converge: TT processes carry schedule-fixed (finite) completion
+    times, so a diverged fixed point on an interior leg — e.g. an
+    overloaded gateway FIFO feeding a TT consumer — would otherwise stay
+    invisible to the sink maximum and let an unboundable graph pass as
+    schedulable (a verdict unsoundness found by the conformance
+    campaign).
+    """
     graph = system.app.graphs[graph_name]
+    for proc_name in graph.processes:
+        if not rho.processes[proc_name].converged:
+            return math.inf
+    for msg_name in graph.messages:
+        for legs in (rho.can, rho.ttp):
+            timing = legs.get(msg_name)
+            if timing is not None and not timing.converged:
+                return math.inf
     worst = 0.0
     for sink in graph.sinks():
         timing = rho.processes[sink]

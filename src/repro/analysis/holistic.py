@@ -45,6 +45,11 @@ from ..buses.ttp import TTPBusConfig
 from ..exceptions import AnalysisError
 from ..model.architecture import GATEWAY_TRANSFER_PROCESS, MessageRoute
 from ..model.configuration import OffsetTable, PriorityAssignment
+from ..semantics import (
+    ettt_queue_instant,
+    fifo_competitors,
+    fifo_drain_rounds,
+)
 from ..system import System
 from .can_analysis import TIE_EPSILON, can_blocking
 from .timing import ActivityTiming, ResponseTimes
@@ -263,18 +268,19 @@ def legacy_response_time_analysis(
         can_int[m] = (names, rels, periods, costs, locked_flags, anc_flags)
 
     # Gateway Out_TTP FIFO: byte-cost interferers per ET->TT message.
+    # The FIFO drains in arrival order, so the competitor set is every
+    # other ET->TT message regardless of CAN priority (the shared
+    # contract of repro.semantics; a hp-only set was the seed=1654
+    # dominance violation).
     ttp_int: Dict[str, tuple] = {}
     for m in ettt_msgs:
-        own_prio = priorities.message_priority(m)
         names = []
         rels = []
         periods = []
         costs = []
         locked_flags = []
         anc_flags = []
-        for j in ettt_msgs:
-            if j == m or priorities.message_priority(j) > own_prio:
-                continue
+        for j in fifo_competitors(system, m):
             names.append(j)
             locked = msg_period[j] == msg_period[m]
             rels.append(
@@ -387,7 +393,9 @@ def legacy_response_time_analysis(
                 ttp_jitter[m] = j
                 changed = True
         for m in ettt_msgs:
-            instant = msg_offsets.get(m, 0.0) + ttp_jitter[m]
+            instant = ettt_queue_instant(
+                msg_offsets.get(m, 0.0), ttp_jitter[m]
+            )
             if math.isinf(instant):
                 if not math.isinf(ttp_queue[m]):
                     changed = True
@@ -408,10 +416,12 @@ def legacy_response_time_analysis(
                 for j in names
             }
             own_j = ttp_jitter[m]
+            max_size = max([msg_size[m]] + costs) if costs else msg_size[m]
             w = blocking
             ahead = 0.0
             for _inner in range(_MAX_INNER_ITERATIONS):
                 ahead = 0.0
+                count = 0
                 for i in range(len(names)):
                     jn = names[i]
                     if locked[i]:
@@ -424,8 +434,13 @@ def legacy_response_time_analysis(
                         x = w + ttp_jitter[jn]
                         n = math.ceil(x / periods[i] - 1e-12) if x > 0 else 0
                     ahead += n * costs[i]
-                rounds = math.ceil(
-                    (msg_size[m] + ahead) / gateway_slot.capacity - 1e-12
+                    count += n
+                # Whole-frame drain bound (repro.semantics): the paper's
+                # byte-granular ceil((S+I)/cap) under-counts head-of-line
+                # fragmentation of the gateway slot.
+                rounds = fifo_drain_rounds(
+                    msg_size[m], ahead, count,
+                    gateway_slot.capacity, max_size,
                 )
                 w_next = blocking + (rounds - 1) * bus.round_length
                 if w_next == w:

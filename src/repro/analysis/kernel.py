@@ -58,6 +58,12 @@ from ..buses.ttp import TTPBusConfig
 from ..exceptions import AnalysisError
 from ..model.architecture import GATEWAY_TRANSFER_PROCESS, MessageRoute
 from ..model.configuration import OffsetTable, PriorityAssignment
+from ..semantics import (
+    ettt_queue_instant,
+    fifo_competitors,
+    fifo_drain_rounds,
+    gateway_transfer_delay,
+)
 from ..system import System
 from .can_analysis import TIE_EPSILON
 from .timing import ActivityTiming, ResponseTimes
@@ -266,7 +272,7 @@ class AnalysisContext:
         for i, node in enumerate(self._proc_node):
             self._procs_on_node.setdefault(node, []).append(i)
 
-        self._transfer_wcet = arch.gateway_transfer_wcet
+        self._transfer_wcet = gateway_transfer_delay(system)
         self._gateway = arch.gateway
         self._max_graph_period = max(
             (g.period for g in app.graphs.values()), default=0.0
@@ -290,6 +296,23 @@ class AnalysisContext:
                     )
                     for j in members
                 ]
+
+        # Out_TTP FIFO competitor rows are priority-*independent* — the
+        # FIFO drains in arrival order (repro.semantics contract), so the
+        # row of every ET->TT message is all other ET->TT messages and is
+        # compiled once per System, never rebuilt on a (π, β) re-target.
+        self._ttp_rows = [
+            self._build_ttp_row(i) for i in range(len(self.ettt_msgs))
+        ]
+        # Largest frame (own message included) pending per FIFO row —
+        # the fragmentation term of the whole-frame drain bound.
+        self._ttp_max_size = [
+            max(
+                [self._ettt_size[i]]
+                + [entry[3] for entry in self._ttp_rows[i]]
+            )
+            for i in range(len(self.ettt_msgs))
+        ]
 
     # -- (π, β) compile and incremental update ------------------------------
 
@@ -334,17 +357,24 @@ class AnalysisContext:
                 diff_const = self._frame_time[j]
         return (diff_const, same)
 
-    def _build_ttp_row(self, i: int, prio: List[int]) -> List[tuple]:
-        """Out_TTP FIFO interferer row of ET->TT message ``i``."""
+    def _build_ttp_row(self, i: int) -> List[tuple]:
+        """Out_TTP FIFO competitor row of ET->TT message ``i``.
+
+        Priority-blind by the shared FIFO contract
+        (:func:`repro.semantics.fifo_competitors`): every other ET->TT
+        message can sit ahead of ``i`` in the arrival-ordered queue.
+        """
         can_i = self._ettt_can[i]
-        own = prio[can_i]
         period_i = self._msg_period[can_i]
         anc = self._msg_anc[can_i]
+        competitors = set(
+            fifo_competitors(self.system, self.ettt_msgs[i])
+        )
         return [
             (j, 0.0, self._msg_period[cj], self._msg_size[cj],
              self._msg_period[cj] == period_i, anc[cj])
             for j, cj in enumerate(self._ettt_can)
-            if j != i and prio[cj] <= own
+            if self.ettt_msgs[j] in competitors
         ]
 
     def _build_proc_row(self, i: int, prio: List[int]) -> List[tuple]:
@@ -400,10 +430,6 @@ class AnalysisContext:
                 self._build_can_blocking(i, msg_prio)
                 for i in range(len(self.can_msgs))
             ]
-            self._ttp_rows = [
-                self._build_ttp_row(i, msg_prio)
-                for i in range(len(self.ettt_msgs))
-            ]
             self._proc_rows = [
                 self._build_proc_row(i, proc_prio)
                 for i in range(len(self.et_procs))
@@ -433,14 +459,8 @@ class AnalysisContext:
                         i, msg_prio
                     )
                     self.stats.rows_recompiled += 1
-            for i, can_i in enumerate(self._ettt_can):
-                if can_i in changed_msgs or any(
-                    (old[j] <= old[can_i]) != (msg_prio[j] <= msg_prio[can_i])
-                    for j in changed_msgs
-                    if j != can_i
-                ):
-                    self._ttp_rows[i] = self._build_ttp_row(i, msg_prio)
-                    self.stats.rows_recompiled += 1
+            # Out_TTP FIFO rows are priority-blind (built once in
+            # _compile_static) — a π change never touches them.
             self._msg_prio = msg_prio
             changed = True
 
@@ -692,7 +712,7 @@ class AnalysisContext:
                     tj[i] = j
                     changed = True
             for i in range(n_ttp):
-                instant = msg_off[ettt_can[i]] + tj[i]
+                instant = ettt_queue_instant(msg_off[ettt_can[i]], tj[i])
                 if instant == _INF:
                     if tq[i] != _INF:
                         changed = True
@@ -713,10 +733,12 @@ class AnalysisContext:
                     ta[i] = _INF
                     continue
                 own_j = tj[i]
+                max_size = self._ttp_max_size[i]
                 w = blocking
                 ahead = 0.0
                 for _inner in range(_MAX_INNER_ITERATIONS):
                     ahead = 0.0
+                    count = 0
                     for k, rel, period, cost, lck, anc in row:
                         if lck:
                             k_max = floor(
@@ -737,8 +759,12 @@ class AnalysisContext:
                                 ceil(x / period - 1e-12) if x > 0 else 0
                             )
                         ahead += hits * cost
-                    rounds = ceil(
-                        (ettt_size[i] + ahead) / gateway_capacity - 1e-12
+                        count += hits
+                    # Whole-frame drain bound (repro.semantics): mirrors
+                    # the legacy pass operation for operation.
+                    rounds = fifo_drain_rounds(
+                        ettt_size[i], ahead, count,
+                        gateway_capacity, max_size,
                     )
                     w_next = blocking + (rounds - 1) * round_length
                     if w_next == w:

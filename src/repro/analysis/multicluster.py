@@ -29,7 +29,6 @@ opt-in; see :mod:`repro.analysis.kernel` for the soundness analysis.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -38,6 +37,7 @@ from ..exceptions import AnalysisError
 from ..model.configuration import OffsetTable, PriorityAssignment
 from ..schedule.list_scheduler import static_schedule
 from ..schedule.schedule_table import StaticSchedule
+from ..semantics import ratchet_arrival_floors
 from ..system import System
 from .kernel import AnalysisContext
 from .timing import ResponseTimes
@@ -108,10 +108,7 @@ def multi_cluster_scheduling(
     converged = False
     floors: dict = {}
     while iterations <= max_iterations:
-        for msg_name, timing in rho.ttp.items():
-            end = timing.worst_end
-            if math.isfinite(end):
-                floors[msg_name] = max(floors.get(msg_name, 0.0), end)
+        ratchet_arrival_floors(floors, rho)
         new_schedule = static_schedule(
             system,
             bus,

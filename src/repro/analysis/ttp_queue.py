@@ -5,13 +5,17 @@ A message arriving at the gateway from the CAN bus is placed in the FIFO
 ``S_G``, draining at most ``size_SG`` bytes per round.  The worst-case time
 in the queue is
 
-    w_m^TTP = B_m + (ceil((S_m + I_m) / size_SG) - 1) * T_TDMA
+    w_m^TTP = B_m + (rounds(S_m, I_m, N_m) - 1) * T_TDMA
 
 where ``B_m`` is the wait from the queueing instant to the start of the
-next gateway slot, ``S_m`` the message's own size, and ``I_m`` the bytes
-queued ahead of it:
+next gateway slot, ``S_m`` the message's own size, ``I_m`` the bytes and
+``N_m`` the whole messages queued ahead of it, and ``rounds`` the
+whole-frame drain bound of :func:`repro.semantics.fifo_drain_rounds`
+(the paper's ``ceil((S_m + I_m)/size_SG)`` assumes frames split across
+rounds and under-counts head-of-line fragmentation — unsound against
+the real packing).  ``I_m`` is
 
-    I_m = sum over j in hp(m), ET->TT, of ceil0((w_m^TTP + J_j - O_mj)/T_j) * s_j
+    I_m = sum over j != m, ET->TT, of ceil0((w_m^TTP + J_j - O_mj)/T_j) * s_j
 
 Interpretation notes (see DESIGN.md):
 
@@ -24,6 +28,11 @@ Interpretation notes (see DESIGN.md):
 * The paper's ``I_m`` formula prints ``J_m``; we use the interferer's own
   queueing jitter ``J_j`` (CAN response + gateway transfer), the sensible
   holistic reading.
+* ``I_m`` ranges over **all** other ET->TT messages, not only the
+  higher-priority ones: ``Out_TTP`` is a FIFO drained in arrival order,
+  so CAN priorities do not protect a message from bytes queued ahead of
+  it (:func:`repro.semantics.fifo_competitors`; restricting to hp(m) was
+  the seed=1654 dominance violation).
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Mapping, Tuple
 
 from ..buses.ttp import TTPBusConfig
 from ..model.configuration import PriorityAssignment
+from ..semantics import fifo_competitors, fifo_drain_rounds
 from ..system import System
 from .fixed_point import Interferer, ceil0_hits
 
@@ -46,23 +56,24 @@ def ttp_blocking(bus: TTPBusConfig, gateway: str, queue_instant: float) -> float
     return bus.waiting_time(gateway, queue_instant)
 
 
-def _hp_interferers(
+def _fifo_interferers(
     system: System,
     priorities: PriorityAssignment,
     msg: str,
     message_offsets: Mapping[str, float],
     queue_jitters: Mapping[str, float],
 ):
-    """Higher-priority ET->TT messages that can be queued ahead of ``msg``.
+    """ET->TT messages that can be queued ahead of ``msg`` in ``Out_TTP``.
 
-    Costs are in **bytes** (they consume slot capacity, not wire time).
+    The FIFO is priority-blind (see :mod:`repro.semantics.contract`), so
+    the set is every other ET->TT message.  Costs are in **bytes** (they
+    consume slot capacity, not wire time).  ``priorities`` is kept in the
+    signature for call-site symmetry with the CAN analysis.
     """
-    own = priorities.message_priority(msg)
+    del priorities  # FIFO ordering ignores CAN priorities.
     own_period = system.app.period_of_message(msg)
     interferers = []
-    for other in system.et_to_tt_messages():
-        if other == msg or priorities.message_priority(other) > own:
-            continue
+    for other in fifo_competitors(system, msg):
         period = system.app.period_of_message(other)
         if period == own_period:
             rel = (
@@ -81,6 +92,19 @@ def _hp_interferers(
     return interferers
 
 
+def _bytes_and_count_ahead(
+    interferers, window: float
+) -> Tuple[float, int]:
+    """``(I_m, N_m)``: bytes and whole-message instances within ``window``."""
+    total = 0.0
+    count = 0
+    for interferer in interferers:
+        hits = ceil0_hits(window, interferer)
+        total += hits * interferer.cost
+        count += hits
+    return total, count
+
+
 def ttp_bytes_ahead(
     system: System,
     priorities: PriorityAssignment,
@@ -90,12 +114,10 @@ def ttp_bytes_ahead(
     queue_jitters: Mapping[str, float],
 ) -> float:
     """``I_m``: worst-case bytes queued ahead of ``msg`` within ``window``."""
-    total = 0.0
-    for interferer in _hp_interferers(
+    interferers = _fifo_interferers(
         system, priorities, msg, message_offsets, queue_jitters
-    ):
-        total += ceil0_hits(window, interferer) * interferer.cost
-    return total
+    )
+    return _bytes_and_count_ahead(interferers, window)[0]
 
 
 def ttp_queue_delay(
@@ -118,7 +140,7 @@ def ttp_queue_delay(
     blocking = ttp_blocking(bus, gateway, queue_instant)
 
     # Divergence guard: bytes arriving per time unit vs. drain rate.
-    interferers = _hp_interferers(
+    interferers = _fifo_interferers(
         system, priorities, msg, message_offsets, queue_jitters
     )
     inflow = sum(i.cost / i.period for i in interferers)
@@ -126,13 +148,16 @@ def ttp_queue_delay(
     if inflow >= drain and interferers:
         return math.inf, math.inf, False
 
+    max_size = max([own_size] + [i.cost for i in interferers])
     w = blocking
     ahead = 0.0
     for _ in range(_MAX_ITERATIONS):
-        ahead = ttp_bytes_ahead(
-            system, priorities, msg, w, message_offsets, queue_jitters
+        ahead, count = _bytes_and_count_ahead(interferers, w)
+        # Whole-frame drain bound (repro.semantics): the byte-granular
+        # ceil((S+I)/cap) under-counts head-of-line fragmentation.
+        rounds = fifo_drain_rounds(
+            own_size, ahead, count, slot.capacity, max_size
         )
-        rounds = math.ceil((own_size + ahead) / slot.capacity - 1e-12)
         w_next = blocking + (rounds - 1) * bus.round_length
         if w_next == w:
             return w, ahead, True

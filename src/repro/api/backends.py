@@ -209,15 +209,11 @@ class SimulationBackend(EvaluationBackend):
         metadata = {
             "periods": periods,
             "violations": len(trace.violations),
-            "violation_details": [
-                {
-                    "process": v.process,
-                    "instance": v.instance,
-                    "dispatch_time": v.dispatch_time,
-                    "missing_message": v.missing_message,
-                }
-                for v in trace.violations
-            ],
+            # Full causal context per violation (producer finish, gateway
+            # transfer window, consumer dispatch slot, route) so a
+            # dominance divergence is diagnosable from serialized
+            # results — CI logs, conformance fixtures — alone.
+            "violation_details": [v.as_dict() for v in trace.violations],
             "observed_graph_response": dict(trace.graph_response),
             "observed_process_response": dict(trace.process_response),
             "observed_message_latency": dict(trace.message_latency),

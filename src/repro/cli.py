@@ -29,6 +29,13 @@ Commands
     :class:`repro.api.RunResult` (margins and critical activities in its
     metadata).
 
+``conform``
+    Run a simulator–analysis conformance campaign
+    (:mod:`repro.conformance`): N seeded random workloads through
+    analysis and simulation, every dominance violation classified,
+    shrunk to a minimal counterexample and persisted as a replayable
+    fixture.  Exit code 0 only when the campaign is clean.
+
 All commands are thin shells over :class:`repro.api.Session`; files are
 the JSON formats of :mod:`repro.io.serialize`.
 """
@@ -91,9 +98,32 @@ def _print_session_stats(session: Session) -> None:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     session = Session.from_file(args.system)
-    run = session.evaluate(_load_config(args.config))
+    config = _load_config(args.config)
+    run = session.evaluate(config)
+    validation = None
+    if args.validate and not run.feasible:
+        # Make the no-op explicit: an unanalysable configuration cannot
+        # be validated, and a missing "validation" key would be
+        # indistinguishable from --validate not having been passed.
+        validation = {"skipped": f"analysis infeasible: {run.error}"}
+    elif args.validate:
+        sim_run = session.simulate(config)
+        if sim_run.feasible:
+            # The full causal violation records (producer finish time,
+            # gateway transfer window, consumer dispatch slot) ride
+            # along so a dominance divergence is diagnosable from the
+            # emitted JSON alone.
+            validation = {
+                "violations": sim_run.metadata["violations"],
+                "violation_details": sim_run.metadata["violation_details"],
+                "bound_excess": sim_run.metadata["bound_excess"],
+            }
+        else:
+            validation = {"error": sim_run.error}
     if args.format == "json":
         payload = run_result_to_dict(run)
+        if validation is not None:
+            payload["validation"] = validation
         if args.stats:
             payload["session_stats"] = session.cache_info()._asdict()
         print(json.dumps(payload, indent=2))
@@ -108,10 +138,86 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(timing_report(session.system, run.analysis.rho))
         print()
     print(schedulability_report(session.system, run.report, run.buffers))
+    if validation is not None:
+        if "skipped" in validation:
+            print(f"validation: skipped ({validation['skipped']})")
+        elif "error" in validation:
+            print(f"validation: simulation failed: {validation['error']}")
+        else:
+            print(
+                f"validation: {validation['violations']} dispatch "
+                f"violations, bound excess {validation['bound_excess']:.3f}"
+            )
+            for detail in validation["violation_details"]:
+                print(f"  {json.dumps(detail, sort_keys=True)}")
     if args.stats:
         print()
         _print_session_stats(session)
     return 0 if run.schedulable else 1
+
+
+def _cmd_conform(args: argparse.Namespace) -> int:
+    from .conformance import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        campaign=args.campaign,
+        seed0=args.seed0,
+        workers=args.workers,
+        periods=args.periods,
+        nodes=args.nodes,
+        processes_per_node=args.processes_per_node,
+        shrink=not args.no_shrink,
+        fixture_dir=args.out,
+    )
+    report = run_campaign(spec)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.clean else 1
+    counts = report.counts
+    print(
+        f"conformance campaign: {spec.campaign} workloads from seed "
+        f"{spec.seed0} ({spec.workers} workers)"
+    )
+    for status in ("ok", "unschedulable", "error", "violation"):
+        if counts.get(status):
+            print(f"  {status}: {counts[status]}")
+    for outcome in report.violating:
+        print(f"  seed {outcome.seed}: {len(outcome.violations)} violations")
+        for violation in outcome.violations:
+            if violation.kind == "missing-message":
+                # Here `observed` is the dispatch instant and `bound`
+                # the (possibly never reached) arrival — a different
+                # sentence than the bound-exceeded kinds.
+                arrival = (
+                    f"available at {violation.bound:.3f}"
+                    if violation.bound != float("inf")
+                    else "never available"
+                )
+                print(
+                    f"    {violation.kind} {violation.activity}: "
+                    f"dispatched at {violation.observed:.3f}, "
+                    f"{violation.detail.get('missing_message', '?')} "
+                    f"{arrival}"
+                )
+            else:
+                print(
+                    f"    {violation.kind} {violation.activity}: observed "
+                    f"{violation.observed:.3f} > bound {violation.bound:.3f}"
+                )
+        if outcome.fixture:
+            print(f"    counterexample fixture: {outcome.fixture}")
+    for outcome in report.errored:
+        print(f"  seed {outcome.seed}: evaluation error: {outcome.error}")
+    if report.clean:
+        verdict = "CLEAN"
+    elif report.violating:
+        verdict = "VIOLATED"
+    else:
+        # Errors only: nothing was falsified, but nothing was verified
+        # either — do not report a green contract.
+        verdict = "NOT VERIFIED (evaluation errors)"
+    print("dominance contract:", verdict)
+    return 0 if report.clean else 1
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -218,7 +324,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print session statistics (analysis wall-time, kernel "
              "compiles/incremental recompiles, memoization counters)",
     )
+    ana.add_argument(
+        "--validate", action="store_true",
+        help="also simulate and report dispatch violations with full "
+             "causal context (producer finish, gateway transfer window, "
+             "consumer slot)",
+    )
     ana.set_defaults(func=_cmd_analyze)
+
+    conf = sub.add_parser(
+        "conform",
+        help="fuzz the analysis-dominates-simulation contract",
+    )
+    conf.add_argument(
+        "--campaign", type=int, default=100,
+        help="number of seeded random workloads (default 100)",
+    )
+    conf.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    conf.add_argument("--seed0", type=int, default=0)
+    conf.add_argument("--periods", type=int, default=3)
+    conf.add_argument("--nodes", type=int, default=2)
+    conf.add_argument("--processes-per-node", type=int, default=8)
+    conf.add_argument(
+        "--out", default=None,
+        help="directory for shrunken counterexample fixtures "
+             "(default: do not persist)",
+    )
+    conf.add_argument(
+        "--no-shrink", action="store_true",
+        help="persist violating workloads without minimizing them first",
+    )
+    conf.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the full campaign report)",
+    )
+    conf.set_defaults(func=_cmd_conform)
 
     syn = sub.add_parser("synthesize", help="synthesize a configuration")
     syn.add_argument("system", help="system JSON file")

@@ -1,0 +1,320 @@
+"""The conformance campaign: fuzz the dominance contract at scale.
+
+A campaign sweeps ``N`` seeded random workloads (the paper's generator,
+:func:`repro.synth.workload.generate_workload`, at a size chosen for
+throughput) through analysis *and* simulation, classifies every breach
+of the dominance contract, shrinks counterexamples to minimal graphs and
+persists them as replayable fixtures.  Per seed:
+
+1. generate the workload (the seed also varies utilization and the
+   inter-cluster message count, so campaigns cover light and congested
+   gateways alike);
+2. build the canonical configuration — HOPA priorities plus a TDMA round
+   aligned to the graph period (:func:`conformance_configuration`);
+3. run the ``"simulation"`` backend through a
+   :class:`repro.api.Session` batch (``Session.evaluate_many``), which
+   performs the analysis pass, executes the schedule tables in the DES
+   engine and reports both sides in one record;
+4. classify (:func:`repro.conformance.classify.classify_run`).
+
+Schedulable-and-converged verdicts are the contract's domain — the
+dominance promise of the paper holds in the WCET regime for schedulable
+systems — so unschedulable/non-converged seeds count as covered but are
+not simulated.  Campaigns parallelize across worker processes and
+degrade to serial execution where pools are unavailable, mirroring the
+Session batch path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.session import Session
+from ..buses.ttp import Slot, TTPBusConfig
+from ..exceptions import ReproError
+from ..model.configuration import SystemConfiguration
+from ..optim.hopa import hopa_priorities
+from ..optim.slots import default_capacities
+from ..synth.workload import WorkloadSpec, generate_workload
+from ..system import System
+from .classify import ConformanceViolation, classify_run
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "SeedOutcome",
+    "conformance_configuration",
+    "evaluate_workload",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Parameters of one conformance campaign.
+
+    ``campaign`` workloads are generated from seeds ``seed0 ..
+    seed0+campaign-1``.  The workload size is deliberately small (a few
+    dozen processes): the contract is about *semantics*, which small
+    systems with a busy gateway probe far faster than the paper's
+    400-process experiments — and a campaign must be able to afford
+    thousands of seeds.  Per-seed, the target utilization and the
+    gateway message count are varied deterministically so the sweep
+    covers both idle and congested gateways.
+    """
+
+    campaign: int = 100
+    seed0: int = 0
+    workers: int = 1
+    periods: int = 3
+    nodes: int = 2
+    processes_per_node: int = 8
+    rounds_per_period: int = 10
+    utilizations: Tuple[float, ...] = (0.2, 0.35, 0.5)
+    gateway_messages: Tuple[int, ...] = (2, 4, 8)
+    shrink: bool = True
+    fixture_dir: Optional[str] = None
+
+    def workload_spec(self, seed: int) -> WorkloadSpec:
+        """The deterministic workload recipe of one seed."""
+        return WorkloadSpec(
+            nodes=self.nodes,
+            processes_per_node=self.processes_per_node,
+            target_utilization=self.utilizations[seed % len(self.utilizations)],
+            gateway_messages=self.gateway_messages[
+                (seed // len(self.utilizations)) % len(self.gateway_messages)
+            ],
+            graph_size_range=(3, max(4, self.processes_per_node)),
+            seed=seed,
+        )
+
+
+@dataclass
+class SeedOutcome:
+    """What one seed contributed to the campaign."""
+
+    seed: int
+    #: ``"ok"`` (dominance held), ``"unschedulable"`` (outside the
+    #: contract's domain), ``"error"`` (could not be evaluated) or
+    #: ``"violation"``.
+    status: str
+    violations: List[ConformanceViolation] = field(default_factory=list)
+    processes: int = 0
+    messages: int = 0
+    error: Optional[str] = None
+    fixture: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (campaign reports)."""
+        return {
+            "seed": self.seed,
+            "status": self.status,
+            "violations": [v.to_dict() for v in self.violations],
+            "processes": self.processes,
+            "messages": self.messages,
+            "error": self.error,
+            "fixture": self.fixture,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign."""
+
+    spec: CampaignSpec
+    outcomes: List[SeedOutcome]
+
+    @property
+    def violating(self) -> List[SeedOutcome]:
+        """Seeds on which the dominance contract broke."""
+        return [o for o in self.outcomes if o.status == "violation"]
+
+    @property
+    def errored(self) -> List[SeedOutcome]:
+        """Seeds that could not be evaluated at all."""
+        return [o for o in self.outcomes if o.status == "error"]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Seed count per status."""
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    @property
+    def clean(self) -> bool:
+        """True when no seed violated the contract *and* none errored.
+
+        An errored seed exercised nothing — a campaign whose seeds all
+        fail to evaluate must not pass as evidence that the dominance
+        contract holds (the same false-clean rule as
+        :func:`repro.conformance.fixtures.replay_fixture`).
+        """
+        return not self.violating and not self.errored
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (the CLI's ``--format json`` payload)."""
+        return {
+            "campaign": self.spec.campaign,
+            "seed0": self.spec.seed0,
+            "counts": self.counts,
+            "clean": self.clean,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+
+def conformance_configuration(
+    system: System, rounds_per_period: int = 10
+) -> SystemConfiguration:
+    """Canonical configuration for a generated workload.
+
+    HOPA priorities (the baseline every heuristic starts from) and a
+    TDMA round aligned to the common graph period: each TTP slot owner
+    gets its minimal legal capacity and an equal share of
+    ``period / rounds_per_period`` — the alignment the simulator requires
+    (the cyclic schedule and the TDMA grid must tile consistently).
+    """
+    owners = system.arch.ttp_slot_owners()
+    period = min(g.period for g in system.app.graphs.values())
+    duration = period / (rounds_per_period * len(owners))
+    capacities = default_capacities(system)
+    bus = TTPBusConfig(
+        [Slot(node, capacities[node], duration) for node in owners]
+    )
+    return SystemConfiguration(bus=bus, priorities=hopa_priorities(system))
+
+
+def evaluate_workload(
+    system: System,
+    periods: int = 3,
+    rounds_per_period: int = 10,
+    config: Optional[SystemConfiguration] = None,
+) -> Tuple[str, List[ConformanceViolation], Optional[str]]:
+    """Analyse + simulate one workload and classify the outcome.
+
+    Returns ``(status, violations, error)`` with ``status`` as in
+    :class:`SeedOutcome`.  The evaluation rides the Session batch path
+    (``evaluate_many``) so conformance runs exercise exactly the surface
+    production sweeps use.
+    """
+    if config is None:
+        config = conformance_configuration(system, rounds_per_period)
+    session = Session(system)
+    analysis = session.evaluate_many([config], backend="analysis")[0]
+    if not analysis.feasible:
+        return "error", [], analysis.error
+    if not (analysis.schedulable and analysis.converged):
+        return "unschedulable", [], None
+    # Hand the memoized analysis pass over so the simulation backend does
+    # not re-run the Fig. 5 fixed point (analysis_run is cache-neutral —
+    # it is in the session's non-key options).
+    run = session.evaluate_many(
+        [config], backend="simulation", periods=periods,
+        analysis_run=analysis,
+    )[0]
+    if not run.feasible:
+        return "error", [], run.error
+    violations = classify_run(run)
+    return ("violation" if violations else "ok"), violations, None
+
+
+def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
+    """Worker entry point: one seed end to end (picklable)."""
+    spec, seed = payload
+    try:
+        system = generate_workload(spec.workload_spec(seed))
+    except ReproError as exc:
+        return SeedOutcome(seed=seed, status="error", error=str(exc))
+    outcome = SeedOutcome(
+        seed=seed,
+        status="ok",
+        processes=system.app.process_count(),
+        messages=system.app.message_count(),
+    )
+    status, violations, error = evaluate_workload(
+        system,
+        periods=spec.periods,
+        rounds_per_period=spec.rounds_per_period,
+    )
+    outcome.status = status
+    outcome.violations = violations
+    outcome.error = error
+    if status == "violation" and spec.fixture_dir is not None:
+        outcome.fixture = _pin_counterexample(spec, seed, system, violations)
+    return outcome
+
+
+def _pin_counterexample(
+    spec: CampaignSpec,
+    seed: int,
+    system: System,
+    violations: List[ConformanceViolation],
+) -> str:
+    """Shrink a violating workload and persist it as a fixture."""
+    from .fixtures import save_fixture
+    from .shrink import shrink_counterexample
+
+    if spec.shrink:
+        system, violations = shrink_counterexample(
+            system,
+            violations,
+            periods=spec.periods,
+            rounds_per_period=spec.rounds_per_period,
+        )
+    path = Path(spec.fixture_dir) / f"seed{seed}.json"
+    save_fixture(
+        path,
+        system,
+        conformance_configuration(system, spec.rounds_per_period),
+        violations,
+        meta={
+            "seed": seed,
+            "periods": spec.periods,
+            "rounds_per_period": spec.rounds_per_period,
+            "shrunk": spec.shrink,
+        },
+    )
+    return str(path)
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignReport:
+    """Run one conformance campaign (see module docstring)."""
+    if spec.fixture_dir is not None:
+        Path(spec.fixture_dir).mkdir(parents=True, exist_ok=True)
+    seeds = [
+        (spec, seed)
+        for seed in range(spec.seed0, spec.seed0 + spec.campaign)
+    ]
+    outcomes: Optional[List[SeedOutcome]] = None
+    if spec.workers > 1 and len(seeds) > 1:
+        outcomes = _run_pool(seeds, spec.workers)
+    if outcomes is None:
+        outcomes = [_evaluate_seed(item) for item in seeds]
+    return CampaignReport(spec=spec, outcomes=outcomes)
+
+
+def _run_pool(
+    seeds: List[Tuple[CampaignSpec, int]], workers: int
+) -> Optional[List[SeedOutcome]]:
+    """Fan seeds out to a process pool; ``None`` when pools don't work."""
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunksize = max(1, len(seeds) // (workers * 4))
+            return list(pool.map(_evaluate_seed, seeds, chunksize=chunksize))
+    except (OSError, PermissionError, pickle.PicklingError,
+            BrokenProcessPool) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); "
+            "running the campaign serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None

@@ -1,0 +1,186 @@
+"""Violation classification: one simulation run vs. its analytic bounds.
+
+:func:`classify_run` inspects a ``"simulation"`` backend
+:class:`repro.api.result.RunResult` — which carries both the analytic
+verdict (timing table, graph bounds, buffer bounds) and the simulated
+observations (in ``metadata``) — and emits one
+:class:`ConformanceViolation` per dominance breach:
+
+* ``missing-message`` — a TT process was dispatched before an input
+  message arrived (the simulator's :class:`ScheduleViolation`, full
+  causal context preserved in ``detail``);
+* ``deadline`` — an observed graph end-to-end response exceeded its
+  analytic bound;
+* ``response-bound`` — an observed process response exceeded its bound;
+* ``jitter-bound`` — an observed message delivery latency exceeded the
+  analytic worst-case arrival;
+* ``queue-bound`` — an observed queue peak exceeded its buffer bound.
+
+Everything is computed from the serialized surface of the result (no
+live analysis payload needed), so classification works identically on
+fresh runs, memoized runs and fixture replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ConformanceViolation", "classify_run", "TOLERANCE"]
+
+#: Slack applied to every observed-vs-bound comparison; mirrors the
+#: tolerance of the property-based dominance test.
+TOLERANCE = 1e-6
+
+#: Classification kinds, in reporting order.
+KINDS = (
+    "missing-message",
+    "deadline",
+    "response-bound",
+    "jitter-bound",
+    "queue-bound",
+)
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """One classified breach of the dominance contract."""
+
+    kind: str
+    activity: str
+    observed: float
+    bound: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def excess(self) -> float:
+        """How far past the bound the observation landed."""
+        return self.observed - self.bound
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (campaign reports, fixtures).
+
+        Non-finite bounds (a message that never arrived) map to ``None``
+        so ``json.dumps`` never emits the non-RFC ``Infinity`` token —
+        the same convention as ``repro.api.result.timing_table``.
+        """
+        import math
+
+        return {
+            "kind": self.kind,
+            "activity": self.activity,
+            "observed": self.observed,
+            "bound": self.bound if math.isfinite(self.bound) else None,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConformanceViolation":
+        """Rebuild from :meth:`to_dict` output."""
+        bound = data["bound"]
+        return cls(
+            kind=data["kind"],
+            activity=data["activity"],
+            observed=data["observed"],
+            bound=float("inf") if bound is None else bound,
+            detail=dict(data.get("detail", {})),
+        )
+
+
+def _delivery_bound(timing: Dict[str, Dict[str, Any]], name: str) -> Optional[float]:
+    """Analytic worst-case delivery latency of message ``name``.
+
+    An ET->TT message is delivered by its TTP leg, a CAN-borne one by its
+    CAN leg, a TT->TT one at its statically fixed arrival — checked in
+    that precedence (an ET->TT message has both a ``can`` and a ``ttp``
+    row; the consumer sees the later TTP leg).
+    """
+    for kind in ("ttp", "can", "tt"):
+        row = timing.get(f"{kind}:{name}")
+        if row is not None:
+            return row["worst_end"]
+    return None
+
+
+def classify_run(run) -> List[ConformanceViolation]:
+    """Classify every dominance violation of one simulation run.
+
+    ``run`` must come from the ``"simulation"`` backend (its ``metadata``
+    carries the observations).  Returns an empty list when the analysis
+    dominates the simulation — the conformance contract.
+    """
+    violations: List[ConformanceViolation] = []
+    meta = run.metadata
+
+    for detail in meta.get("violation_details", ()):
+        arrival = detail.get("message_arrival")
+        violations.append(
+            ConformanceViolation(
+                kind="missing-message",
+                activity=detail["process"],
+                observed=detail["dispatch_time"],
+                bound=arrival if arrival is not None else float("inf"),
+                detail=dict(detail),
+            )
+        )
+
+    for graph, observed in meta.get("observed_graph_response", {}).items():
+        bound = run.graph_responses.get(graph)
+        if bound is not None and observed > bound + TOLERANCE:
+            violations.append(
+                ConformanceViolation(
+                    kind="deadline",
+                    activity=graph,
+                    observed=observed,
+                    bound=bound,
+                )
+            )
+
+    for name, observed in meta.get("observed_process_response", {}).items():
+        row = run.timing.get(f"process:{name}")
+        if row is None:
+            continue
+        bound = row["worst_end"]
+        if bound is not None and observed > bound + TOLERANCE:
+            violations.append(
+                ConformanceViolation(
+                    kind="response-bound",
+                    activity=name,
+                    observed=observed,
+                    bound=bound,
+                )
+            )
+
+    for name, observed in meta.get("observed_message_latency", {}).items():
+        bound = _delivery_bound(run.timing, name)
+        if bound is not None and observed > bound + TOLERANCE:
+            violations.append(
+                ConformanceViolation(
+                    kind="jitter-bound",
+                    activity=name,
+                    observed=observed,
+                    bound=bound,
+                )
+            )
+
+    if run.buffers is not None:
+        peaks = meta.get("observed_queue_peak", {})
+        bounds = {"Out_CAN": run.buffers.out_can, "Out_TTP": run.buffers.out_ttp}
+        bounds.update(
+            (f"Out_{node}", bound)
+            for node, bound in run.buffers.out_node.items()
+        )
+        for queue, bound in bounds.items():
+            observed = peaks.get(queue, 0.0)
+            if observed > bound + TOLERANCE:
+                violations.append(
+                    ConformanceViolation(
+                        kind="queue-bound",
+                        activity=queue,
+                        observed=observed,
+                        bound=bound,
+                    )
+                )
+
+    violations.sort(key=lambda v: (KINDS.index(v.kind), v.activity))
+    return violations

@@ -23,7 +23,6 @@ message inside its [ASAP, ALAP] interval".
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..buses.ttp import TTPBusConfig
@@ -31,6 +30,7 @@ from ..exceptions import SchedulingError
 from ..model.application import ProcessGraph
 from ..model.architecture import MessageRoute
 from ..model.configuration import OffsetTable
+from ..semantics import et_to_tt_constraint
 from ..system import System
 from ..analysis.timing import ResponseTimes
 from .schedule_table import FrameSlot, ScheduleEntry, StaticSchedule
@@ -76,28 +76,6 @@ class _NodeTimeline:
     def reserve(self, start: float, end: float) -> None:
         self._busy.append((start, end))
         self._busy.sort()
-
-
-def _arrival_of_et_to_tt(
-    msg_name: str,
-    rho: Optional[ResponseTimes],
-    arrival_floors: Optional[Mapping[str, float]],
-) -> float:
-    """Worst-case arrival of an ET->TT message per the previous analysis.
-
-    On the very first pass (``rho is None``) the ETC influence is ignored,
-    exactly as the initial-offset step of Fig. 5 prescribes.
-    ``arrival_floors`` (maintained by the multi-cluster loop) ratchets the
-    constraint monotonically so the fixed point cannot limit-cycle.
-    """
-    arrival = 0.0
-    if rho is not None and msg_name in rho.ttp:
-        end = rho.ttp[msg_name].worst_end
-        if not math.isinf(end):
-            arrival = end
-    if arrival_floors is not None:
-        arrival = max(arrival, arrival_floors.get(msg_name, 0.0))
-    return arrival
 
 
 def static_schedule(
@@ -184,8 +162,11 @@ def static_schedule(
             if route is MessageRoute.TT_TO_TT:
                 est = max(est, message_arrival[msg_name])
             elif route is MessageRoute.ET_TO_TT:
+                # Shared dispatch-eligibility contract: the consumer may
+                # not start before the message's worst-case availability
+                # (repro.semantics; the floors are the Fig. 5 ratchet).
                 est = max(
-                    est, _arrival_of_et_to_tt(msg_name, rho, arrival_floors)
+                    est, et_to_tt_constraint(msg_name, rho, arrival_floors)
                 )
         start = timelines[proc.node].earliest_start(est, proc.wcet)
         end = start + proc.wcet

@@ -1,0 +1,32 @@
+"""Shared timing semantics of the two-cluster platform.
+
+One module owns the semantics both the analytic side (scheduler, holistic
+analysis, compiled kernel, buffer bounds) and the operational side (the
+discrete-event simulator) must agree on — message readiness, gateway
+transfer timing, Out_TTP FIFO ordering and TT dispatch eligibility — so
+the two can never drift again.  See :mod:`repro.semantics.contract` for
+the contract itself and DESIGN.md ("The shared timing-semantics
+contract") for the dominance invariant it guarantees.
+"""
+
+from .contract import (
+    DISPATCH_TOLERANCE,
+    dispatch_respects_arrival,
+    et_to_tt_constraint,
+    ettt_queue_instant,
+    fifo_competitors,
+    fifo_drain_rounds,
+    gateway_transfer_delay,
+    ratchet_arrival_floors,
+)
+
+__all__ = [
+    "DISPATCH_TOLERANCE",
+    "dispatch_respects_arrival",
+    "et_to_tt_constraint",
+    "ettt_queue_instant",
+    "fifo_competitors",
+    "fifo_drain_rounds",
+    "gateway_transfer_delay",
+    "ratchet_arrival_floors",
+]

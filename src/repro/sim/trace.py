@@ -17,20 +17,55 @@ bounds, so the two can be compared mechanically:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["ScheduleViolation", "SimulationTrace"]
 
 
 @dataclass(frozen=True)
 class ScheduleViolation:
-    """A TT process started before one of its inputs was present."""
+    """A TT process started before one of its inputs was present.
+
+    Beyond the identification fields, the record carries the full causal
+    context of the missing message's journey through the platform — as
+    far as the simulation had progressed by the dispatch instant — so a
+    divergence between analysis and simulation is diagnosable from the
+    serialized record alone (CI logs, conformance fixtures):
+
+    * ``producer``/``producer_finish`` — the sending process and when it
+      completed (``None``: it had not finished yet);
+    * ``can_delivery`` — when the CAN leg delivered the frame to the
+      gateway controller (ET->TT messages);
+    * ``fifo_entry`` — when the transfer process ``T`` placed the frame
+      in the ``Out_TTP`` FIFO;
+    * ``gateway_slot_start``/``gateway_slot_end`` — the transfer window
+      of the gateway TDMA slot that eventually carried the frame;
+    * ``message_arrival`` — when the message finally became available
+      (``None``: never, within the simulated horizon);
+    * ``consumer_slot_start``/``consumer_slot_end`` — the consumer's
+      schedule-table slot that fired too early;
+    * ``route`` — the message's route (e.g. ``"ET_TO_TT"``).
+    """
 
     process: str
     instance: int
     dispatch_time: float
     missing_message: str
+    producer: Optional[str] = None
+    producer_finish: Optional[float] = None
+    can_delivery: Optional[float] = None
+    fifo_entry: Optional[float] = None
+    gateway_slot_start: Optional[float] = None
+    gateway_slot_end: Optional[float] = None
+    message_arrival: Optional[float] = None
+    consumer_slot_start: Optional[float] = None
+    consumer_slot_end: Optional[float] = None
+    route: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (used by result metadata and fixtures)."""
+        return asdict(self)
 
 
 @dataclass

@@ -136,3 +136,37 @@ class TestSensitivity:
         bad.write_text(_json.dumps(config_to_dict(fig4_configuration("a"))))
         code = main(["sensitivity", str(system_file), str(bad)])
         assert code == 1
+
+
+class TestConform:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(["conform", "--campaign", "6", "--seed0", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dominance contract: CLEAN" in out
+
+    def test_json_report(self, capsys):
+        code = main([
+            "conform", "--campaign", "4", "--seed0", "10",
+            "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaign"] == 4
+        assert data["clean"] is True
+        assert len(data["outcomes"]) == 4
+
+
+class TestAnalyzeValidate:
+    def test_validate_renders_causal_context_in_json(
+        self, system_file, config_file, capsys
+    ):
+        code = main([
+            "analyze", str(system_file), str(config_file),
+            "--validate", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["validation"]["violations"] == 0
+        assert data["validation"]["violation_details"] == []
+        assert data["validation"]["bound_excess"] <= 1e-6

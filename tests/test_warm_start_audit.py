@@ -1,0 +1,68 @@
+"""Audit of ``multi_cluster_scheduling(warm_start=True)`` vs. the shared
+semantics: warm seeding is a *safe* accelerator.
+
+The cross-iteration warm start seeds each Fig. 5 analysis pass from the
+previous iteration's solution, which is documented as a safe (possibly
+pessimistic) upper bound — never an unsound one.  The enforced corollary:
+opt-in warm seeding may cost schedulability margin but must never *flip*
+a schedulable verdict to unschedulable relative to the cold path, and
+the schedules it emits must still satisfy the shared dispatch contract.
+"""
+
+import pytest
+
+from repro.analysis import degree_of_schedulability, multi_cluster_scheduling
+from repro.conformance import CampaignSpec, conformance_configuration
+from repro.synth.workload import generate_workload
+
+from test_properties import build_random_system
+
+#: A spread of the property-test generator's space, the historical
+#: counterexample included.
+CHAIN_SEEDS = [0, 7, 99, 517, 1654, 2048, 4242, 9001]
+
+
+def _verdict(system, result):
+    if not (result.converged and result.rho.all_converged()):
+        return False
+    return degree_of_schedulability(system, result.rho).schedulable
+
+
+@pytest.mark.parametrize("seed", CHAIN_SEEDS)
+def test_warm_start_never_flips_schedulable_chain_systems(seed):
+    system, config = build_random_system(seed, n_graphs=3, chain_len=5)
+    cold = multi_cluster_scheduling(system, config.bus, config.priorities)
+    warm = multi_cluster_scheduling(
+        system, config.bus, config.priorities, warm_start=True
+    )
+    if _verdict(system, cold):
+        assert _verdict(system, warm), (
+            f"warm start flipped seed {seed} to unschedulable"
+        )
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 24, 57])
+def test_warm_start_never_flips_schedulable_workloads(seed):
+    spec = CampaignSpec()
+    system = generate_workload(spec.workload_spec(seed))
+    config = conformance_configuration(system)
+    cold = multi_cluster_scheduling(system, config.bus, config.priorities)
+    warm = multi_cluster_scheduling(
+        system, config.bus, config.priorities, warm_start=True
+    )
+    if _verdict(system, cold):
+        assert _verdict(system, warm), (
+            f"warm start flipped workload seed {seed} to unschedulable"
+        )
+
+
+@pytest.mark.parametrize("seed", [1654, 24])
+def test_warm_schedules_respect_dispatch_contract(seed):
+    """Warm-started schedules still pass the static dispatch audit."""
+    system, config = build_random_system(seed, n_graphs=3, chain_len=5)
+    warm = multi_cluster_scheduling(
+        system, config.bus, config.priorities, warm_start=True
+    )
+    if not (warm.converged and warm.rho.all_converged()):
+        pytest.skip("outside the contract's domain (overload)")
+    assert warm.schedule.audit_dispatch_eligibility(system, warm.rho) == []
