@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Kernel performance trajectory: write a ``BENCH_kernel.json`` record.
+"""Kernel performance trajectory: write ``BENCH_kernel.json`` and
+``BENCH_sim.json`` records.
 
 Times the three layers the compiled kernel accelerated, on the paper's
 160-process experimental scale (``WorkloadSpec(nodes=4, seed=0)``):
@@ -13,16 +14,26 @@ Times the three layers the compiled kernel accelerated, on the paper's
   section-6 "minutes not hours" argument), which now routes through a
   session-owned kernel with incremental recompilation.
 
-The record is appended-safe: each invocation rewrites the file with a
-fresh measurement plus the machine's Python version, so committed
+``BENCH_sim.json`` is the simulation series next to the analysis one:
+
+* ``simulation``  — legacy engine vs compiled kernel (compile once +
+  replay) on the same 160-process workload, with events/sec;
+* ``campaign``    — a conformance campaign (default 1000 seeds) through
+  the PR-3-era path (full-scan workload steering, evaluate_many
+  double-dispatch, legacy engine) vs the current chunked campaign
+  runner on the compiled kernel, at ``--workers 4`` and serially.
+
+The records are appended-safe: each invocation rewrites the files with
+fresh measurements plus the machine's Python version, so committed
 snapshots form a trajectory across PRs.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+    PYTHONPATH=src python benchmarks/run_bench.py [kernel.json] [sim.json]
 
 Scale knobs: ``REPRO_BENCH_NODES`` (default 4), ``REPRO_BENCH_RTA_REPS``
-(default 10).
+(default 10), ``REPRO_BENCH_SIM_REPS`` (default 20),
+``REPRO_BENCH_CAMPAIGN`` (default 1000).
 """
 
 import json
@@ -45,8 +56,165 @@ def _timed(fn, *args, **kwargs):
     return time.perf_counter() - t0, result
 
 
+def _legacy_campaign_seed(payload):
+    """One seed through the PR-3-era campaign path (picklable).
+
+    Reconstructed verbatim for the baseline: full-scan gateway-traffic
+    steering in the generator, the memoizing ``evaluate_many``
+    double-dispatch, and the legacy event-by-event simulation engine.
+    """
+    spec, seed = payload
+    import repro.synth.workload as workload_mod
+    from repro.api.session import Session
+    from repro.conformance.campaign import conformance_configuration
+    from repro.conformance.classify import classify_run
+
+    steer = workload_mod._steer_gateway_traffic
+    workload_mod._steer_gateway_traffic = (
+        workload_mod._steer_gateway_traffic_scan
+    )
+    try:
+        system = workload_mod.generate_workload(spec.workload_spec(seed))
+    finally:
+        workload_mod._steer_gateway_traffic = steer
+    config = conformance_configuration(system, spec.rounds_per_period)
+    session = Session(system)
+    analysis = session.evaluate_many([config], backend="analysis")[0]
+    if not analysis.feasible:
+        return "error"
+    if not (analysis.schedulable and analysis.converged):
+        return "unschedulable"
+    run = session.evaluate_many(
+        [config], backend="simulation", periods=spec.periods,
+        analysis_run=analysis, engine="legacy",
+    )[0]
+    if not run.feasible:
+        return "error"
+    return "violation" if classify_run(run) else "ok"
+
+
+def _legacy_campaign(spec, workers):
+    """Wall-clock of the reconstructed PR-3 campaign."""
+    import pickle
+    from concurrent.futures.process import BrokenProcessPool
+
+    seeds = [(spec, s) for s in range(spec.seed0, spec.seed0 + spec.campaign)]
+    t0 = time.perf_counter()
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunksize = max(1, len(seeds) // (workers * 4))
+                statuses = list(
+                    pool.map(_legacy_campaign_seed, seeds, chunksize=chunksize)
+                )
+        except (OSError, PermissionError, pickle.PicklingError,
+                BrokenProcessPool):
+            # Same degraded mode run_campaign falls back to, so the
+            # recorded comparison stays serial-vs-serial there too.
+            statuses = [_legacy_campaign_seed(item) for item in seeds]
+    else:
+        statuses = [_legacy_campaign_seed(item) for item in seeds]
+    elapsed = time.perf_counter() - t0
+    assert "violation" not in statuses and "error" not in statuses
+    return elapsed
+
+
+def bench_sim(output, system, nodes):
+    """Measure the simulation series and write ``BENCH_sim.json``."""
+    import warnings
+
+    from repro.conformance import CampaignSpec, run_campaign
+    from repro.conformance.campaign import conformance_configuration
+    from repro.sim.engine import legacy_simulate
+    from repro.sim.kernel import SimContext
+
+    sim_reps = int(os.environ.get("REPRO_BENCH_SIM_REPS", 20))
+    campaign_n = int(os.environ.get("REPRO_BENCH_CAMPAIGN", 1000))
+    periods = 4
+
+    # -- the 160-process simulation, legacy vs compiled ----------------------
+    config = conformance_configuration(system, rounds_per_period=10)
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    config.offsets = result.offsets
+    legacy_s, _ = _timed(lambda: [
+        legacy_simulate(system, config, result.schedule, periods=periods)
+        for _ in range(sim_reps)
+    ])
+    compile_s, context = _timed(
+        SimContext, system, config, result.schedule
+    )
+    kernel_s, _ = _timed(lambda: [
+        context.run(periods) for _ in range(sim_reps)
+    ])
+    events = context.last_replay["events"]
+
+    # -- the conformance campaign, PR-3 path vs current ----------------------
+    spec4 = CampaignSpec(campaign=campaign_n, seed0=0, workers=4)
+    spec1 = CampaignSpec(campaign=campaign_n, seed0=0, workers=1)
+    legacy_campaign_w4 = _legacy_campaign(spec4, workers=4)
+    legacy_campaign_w1 = _legacy_campaign(spec1, workers=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        new_w4, report4 = _timed(run_campaign, spec4)
+    new_w1, report1 = _timed(run_campaign, spec1)
+    assert report4.clean and report1.clean
+    profile = report1.profile
+
+    record = {
+        "benchmark": "sim",
+        "workload": {
+            "nodes": nodes,
+            "seed": 0,
+            "processes": system.app.process_count(),
+            "messages": system.app.message_count(),
+        },
+        "python": platform.python_version(),
+        "cores": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "simulation": {
+            "reps": sim_reps,
+            "periods": periods,
+            "legacy_s": legacy_s,
+            "kernel_replay_s": kernel_s,
+            "kernel_compile_s": compile_s,
+            "events_per_replay": events,
+            "events_per_s": events * sim_reps / max(kernel_s, 1e-9),
+            "speedup": legacy_s / max(kernel_s, 1e-9),
+            "speedup_one_shot": legacy_s / max(
+                kernel_s + compile_s * sim_reps, 1e-9
+            ),
+        },
+        "campaign": {
+            "seeds": campaign_n,
+            "legacy_path_workers4_s": legacy_campaign_w4,
+            "legacy_path_serial_s": legacy_campaign_w1,
+            "workers4_s": new_w4,
+            "serial_s": new_w1,
+            "speedup_workers4": legacy_campaign_w4 / max(new_w4, 1e-9),
+            "speedup_serial": legacy_campaign_w1 / max(new_w1, 1e-9),
+            "seeds_per_s": campaign_n / max(new_w4, 1e-9),
+            "events_per_s": profile["events_per_s"],
+            "per_phase_serial_s": {
+                "generate": profile["generate_s"],
+                "analyze": profile["analyze_s"],
+                "simulate": profile["simulate_s"],
+            },
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {output}")
+
+
 def main(argv):
     output = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
+    sim_output = argv[2] if len(argv) > 2 else "BENCH_sim.json"
     nodes = int(os.environ.get("REPRO_BENCH_NODES", 4))
     reps = int(os.environ.get("REPRO_BENCH_RTA_REPS", 10))
     spec = WorkloadSpec(nodes=nodes, seed=0)
@@ -143,6 +311,8 @@ def main(argv):
         handle.write("\n")
     print(json.dumps(record, indent=2))
     print(f"\nwrote {output}")
+
+    bench_sim(sim_output, system, nodes)
     return 0
 
 

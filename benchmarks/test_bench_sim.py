@@ -1,0 +1,121 @@
+"""Bench: compiled simulation kernel vs the legacy event-by-event engine.
+
+Mirrors ``test_bench_kernel.py`` for the simulator: the conformance
+campaign and every ``backend="simulation"`` evaluation replay the same
+``(System, configuration, schedule)`` triple many times, so the kernel
+compiles the static timeline once and replays it per run while the
+legacy engine re-builds closures and re-heaps every event per run.
+
+Functional assertions keep it honest: traces must agree **bit for
+bit** (the same check as ``tests/test_sim_parity.py``), and the
+compiled kernel must be at least 2x faster on the repeated-replay
+pattern even at CI smoke scale (the margin at the paper's 160-process
+scale is larger; see BENCH_sim.json from ``run_bench.py``).
+
+Scale knobs: ``REPRO_SIM_NODES`` (default 2), ``REPRO_SIM_REPS``
+(default 15).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import multi_cluster_scheduling
+from repro.conformance import conformance_configuration
+from repro.io import comparison_table
+from repro.sim import legacy_simulate
+from repro.sim.kernel import SimContext
+from repro.synth import WorkloadSpec, generate_workload
+
+
+def assert_traces_identical(a, b, context=""):
+    assert a.process_response == b.process_response, context
+    assert a.graph_response == b.graph_response, context
+    assert a.message_latency == b.message_latency, context
+    assert a.queue_peak == b.queue_peak, context
+    assert a.violations == b.violations, context
+    assert a.completed_instances == b.completed_instances, context
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    nodes = int(os.environ.get("REPRO_SIM_NODES", 2))
+    system = generate_workload(WorkloadSpec(nodes=nodes, seed=0))
+    config = conformance_configuration(system, rounds_per_period=10)
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    config.offsets = result.offsets
+    return system, config, result.schedule
+
+
+def test_sim_kernel_speedup(prepared, capsys):
+    system, config, schedule = prepared
+    reps = int(os.environ.get("REPRO_SIM_REPS", 15))
+    periods = 4
+
+    # Process CPU time and best-of-2 passes: the CI gate below must not
+    # turn red because a noisy shared runner stalled one timed loop.
+    legacy = compiled = None
+    legacy_time = kernel_time = float("inf")
+    for _attempt in range(2):
+        t0 = time.process_time()
+        legacy = [
+            legacy_simulate(system, config, schedule, periods=periods)
+            for _ in range(reps)
+        ]
+        legacy_time = min(legacy_time, time.process_time() - t0)
+
+        t0 = time.process_time()
+        context = SimContext(system, config, schedule)
+        compiled = [context.run(periods) for _ in range(reps)]
+        kernel_time = min(kernel_time, time.process_time() - t0)
+
+    for trace_a, trace_b in zip(legacy, compiled):
+        assert_traces_identical(trace_a, trace_b, "bench")
+
+    speedup = legacy_time / max(kernel_time, 1e-9)
+    rows = [
+        ["legacy (event-by-event)", f"{legacy_time:.3f}", "1.0x"],
+        ["kernel (compile once + replay)", f"{kernel_time:.3f}",
+         f"{speedup:.1f}x"],
+    ]
+    with capsys.disabled():
+        print()
+        print(comparison_table(
+            f"{reps} repeated simulations, "
+            f"{system.app.process_count()} processes, "
+            f"{periods} periods",
+            ["path", "cpu time [s]", "speedup"],
+            rows,
+        ))
+    # CI smoke gate: the compiled kernel must beat the legacy engine by
+    # at least 2x even at the small scale (compile cost included).
+    assert speedup >= 2.0, f"sim kernel speedup {speedup:.2f}x below 2x"
+
+
+def test_sim_kernel_one_shot_not_slower(prepared):
+    """Even a single simulation (compile + one replay, the campaign's
+    per-seed pattern) must not regress against the legacy engine."""
+    system, config, schedule = prepared
+    reps = int(os.environ.get("REPRO_SIM_REPS", 15))
+
+    # Best-of-2 passes, like the speedup gate above: one stalled timed
+    # loop on a noisy shared runner must not turn the CI job red.
+    legacy_time = oneshot_time = float("inf")
+    for _attempt in range(2):
+        t0 = time.process_time()
+        for _ in range(reps):
+            legacy_simulate(system, config, schedule, periods=3)
+        legacy_time = min(legacy_time, time.process_time() - t0)
+
+        t0 = time.process_time()
+        for _ in range(reps):
+            SimContext(system, config, schedule).run(3)
+        oneshot_time = min(oneshot_time, time.process_time() - t0)
+
+    assert oneshot_time <= legacy_time * 1.10, (
+        f"one-shot compiled simulation regressed: {oneshot_time:.3f}s vs "
+        f"legacy {legacy_time:.3f}s"
+    )

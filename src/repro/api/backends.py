@@ -20,6 +20,7 @@ registered engines immediately gain memoization and parallel dispatch.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Callable, Dict, List, Union
 
 from ..analysis.buffers import buffer_bounds
@@ -151,7 +152,9 @@ class SimulationBackend(EvaluationBackend):
       ``observed_message_latency`` / ``observed_queue_peak``;
     * ``bound_excess`` — the largest amount by which an observed graph
       response exceeded its analytic bound (<= 0 when analysis
-      dominates, as it must on deterministic WCET-regime runs).
+      dominates, as it must on deterministic WCET-regime runs);
+    * ``sim`` — engine instrumentation (compile/replay timings,
+      static/dynamic event counts, events per second).
 
     The verdict fields (``schedulable``, ``degree``, ``total_buffers``)
     are the analytic ones, so results from both backends rank
@@ -168,9 +171,20 @@ class SimulationBackend(EvaluationBackend):
         execution=None,
         max_iterations: int = 30,
         analysis_run: RunResult = None,
+        sim_context=None,
+        engine: str = "kernel",
     ) -> RunResult:
-        from ..sim.engine import simulate
-
+        # ``sim_context`` is a compiled repro.sim.kernel.SimContext for
+        # this (system, config, schedule) triple — a Session passes its
+        # cached one so repeated simulations of a configuration skip the
+        # compile.  ``engine`` selects the compiled kernel (default) or
+        # the pre-kernel event-by-event engine ("legacy", kept for
+        # parity testing and A/B benchmarks).
+        if engine not in ("kernel", "legacy"):
+            raise ConfigurationError(
+                f"unknown simulation engine {engine!r} "
+                "(choose 'kernel' or 'legacy')"
+            )
         if analysis_run is not None and not analysis_run.feasible:
             # A known-infeasible analysis pass settles the outcome;
             # don't pay for a second fixed-point attempt.
@@ -191,13 +205,38 @@ class SimulationBackend(EvaluationBackend):
                 backend=self.name, config=config, error=base.error
             )
         try:
-            trace = simulate(
-                system,
-                config,
-                base.analysis.schedule,
-                periods=periods,
-                execution=execution,
-            )
+            if engine == "legacy":
+                from ..sim.engine import legacy_simulate
+
+                started = time.perf_counter()
+                trace = legacy_simulate(
+                    system,
+                    config,
+                    base.analysis.schedule,
+                    periods=periods,
+                    execution=execution,
+                )
+                sim_profile = {
+                    "engine": "legacy",
+                    "replay_s": time.perf_counter() - started,
+                }
+            else:
+                from ..sim.kernel import SimContext
+
+                if sim_context is None:
+                    sim_context = SimContext(
+                        system, config, base.analysis.schedule
+                    )
+                # The compile cost belongs to the run that first uses
+                # the template (whether the backend or a Session
+                # compiled it); replays of a reused template paid none.
+                first_use = sim_context.stats.replays == 0
+                trace = sim_context.run(
+                    periods=periods, execution=execution
+                )
+                sim_profile = sim_context.profile()
+                if not first_use:
+                    sim_profile["compile_s"] = 0.0
         except SimulationError as exc:
             return RunResult(
                 backend=self.name, config=config, error=str(exc)
@@ -223,6 +262,10 @@ class SimulationBackend(EvaluationBackend):
             # Mirror the analysis backend's honest Fig. 5 iteration
             # count so both backends' metadata read the same way.
             "multicluster_iterations": base.iterations,
+            # Engine instrumentation: compile/replay timings and the
+            # event throughput (``repro simulate --stats`` and the
+            # conformance campaign's --profile report read this).
+            "sim": sim_profile,
         }
         return RunResult(
             backend=self.name,

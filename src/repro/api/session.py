@@ -42,16 +42,18 @@ from .result import RunResult
 __all__ = ["CacheInfo", "Session", "SynthesisResult", "config_hash"]
 
 #: Memoization and hot-path statistics of a session.  The first four
-#: fields are the original cache counters; the tail is the kernel
+#: fields are the original cache counters; then the analysis-kernel
 #: instrumentation: total wall-time spent inside evaluation backends,
 #: full kernel compiles, incremental kernel recompiles, and solves that
-#: were warm-started from a previous solution.
+#: were warm-started from a previous solution; and finally the
+#: simulation-kernel counters: compiled :class:`repro.sim.kernel.
+#: SimContext` templates and cache hits that reused one.
 CacheInfo = namedtuple(
     "CacheInfo",
     [
         "hits", "misses", "size", "backend_calls",
         "analysis_time", "kernel_compiles", "kernel_updates",
-        "warm_starts",
+        "warm_starts", "sim_compiles", "sim_reuses",
     ],
 )
 
@@ -79,33 +81,36 @@ def config_hash(config: SystemConfiguration) -> str:
 
 #: Backend options that carry derived inputs rather than evaluation
 #: parameters; excluded from cache keys so equal evaluations still hit.
-#: ``kernel`` is the session's compiled analysis context — evaluation
-#: plumbing, not an evaluation parameter.
-_NON_KEY_OPTIONS = frozenset({"analysis_run", "kernel"})
+#: ``kernel`` is the session's compiled analysis context and
+#: ``sim_context`` its compiled simulation template — evaluation
+#: plumbing, not evaluation parameters.
+_NON_KEY_OPTIONS = frozenset({"analysis_run", "kernel", "sim_context"})
 
-#: Per-backend-type memo of "run() accepts a kernel= keyword".
-_KERNEL_CAPABLE: Dict[type, bool] = {}
+#: Per-(backend type, option) memo of "run() accepts this keyword".
+_OPTION_CAPABLE: Dict[Tuple[type, str], bool] = {}
 
 
-def _accepts_kernel(resolved: "EvaluationBackend") -> bool:
-    """Whether a backend's ``run`` takes the ``kernel`` plumbing kwarg.
+def _accepts_option(resolved: "EvaluationBackend", option: str) -> bool:
+    """Whether a backend's ``run`` takes a given plumbing kwarg.
 
     Checked by signature, not only by type: a user subclass of
-    :class:`AnalysisBackend` may override ``run`` with the pre-kernel
-    signature and must not receive an unexpected keyword.  Memoized per
-    backend type — this sits on the per-evaluation hot path.
+    :class:`AnalysisBackend`/:class:`SimulationBackend` may override
+    ``run`` with an older signature and must not receive an unexpected
+    keyword.  Memoized per backend type — this sits on the
+    per-evaluation hot path.
     """
     kind = type(resolved)
-    cached = _KERNEL_CAPABLE.get(kind)
+    key = (kind, option)
+    cached = _OPTION_CAPABLE.get(key)
     if cached is None:
         import inspect
 
         try:
             parameters = inspect.signature(kind.run).parameters
-            cached = "kernel" in parameters
+            cached = option in parameters
         except (TypeError, ValueError):  # uninspectable callable
             cached = False
-        _KERNEL_CAPABLE[kind] = cached
+        _OPTION_CAPABLE[key] = cached
     return cached
 
 
@@ -190,7 +195,7 @@ def _pool_eval(config: SystemConfiguration) -> RunResult:
     if (
         isinstance(resolved, AnalysisBackend)
         and "kernel" not in options
-        and _accepts_kernel(resolved)
+        and _accepts_option(resolved, "kernel")
     ):
         if _POOL_KERNEL is None:
             from ..analysis.kernel import AnalysisContext
@@ -246,6 +251,14 @@ class Session:
         #: Wall-clock seconds spent inside backend invocations (cache
         #: hits cost nothing and are excluded).
         self._analysis_time = 0.0
+        #: Compiled simulation templates, keyed by configuration hash:
+        #: ``hash -> (schedule, SimContext)``.  The schedule object is
+        #: kept for an identity check — a context is only valid for the
+        #: exact StaticSchedule it was compiled from (memoized analysis
+        #: runs keep that object stable across evaluations).
+        self._sim_cache: Dict[str, Tuple[Any, Any]] = {}
+        self._sim_compiles = 0
+        self._sim_reuses = 0
 
     # -- constructors -------------------------------------------------------
 
@@ -300,6 +313,8 @@ class Session:
             kernel_compiles=stats.compiles if stats else 0,
             kernel_updates=stats.updates if stats else 0,
             warm_starts=stats.warm_starts if stats else 0,
+            sim_compiles=self._sim_compiles,
+            sim_reuses=self._sim_reuses,
         )
 
     def _kernel_for(self, config: SystemConfiguration):
@@ -336,12 +351,68 @@ class Session:
         """
         if "kernel" in options or not isinstance(
             resolved, AnalysisBackend
-        ) or not _accepts_kernel(resolved):
+        ) or not _accepts_option(resolved, "kernel"):
             return options
         kernel = self._kernel_for(config)
         if kernel is None:
             return options
         return {**options, "kernel": kernel}
+
+    def _with_sim_context(
+        self,
+        resolved: EvaluationBackend,
+        config: SystemConfiguration,
+        options: Dict[str, Any],
+        config_h: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Inject the session's compiled simulation template.
+
+        Only when the resolved backend is the built-in simulation
+        engine (checked by type and signature, like :meth:`_with_kernel`)
+        *and* the caller supplied a feasible ``analysis_run`` — the
+        template is compiled against that run's schedule, so without it
+        the backend would re-derive a schedule the cache cannot vouch
+        for.  Contexts are cached per configuration hash and re-checked
+        by schedule identity: memoized analysis runs keep the schedule
+        object stable, so repeated simulations of one configuration
+        compile once (``cache_info().sim_compiles`` / ``sim_reuses``).
+        """
+        from .backends import SimulationBackend
+
+        if (
+            "sim_context" in options
+            or options.get("engine", "kernel") != "kernel"
+            or not isinstance(resolved, SimulationBackend)
+            or not _accepts_option(resolved, "sim_context")
+        ):
+            return options
+        analysis_run = options.get("analysis_run")
+        if (
+            analysis_run is None
+            or not analysis_run.feasible
+            or analysis_run.analysis is None
+        ):
+            return options
+        schedule = analysis_run.analysis.schedule
+        if config_h is None:
+            config_h = config_hash(config)
+        entry = self._sim_cache.get(config_h)
+        if entry is not None and entry[0] is schedule:
+            self._sim_reuses += 1
+            return {**options, "sim_context": entry[1]}
+        from ..sim.kernel import SimContext
+
+        try:
+            context = SimContext(self.system, config, schedule)
+        except ReproError:
+            # Not simulatable (e.g. misaligned period): let the backend
+            # raise the same error and report it as an error RunResult.
+            return options
+        self._sim_compiles += 1
+        if len(self._sim_cache) >= 64:
+            self._sim_cache.pop(next(iter(self._sim_cache)))
+        self._sim_cache[config_h] = (schedule, context)
+        return {**options, "sim_context": context}
 
     def clear_cache(self) -> None:
         """Drop all memoized results (statistics are kept)."""
@@ -361,6 +432,16 @@ class Session:
             raise ValueError(
                 "kernel was compiled for a different System than this "
                 "session wraps; pass a kernel built from session.system"
+            )
+        sim_context = options.get("sim_context")
+        if (
+            sim_context is not None
+            and sim_context.system is not self.system
+        ):
+            raise ValueError(
+                "sim_context was compiled for a different System than "
+                "this session wraps; pass a context built from "
+                "session.system"
             )
 
     def _key(
@@ -434,13 +515,25 @@ class Session:
         """Evaluate one configuration, consulting the memo cache."""
         backend = backend if backend is not None else self.default_backend
         self._check_kernel_option(options)
-        key = self._key(config, backend, options)
-        if memoize and key in self._cache:
-            self._hits += 1
-            return self._adapt(self._cache[key], config)
+        if memoize:
+            key = self._key(config, backend, options)
+            if key in self._cache:
+                self._hits += 1
+                return self._adapt(self._cache[key], config)
+        else:
+            # No cache interaction: skip the config hash entirely (it
+            # is throughput-relevant on campaign-style one-shot sweeps)
+            # and let the backend compile its own simulation context —
+            # caching one for a configuration evaluated once would be
+            # pure overhead.
+            key = None
         self._misses += 1
         resolved = get_backend(backend)
         run_options = self._with_kernel(resolved, config, options)
+        if key is not None:
+            run_options = self._with_sim_context(
+                resolved, config, run_options, key[2]
+            )
         started = time.perf_counter()
         run = resolved.run(self.system, config, **run_options)
         self._analysis_time += time.perf_counter() - started
@@ -489,9 +582,12 @@ class Session:
         if runs is None:
             runs = []
             resolved = get_backend(backend)
-            for _, config in reps:
+            for key, config in reps:
                 self._misses += 1
                 run_options = self._with_kernel(resolved, config, options)
+                run_options = self._with_sim_context(
+                    resolved, config, run_options, key[2]
+                )
                 started = time.perf_counter()
                 runs.append(
                     resolved.run(self.system, config, **run_options)
@@ -530,12 +626,16 @@ class Session:
         # path in the parent (whose registry has it) still succeeds.
         pool_failures = (OSError, PermissionError, pickle.PicklingError,
                          BrokenProcessPool, ConfigurationError)
-        # A compiled kernel is bound to *this* process's System object;
-        # workers rebuild their own System from the payload, so shipping
-        # the kernel would mismatch there (and its error results would
-        # be memoized under kernel-less keys).  Workers compile their
-        # own.
-        options = {k: v for k, v in options.items() if k != "kernel"}
+        # A compiled kernel (or simulation context) is bound to *this*
+        # process's System object; workers rebuild their own System from
+        # the payload, so shipping either would mismatch there (and
+        # their error results would be memoized under plain keys).
+        # Workers compile their own.
+        options = {
+            k: v
+            for k, v in options.items()
+            if k not in ("kernel", "sim_context")
+        }
         elapsed = 0.0
         try:
             payload = system_to_dict(self.system)

@@ -21,7 +21,10 @@ Commands
 
 ``simulate``
     Synthesize (or load) a configuration and execute the discrete-event
-    simulator, reporting observed-vs-bound values.
+    simulator (the compiled kernel by default, ``--engine legacy`` for
+    the pre-kernel engine), reporting observed-vs-bound values;
+    ``--stats`` adds compile/replay timings and events/sec plus the
+    session's kernel counters.
 
 ``sensitivity``
     Compute the WCET scaling margin and the most deadline-critical
@@ -34,7 +37,8 @@ Commands
     (:mod:`repro.conformance`): N seeded random workloads through
     analysis and simulation, every dominance violation classified,
     shrunk to a minimal counterexample and persisted as a replayable
-    fixture.  Exit code 0 only when the campaign is clean.
+    fixture.  ``--profile`` reports per-phase timings and events/sec.
+    Exit code 0 only when the campaign is clean.
 
 All commands are thin shells over :class:`repro.api.Session`; files are
 the JSON formats of :mod:`repro.io.serialize`.
@@ -94,6 +98,25 @@ def _print_session_stats(session: Session) -> None:
     print(f"  kernel: {info.kernel_compiles} full compiles, "
           f"{info.kernel_updates} incremental recompiles, "
           f"{info.warm_starts} warm-started solves")
+    print(f"  sim kernel: {info.sim_compiles} template compiles, "
+          f"{info.sim_reuses} reuses")
+
+
+def _print_sim_stats(sim: dict) -> None:
+    """Render a simulation run's engine instrumentation block."""
+    print("simulation statistics:")
+    print(f"  engine: {sim.get('engine', '?')}")
+    if "compile_s" in sim:
+        print(f"  compile: {sim['compile_s'] * 1000:.2f} ms")
+    if "replay_s" in sim:
+        print(f"  replay: {sim['replay_s'] * 1000:.2f} ms")
+    if "events" in sim:
+        print(
+            f"  events: {sim['events']} "
+            f"({sim.get('static_events', 0)} static template, "
+            f"{sim.get('dynamic_events', 0)} dynamic), "
+            f"{sim.get('events_per_s', 0.0):,.0f} events/s"
+        )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -168,6 +191,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         processes_per_node=args.processes_per_node,
         shrink=not args.no_shrink,
         fixture_dir=args.out,
+        engine=args.engine,
     )
     report = run_campaign(spec)
     if args.format == "json":
@@ -208,6 +232,24 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             print(f"    counterexample fixture: {outcome.fixture}")
     for outcome in report.errored:
         print(f"  seed {outcome.seed}: evaluation error: {outcome.error}")
+    if args.profile:
+        profile = report.profile
+        print("campaign profile:")
+        print(f"  wall-clock: {profile['wall_s']:.2f} s "
+              f"({profile['seeds_per_s']:.0f} seeds/s, "
+              f"{spec.workers} workers)")
+        print(f"  per-phase: generate {profile['generate_s']:.2f} s, "
+              f"analyze {profile['analyze_s']:.2f} s, "
+              f"simulate {profile['simulate_s']:.2f} s")
+        if profile["sim_events"]:
+            print(f"  sim kernel: compile {profile['sim_compile_s']:.2f} s, "
+                  f"replay {profile['sim_replay_s']:.2f} s, "
+                  f"{profile['sim_events']} events "
+                  f"({profile['events_per_s']:,.0f} events/s)")
+        else:
+            # The legacy engine reports no event counters — don't print
+            # a misleading "0 events" line for --engine legacy runs.
+            print(f"  sim engine: {spec.engine}")
     if report.clean:
         verdict = "CLEAN"
     elif report.violating:
@@ -241,7 +283,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = _load_config(args.config)
     else:
         config = session.synthesize().config
-    run = session.simulate(config, periods=args.periods)
+    run = session.simulate(config, periods=args.periods, engine=args.engine)
     if not run.feasible:
         print(f"configuration could not be simulated: {run.error}")
         return 2
@@ -253,6 +295,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         observed = observed_by_graph[graph_name]
         bound = run.graph_responses[graph_name]
         print(f"  {graph_name}: simulated {observed:.2f}, bound {bound:.2f}")
+    if args.stats:
+        print()
+        _print_sim_stats(run.metadata.get("sim", {}))
+        print()
+        _print_session_stats(session)
     worst = run.metadata["bound_excess"]
     return 0 if worst <= 1e-6 and not violations else 2
 
@@ -361,6 +408,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "json"], default="text",
         help="output format (json emits the full campaign report)",
     )
+    conf.add_argument(
+        "--profile", action="store_true",
+        help="print the campaign's per-phase timings and events/sec "
+             "(generation / analysis / simulation, sim-kernel "
+             "compile vs replay)",
+    )
+    conf.add_argument(
+        "--engine", choices=["kernel", "legacy"], default="kernel",
+        help="simulation engine: the compiled kernel (default) or the "
+             "pre-kernel event-by-event engine (A/B benchmarking)",
+    )
     conf.set_defaults(func=_cmd_conform)
 
     syn = sub.add_parser("synthesize", help="synthesize a configuration")
@@ -379,6 +437,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", help="configuration JSON (default: synthesize one)"
     )
     sim.add_argument("--periods", type=int, default=4)
+    sim.add_argument(
+        "--stats", action="store_true",
+        help="print engine statistics (compile/replay timings, "
+             "events/sec) and the session's kernel counters",
+    )
+    sim.add_argument(
+        "--engine", choices=["kernel", "legacy"], default="kernel",
+        help="simulation engine: the compiled kernel (default) or the "
+             "pre-kernel event-by-event engine",
+    )
     sim.set_defaults(func=_cmd_simulate)
 
     sens = sub.add_parser(

@@ -10,8 +10,10 @@ continuously-fuzzed contract between :mod:`repro.analysis` and
   its analytic bounds and classify every divergence (missing-message,
   deadline, response-bound, jitter-bound, queue-bound);
 * :mod:`repro.conformance.campaign` — sweep seeded random workloads
-  (:mod:`repro.synth.workload`) through analysis and simulation via the
-  :class:`repro.api.Session` batch path, in parallel across workers;
+  (:mod:`repro.synth.workload`) through analysis and the compiled
+  simulation kernel via :class:`repro.api.Session`, dispatching
+  deterministic seed chunks to warm worker processes and reporting
+  per-phase timings (``--profile``);
 * :mod:`repro.conformance.shrink` — reduce a violating workload to a
   minimal counterexample (drop graphs, trim chains) that still violates;
 * :mod:`repro.conformance.fixtures` — persist counterexamples as
@@ -25,6 +27,7 @@ from .campaign import (
     CampaignReport,
     CampaignSpec,
     SeedOutcome,
+    campaign_chunks,
     conformance_configuration,
     evaluate_workload,
     run_campaign,
@@ -38,6 +41,7 @@ __all__ = [
     "CampaignSpec",
     "ConformanceViolation",
     "SeedOutcome",
+    "campaign_chunks",
     "classify_run",
     "conformance_configuration",
     "evaluate_workload",

@@ -12,21 +12,27 @@ persists them as replayable fixtures.  Per seed:
 2. build the canonical configuration — HOPA priorities plus a TDMA round
    aligned to the graph period (:func:`conformance_configuration`);
 3. run the ``"simulation"`` backend through a
-   :class:`repro.api.Session` batch (``Session.evaluate_many``), which
-   performs the analysis pass, executes the schedule tables in the DES
-   engine and reports both sides in one record;
+   :class:`repro.api.Session` (memoization off — every seed is a fresh
+   system evaluated once), which performs the analysis pass, replays
+   the schedule tables on the compiled simulation kernel and reports
+   both sides in one record;
 4. classify (:func:`repro.conformance.classify.classify_run`).
 
 Schedulable-and-converged verdicts are the contract's domain — the
 dominance promise of the paper holds in the WCET regime for schedulable
 systems — so unschedulable/non-converged seeds count as covered but are
-not simulated.  Campaigns parallelize across worker processes and
-degrade to serial execution where pools are unavailable, mirroring the
-Session batch path.
+not simulated.  Campaigns dispatch deterministic contiguous seed chunks
+(:func:`campaign_chunks`) to warm worker processes and degrade to serial
+execution — over the *same* chunks — where pools are unavailable; serial
+and ``--workers N`` runs of one spec therefore produce identical outcome
+sequences and identical shrunk counterexamples.  Every seed records
+per-phase timings, aggregated into ``CampaignReport.profile`` (events/s,
+seeds/s; ``repro conform --profile``).
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,6 +52,7 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "SeedOutcome",
+    "campaign_chunks",
     "conformance_configuration",
     "evaluate_workload",
     "run_campaign",
@@ -77,6 +84,9 @@ class CampaignSpec:
     gateway_messages: Tuple[int, ...] = (2, 4, 8)
     shrink: bool = True
     fixture_dir: Optional[str] = None
+    #: Simulation engine: the compiled kernel (default) or the
+    #: pre-kernel event-by-event engine ("legacy", for A/B benchmarks).
+    engine: str = "kernel"
 
     def workload_spec(self, seed: int) -> WorkloadSpec:
         """The deterministic workload recipe of one seed."""
@@ -106,9 +116,15 @@ class SeedOutcome:
     messages: int = 0
     error: Optional[str] = None
     fixture: Optional[str] = None
+    #: Per-phase timings (``generate_s``/``analyze_s``/``simulate_s``)
+    #: plus the simulation engine's event counters — the raw material of
+    #: the campaign's ``--profile`` report.  Deliberately *not* part of
+    #: :meth:`to_dict`: the outcome record is the deterministic artifact
+    #: (serial ≡ ``--workers N``); timings never are.
+    profile: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible form (campaign reports)."""
+        """JSON-compatible (and deterministic) form — campaign reports."""
         return {
             "seed": self.seed,
             "status": self.status,
@@ -126,6 +142,41 @@ class CampaignReport:
 
     spec: CampaignSpec
     outcomes: List[SeedOutcome]
+    #: Wall-clock of the whole campaign (dispatch overhead included).
+    wall_s: float = 0.0
+
+    @property
+    def profile(self) -> Dict[str, float]:
+        """Aggregated per-phase timings and throughput of the campaign.
+
+        Sums the per-seed phase timings, adds the simulation engine's
+        event totals and derives two throughput figures: simulated
+        events per second (events / time spent inside the simulator)
+        and seeds per second of campaign wall-clock.
+        """
+        totals: Dict[str, float] = {
+            "generate_s": 0.0,
+            "analyze_s": 0.0,
+            "simulate_s": 0.0,
+            "sim_events": 0.0,
+            "sim_compile_s": 0.0,
+            "sim_replay_s": 0.0,
+        }
+        for outcome in self.outcomes:
+            for key in totals:
+                totals[key] += outcome.profile.get(key, 0.0)
+        totals["sim_events"] = int(totals["sim_events"])
+        totals["seeds"] = len(self.outcomes)
+        totals["wall_s"] = self.wall_s
+        totals["events_per_s"] = (
+            totals["sim_events"] / totals["sim_replay_s"]
+            if totals["sim_replay_s"] > 0
+            else 0.0
+        )
+        totals["seeds_per_s"] = (
+            len(self.outcomes) / self.wall_s if self.wall_s > 0 else 0.0
+        )
+        return totals
 
     @property
     def violating(self) -> List[SeedOutcome]:
@@ -163,6 +214,8 @@ class CampaignReport:
             "seed0": self.spec.seed0,
             "counts": self.counts,
             "clean": self.clean,
+            "wall_s": self.wall_s,
+            "profile": self.profile,
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
 
@@ -193,59 +246,93 @@ def evaluate_workload(
     periods: int = 3,
     rounds_per_period: int = 10,
     config: Optional[SystemConfiguration] = None,
-) -> Tuple[str, List[ConformanceViolation], Optional[str]]:
+    engine: str = "kernel",
+) -> Tuple[str, List[ConformanceViolation], Optional[str], Dict[str, float]]:
     """Analyse + simulate one workload and classify the outcome.
 
-    Returns ``(status, violations, error)`` with ``status`` as in
-    :class:`SeedOutcome`.  The evaluation rides the Session batch path
-    (``evaluate_many``) so conformance runs exercise exactly the surface
-    production sweeps use.
+    Returns ``(status, violations, error, profile)`` with ``status`` as
+    in :class:`SeedOutcome` and ``profile`` carrying the per-phase
+    timings (plus the simulation engine's event counters).  The
+    evaluation goes through a :class:`repro.api.Session` — the surface
+    production sweeps use — but with memoization off: every campaign
+    seed is a fresh system evaluated exactly once, so paying for result
+    snapshots would only cut throughput.
     """
+    profile: Dict[str, float] = {}
     if config is None:
         config = conformance_configuration(system, rounds_per_period)
     session = Session(system)
-    analysis = session.evaluate_many([config], backend="analysis")[0]
+    started = time.perf_counter()
+    analysis = session.evaluate(config, backend="analysis", memoize=False)
+    profile["analyze_s"] = time.perf_counter() - started
     if not analysis.feasible:
-        return "error", [], analysis.error
+        return "error", [], analysis.error, profile
     if not (analysis.schedulable and analysis.converged):
-        return "unschedulable", [], None
-    # Hand the memoized analysis pass over so the simulation backend does
-    # not re-run the Fig. 5 fixed point (analysis_run is cache-neutral —
-    # it is in the session's non-key options).
-    run = session.evaluate_many(
-        [config], backend="simulation", periods=periods,
-        analysis_run=analysis,
-    )[0]
+        return "unschedulable", [], None, profile
+    # Hand the analysis pass over so the simulation backend does not
+    # re-run the Fig. 5 fixed point (analysis_run is cache-neutral — it
+    # is in the session's non-key options).
+    started = time.perf_counter()
+    run = session.evaluate(
+        config, backend="simulation", memoize=False, periods=periods,
+        analysis_run=analysis, engine=engine,
+    )
+    profile["simulate_s"] = time.perf_counter() - started
     if not run.feasible:
-        return "error", [], run.error
+        return "error", [], run.error, profile
+    sim = run.metadata.get("sim", {})
+    profile["sim_events"] = sim.get("events", 0)
+    profile["sim_compile_s"] = sim.get("compile_s", 0.0)
+    profile["sim_replay_s"] = sim.get("replay_s", 0.0)
     violations = classify_run(run)
-    return ("violation" if violations else "ok"), violations, None
+    return ("violation" if violations else "ok"), violations, None, profile
 
 
 def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
-    """Worker entry point: one seed end to end (picklable)."""
+    """One seed end to end."""
     spec, seed = payload
+    started = time.perf_counter()
     try:
         system = generate_workload(spec.workload_spec(seed))
     except ReproError as exc:
         return SeedOutcome(seed=seed, status="error", error=str(exc))
+    generate_s = time.perf_counter() - started
     outcome = SeedOutcome(
         seed=seed,
         status="ok",
         processes=system.app.process_count(),
         messages=system.app.message_count(),
     )
-    status, violations, error = evaluate_workload(
+    status, violations, error, profile = evaluate_workload(
         system,
         periods=spec.periods,
         rounds_per_period=spec.rounds_per_period,
+        engine=spec.engine,
     )
+    profile["generate_s"] = generate_s
     outcome.status = status
     outcome.violations = violations
     outcome.error = error
+    outcome.profile = profile
     if status == "violation" and spec.fixture_dir is not None:
         outcome.fixture = _pin_counterexample(spec, seed, system, violations)
     return outcome
+
+
+def _evaluate_chunk(
+    payload: Tuple[CampaignSpec, List[int]]
+) -> List[SeedOutcome]:
+    """Worker entry point: one contiguous chunk of seeds (picklable).
+
+    Chunked dispatch amortizes the pool's per-task IPC over many seeds
+    and keeps each worker process warm (imports, allocator, JIT-warmed
+    dict/heap internals) across its whole chunk.  Seeds inside a chunk
+    run in ascending order, so the concatenation of chunk results is
+    the seed order — the property the determinism contract (serial ≡
+    ``--workers N``) rests on.
+    """
+    spec, seeds = payload
+    return [_evaluate_seed((spec, seed)) for seed in seeds]
 
 
 def _pin_counterexample(
@@ -259,11 +346,15 @@ def _pin_counterexample(
     from .shrink import shrink_counterexample
 
     if spec.shrink:
+        # Shrink under the same engine the violation was observed on:
+        # an engine-divergence counterexample (--engine legacy A/B runs)
+        # must not be re-validated on the other engine.
         system, violations = shrink_counterexample(
             system,
             violations,
             periods=spec.periods,
             rounds_per_period=spec.rounds_per_period,
+            engine=spec.engine,
         )
     path = Path(spec.fixture_dir) / f"seed{seed}.json"
     save_fixture(
@@ -281,34 +372,55 @@ def _pin_counterexample(
     return str(path)
 
 
+def campaign_chunks(spec: CampaignSpec) -> List[List[int]]:
+    """Deterministic chunk partition of a campaign's seed range.
+
+    Contiguous chunks of ``ceil(campaign / (workers * 4))`` seeds —
+    a pure function of the spec, never of pool scheduling, so the same
+    spec always produces the same chunks and (since results are
+    concatenated in chunk order) the same outcome order.  Serial runs
+    use the identical partition: the worker count only decides *where*
+    a chunk executes, never *what* it contains — that is the pinned
+    tie-break behind the serial ≡ parallel determinism contract.
+    """
+    seeds = list(range(spec.seed0, spec.seed0 + spec.campaign))
+    if not seeds:
+        return []
+    lanes = max(1, spec.workers) * 4
+    size = max(1, -(-len(seeds) // lanes))
+    return [seeds[i:i + size] for i in range(0, len(seeds), size)]
+
+
 def run_campaign(spec: CampaignSpec) -> CampaignReport:
     """Run one conformance campaign (see module docstring)."""
+    started = time.perf_counter()
     if spec.fixture_dir is not None:
         Path(spec.fixture_dir).mkdir(parents=True, exist_ok=True)
-    seeds = [
-        (spec, seed)
-        for seed in range(spec.seed0, spec.seed0 + spec.campaign)
-    ]
-    outcomes: Optional[List[SeedOutcome]] = None
-    if spec.workers > 1 and len(seeds) > 1:
-        outcomes = _run_pool(seeds, spec.workers)
-    if outcomes is None:
-        outcomes = [_evaluate_seed(item) for item in seeds]
-    return CampaignReport(spec=spec, outcomes=outcomes)
+    chunks = [(spec, chunk) for chunk in campaign_chunks(spec)]
+    results: Optional[List[List[SeedOutcome]]] = None
+    if spec.workers > 1 and len(chunks) > 1:
+        results = _run_pool(chunks, spec.workers)
+    if results is None:
+        results = [_evaluate_chunk(item) for item in chunks]
+    outcomes = [outcome for chunk in results for outcome in chunk]
+    outcomes.sort(key=lambda o: o.seed)  # chunk order is seed order; pin it
+    return CampaignReport(
+        spec=spec, outcomes=outcomes,
+        wall_s=time.perf_counter() - started,
+    )
 
 
 def _run_pool(
-    seeds: List[Tuple[CampaignSpec, int]], workers: int
-) -> Optional[List[SeedOutcome]]:
-    """Fan seeds out to a process pool; ``None`` when pools don't work."""
+    chunks: List[Tuple[CampaignSpec, List[int]]], workers: int
+) -> Optional[List[List[SeedOutcome]]]:
+    """Fan chunks out to a process pool; ``None`` when pools don't work."""
     import pickle
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunksize = max(1, len(seeds) // (workers * 4))
-            return list(pool.map(_evaluate_seed, seeds, chunksize=chunksize))
+            return list(pool.map(_evaluate_chunk, chunks, chunksize=1))
     except (OSError, PermissionError, pickle.PicklingError,
             BrokenProcessPool) as exc:
         warnings.warn(

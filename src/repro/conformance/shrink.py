@@ -74,18 +74,23 @@ def _without_process(graph: ProcessGraph, victim: str) -> Optional[ProcessGraph]
 
 
 def _still_violates(
-    system: System, periods: int, rounds_per_period: int
+    system: System, periods: int, rounds_per_period: int,
+    engine: str = "kernel",
 ) -> Optional[List[ConformanceViolation]]:
     """Violations of the reduced system, ``None`` when it became clean.
 
     A reduction that makes the system unschedulable, unanalysable or
     structurally invalid does not preserve the counterexample either.
+    ``engine`` must be the engine the campaign observed the violation
+    on — shrinking an engine-divergence counterexample under the other
+    engine would reject every reduction (or worse, keep the wrong one).
     """
     from .campaign import evaluate_workload
 
     try:
-        status, violations, _error = evaluate_workload(
-            system, periods=periods, rounds_per_period=rounds_per_period
+        status, violations, _error, _profile = evaluate_workload(
+            system, periods=periods, rounds_per_period=rounds_per_period,
+            engine=engine,
         )
     except ReproError:
         return None
@@ -97,6 +102,7 @@ def shrink_counterexample(
     violations: List[ConformanceViolation],
     periods: int = 3,
     rounds_per_period: int = 10,
+    engine: str = "kernel",
 ) -> Tuple[System, List[ConformanceViolation]]:
     """Greedily minimize a violating workload (see module docstring).
 
@@ -119,7 +125,7 @@ def shrink_counterexample(
                 candidate = _rebuild(current, candidate_graphs)
             except ReproError:
                 continue
-            found = _still_violates(candidate, periods, rounds_per_period)
+            found = _still_violates(candidate, periods, rounds_per_period, engine)
             if found is not None:
                 current = candidate
                 best_violations = found
@@ -144,7 +150,7 @@ def shrink_counterexample(
                 except ReproError:
                     continue
                 found = _still_violates(
-                    candidate, periods, rounds_per_period
+                    candidate, periods, rounds_per_period, engine
                 )
                 if found is not None:
                     current = candidate

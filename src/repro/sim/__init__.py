@@ -1,13 +1,25 @@
-"""Discrete-event simulation of the two-cluster platform (validation)."""
+"""Discrete-event simulation of the two-cluster platform (validation).
 
-from .engine import Simulator, simulate
+Two engines share one trace contract: :class:`Simulator` wraps the
+compiled kernel (:mod:`repro.sim.kernel`) and is the default;
+:func:`legacy_simulate` runs the pre-kernel event-by-event engine kept
+as the parity baseline (``tests/test_sim_parity.py``).
+"""
+
+from .engine import LegacySimulator, Simulator, legacy_simulate, simulate
 from .events import EventQueue
+from .kernel import SimContext, SimStats, compiled_simulate
 from .trace import ScheduleViolation, SimulationTrace
 
 __all__ = [
     "EventQueue",
+    "LegacySimulator",
     "ScheduleViolation",
+    "SimContext",
+    "SimStats",
     "SimulationTrace",
     "Simulator",
+    "compiled_simulate",
+    "legacy_simulate",
     "simulate",
 ]

@@ -28,7 +28,7 @@ the TDMA grid tile the timeline consistently.
 
 from __future__ import annotations
 
-import math
+import heapq
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -39,11 +39,68 @@ from ..schedule.schedule_table import StaticSchedule
 from ..semantics import dispatch_respects_arrival, gateway_transfer_delay
 from ..system import System
 from .events import EventQueue, ORDER_BUS, ORDER_DELIVER, ORDER_DISPATCH
+from .kernel import SimContext
 from .trace import ScheduleViolation, SimulationTrace
 
-__all__ = ["Simulator", "simulate"]
+__all__ = ["LegacySimulator", "Simulator", "legacy_simulate", "simulate"]
 
 ExecutionModel = Callable[[str, int], float]
+
+
+class Simulator:
+    """Deterministic discrete-event simulation of the platform.
+
+    Since the compiled kernel landed this class is a thin wrapper over
+    :class:`repro.sim.kernel.SimContext`: construction compiles (or
+    adopts) a context, :meth:`run` replays it.  The pre-kernel
+    event-by-event engine survives as :class:`LegacySimulator` /
+    :func:`legacy_simulate` and the two are trace-parity-tested against
+    each other (``tests/test_sim_parity.py``).
+
+    Parameters
+    ----------
+    system, config:
+        The problem instance and a *complete* configuration (offsets are
+        taken from ``schedule``).
+    schedule:
+        The static schedule produced by the multi-cluster loop for
+        ``config`` (tables + MEDL).
+    periods:
+        How many period instances to simulate.
+    execution:
+        Optional execution-time model ``(process, instance) -> time``;
+        defaults to the WCET.  Values must not exceed the WCET.
+    context:
+        Optional pre-compiled :class:`SimContext` for this
+        ``(system, config, schedule)`` triple (a Session passes its
+        cached one); compiled here when absent.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        config: SystemConfiguration,
+        schedule: StaticSchedule,
+        periods: int = 4,
+        execution: Optional[ExecutionModel] = None,
+        context: Optional[SimContext] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.schedule = schedule
+        self.periods = periods
+        self.context = (
+            context
+            if context is not None
+            else SimContext(system, config, schedule)
+        )
+        self._execution = execution
+
+    def run(self) -> SimulationTrace:
+        """Execute the simulation and return the trace."""
+        return self.context.run(
+            periods=self.periods, execution=self._execution
+        )
 
 
 class _Job:
@@ -70,7 +127,7 @@ class _Job:
 class _EtCpu:
     """Preemptive fixed-priority scheduler of one ET node."""
 
-    def __init__(self, sim: "Simulator", node: str) -> None:
+    def __init__(self, sim: "LegacySimulator", node: str) -> None:
         self.sim = sim
         self.node = node
         self.running: Optional[_Job] = None
@@ -101,8 +158,6 @@ class _EtCpu:
             self._push(job)
 
     def _push(self, job: _Job) -> None:
-        import heapq
-
         self._seq += 1
         heapq.heappush(self.ready, (job.priority, self._seq, job))
 
@@ -123,8 +178,6 @@ class _EtCpu:
         self._dispatch_next()
 
     def _dispatch_next(self) -> None:
-        import heapq
-
         if self.running is None and self.ready:
             _prio, _seq, job = heapq.heappop(self.ready)
             self._start(job)
@@ -133,15 +186,13 @@ class _EtCpu:
 class _CanBus:
     """The CAN bus: global priority arbitration, non-preemptive frames."""
 
-    def __init__(self, sim: "Simulator") -> None:
+    def __init__(self, sim: "LegacySimulator") -> None:
         self.sim = sim
         self.pending: List[Tuple[int, int, str, int, str]] = []
         self.busy = False
         self._seq = 0
 
     def enqueue(self, msg_name: str, instance: int, queue_name: str) -> None:
-        import heapq
-
         self._seq += 1
         priority = self.sim.config.priorities.message_priority(msg_name)
         heapq.heappush(
@@ -156,8 +207,6 @@ class _CanBus:
         events.schedule(events.now, self.try_start, order=ORDER_BUS)
 
     def try_start(self) -> None:
-        import heapq
-
         if self.busy or not self.pending:
             return
         _prio, _seq, msg_name, instance, queue_name = heapq.heappop(self.pending)
@@ -180,8 +229,14 @@ class _CanBus:
         self.try_start()
 
 
-class Simulator:
-    """Deterministic discrete-event simulation (see module docstring).
+class LegacySimulator:
+    """The pre-kernel event-by-event engine (see module docstring).
+
+    Kept as the executable specification the compiled kernel is
+    parity-tested against: it builds per-instance closures and runs
+    every event — static and dynamic alike — through the
+    :class:`EventQueue` heap.  Use :class:`Simulator` (the compiled
+    kernel) everywhere else.
 
     Parameters
     ----------
@@ -574,8 +629,23 @@ def simulate(
     schedule: StaticSchedule,
     periods: int = 4,
     execution: Optional[ExecutionModel] = None,
+    context: Optional[SimContext] = None,
 ) -> SimulationTrace:
-    """Convenience wrapper around :class:`Simulator`."""
+    """Convenience wrapper around :class:`Simulator` (compiled kernel)."""
     return Simulator(
+        system, config, schedule, periods=periods, execution=execution,
+        context=context,
+    ).run()
+
+
+def legacy_simulate(
+    system: System,
+    config: SystemConfiguration,
+    schedule: StaticSchedule,
+    periods: int = 4,
+    execution: Optional[ExecutionModel] = None,
+) -> SimulationTrace:
+    """One run of the pre-kernel engine (the parity baseline)."""
+    return LegacySimulator(
         system, config, schedule, periods=periods, execution=execution
     ).run()

@@ -1,0 +1,1010 @@
+"""The compiled simulation kernel: hyperperiod-templated event replay.
+
+:class:`SimContext` is to the DES simulator what
+:class:`repro.analysis.kernel.AnalysisContext` is to the response-time
+analysis: everything that does not depend on runtime state is compiled
+**once** per ``(System, configuration, schedule)`` and then *replayed*
+per period instead of being rebuilt per run and re-scheduled per event.
+
+What gets compiled (see DESIGN.md, "The compiled simulation kernel"):
+
+* **Interning** — every process, message, node and queue is mapped to a
+  dense integer id; the replay loop never hashes a string.  Per-activity
+  constants (WCETs, priorities, frame times, routes, sizes, successor
+  lists, AND-join fan-ins) become flat id-indexed lists.
+* **The static timeline** — one hyperperiod of the platform's
+  time-triggered behaviour as flat, time-sorted event arrays: TT
+  dispatches (and, in the WCET regime, their completions) from the
+  schedule tables, gateway drain slots, the slot-end reception of
+  TT->ET frames (their ``Out_CAN`` entry is then scheduled at runtime,
+  ``+C_T``, so CAN tie-breaking matches the legacy chain), and ET
+  source releases.  Period ``k`` replays the same arrays with moving
+  indices — no heap traffic, no closures.  TT->TT deliveries compile
+  away entirely: their arrival instants are period-templated constants.
+* **The dynamic rest** — ET fixed-priority CPUs, CAN arbitration, the
+  gateway ``Out_TTP`` FIFO and the transfer-process delays genuinely
+  depend on runtime state; they run through one heap of integer tuples
+  with flat per-job state arrays (preallocated per run:
+  ``remaining``/``last_resume``/``version`` indexed by
+  ``pid * periods + k``).
+
+Trace parity with the legacy engine is bit-level, which constrains the
+arithmetic: schedule-table events live on the period grid
+(``k * hyper + offset``) while TDMA events live on the round grid
+(``absolute_round * round_length + offset``), and the two only agree to
+float epsilon when the round does not divide the period exactly.  Every
+static entry therefore carries its grid and the replay recomputes
+absolute instants with the legacy engine's exact association order.
+The replay merges the static pointer against the dynamic heap under the
+same ordering contract as :class:`repro.sim.events.EventQueue` (time,
+then DELIVER < BUS < DISPATCH, then insertion order; the static
+timeline — the seeded events of the legacy engine — wins ties against
+dynamically scheduled events, exactly as the legacy engine's lower
+seed-time counters did).  All shared timing semantics still come from
+:mod:`repro.semantics`; parity is asserted by
+``tests/test_sim_parity.py`` and the conformance campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+from ..model.architecture import MessageRoute
+from ..model.configuration import SystemConfiguration
+from ..schedule.schedule_table import StaticSchedule
+from ..semantics import dispatch_respects_arrival, gateway_transfer_delay
+from ..system import System
+from .trace import ScheduleViolation, SimulationTrace
+
+__all__ = ["SimContext", "SimStats", "compiled_simulate"]
+
+#: Event ordering classes (shared values with repro.sim.events).
+_DELIVER = 0
+_BUS = 1
+_DISPATCH = 2
+
+#: Event kinds.  Static timeline entries are
+#: ``(t0, order, kind, a, r, off, add1, add2)`` — ``r`` is the TDMA
+#: round within the period for round-grid events and ``-1`` for
+#: period-grid events; the replay recomputes the absolute instant as
+#: ``((k*rpp + r) * round_len + off) + add1 + add2`` resp.
+#: ``((off + k*hyper) + add1) + add2`` (the legacy engine's exact
+#: association order).  Dynamic heap entries are
+#: ``(t, order, seq, kind, a, b)`` where ``b`` carries the period
+#: instance (or, for ET completions, the job version).
+_K_TT_DISPATCH = 0
+_K_TT_COMPLETE = 1  # template completion (WCET regime; skipped else)
+_K_ET_RELEASE = 2
+_K_GW_SLOT = 3
+_K_CAN_ENQ_GW = 4  # a TT->ET frame enters Out_CAN (heap event, +C_T)
+_K_CAN_TRY = 5
+_K_CAN_COMPLETE = 6
+_K_FIFO_ENTRY = 7
+_K_GW_DELIVER = 8
+_K_ET_COMPLETE = 9
+_K_TT_COMPLETE_DYN = 10  # completion under an execution-time model
+_K_TTP_DELIVER_GW = 11  # a TT->ET frame fully received at slot end
+
+#: Input-message check modes on a TT dispatch.
+_CHK_STATIC = 0  # TT->TT frame with a compiled arrival instant
+_CHK_DYNAMIC = 1  # ET->TT message: arrival known only at runtime
+_CHK_NEVER = 2  # TT->TT message carried by no MEDL frame
+
+#: Route codes (dense ints for the hot path).
+_R_TT_TT = 0
+_R_TT_ET = 1
+_R_ET_TT = 2
+_R_ET_ET = 3
+
+_INF = float("inf")
+
+
+@dataclass
+class SimStats:
+    """Cumulative instrumentation of one :class:`SimContext`."""
+
+    compiles: int = 0
+    replays: int = 0
+    compile_s: float = 0.0
+    replay_s: float = 0.0
+    events: int = 0
+    static_events: int = 0
+    dynamic_events: int = 0
+
+
+class SimContext:
+    """A compiled simulation template (see module docstring).
+
+    Parameters mirror :class:`repro.sim.engine.Simulator` minus the
+    per-run knobs: ``periods`` and the execution-time model are
+    :meth:`run` arguments, so one context serves many replays.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        config: SystemConfiguration,
+        schedule: StaticSchedule,
+    ) -> None:
+        started = time.perf_counter()
+        self.system = system
+        self.config = config
+        self.schedule = schedule
+        app = system.app
+        arch = system.arch
+
+        periods_set = {g.period for g in app.graphs.values()}
+        if len(periods_set) != 1:
+            raise SimulationError(
+                "the simulator requires a common graph period; combine "
+                "graphs with repro.model.hypergraph.combine first"
+            )
+        self.hyper = periods_set.pop()
+        bus = config.bus
+        self.round_length = bus.round_length
+        ratio = self.hyper / self.round_length
+        if abs(ratio - round(ratio)) > 1e-6:
+            raise SimulationError(
+                f"graph period {self.hyper} is not a multiple of the TDMA "
+                f"round {self.round_length}; the cyclic schedule would drift"
+            )
+        self.rounds_per_period = int(round(ratio))
+
+        # -- interning -------------------------------------------------------
+        self.proc_names: List[str] = [p.name for p in app.all_processes()]
+        pid_of = {name: i for i, name in enumerate(self.proc_names)}
+        self.msg_names: List[str] = [m.name for m in app.all_messages()]
+        mid_of = {name: i for i, name in enumerate(self.msg_names)}
+        n_procs = len(self.proc_names)
+        n_msgs = len(self.msg_names)
+
+        route_codes = {
+            MessageRoute.TT_TO_TT: _R_TT_TT,
+            MessageRoute.TT_TO_ET: _R_TT_ET,
+            MessageRoute.ET_TO_TT: _R_ET_TT,
+            MessageRoute.ET_TO_ET: _R_ET_ET,
+        }
+        self.msg_size = [0] * n_msgs
+        self.msg_route = [0] * n_msgs
+        self.msg_route_name = [""] * n_msgs
+        self.msg_prio = [0] * n_msgs
+        self.msg_frame_time = [0.0] * n_msgs
+        self.msg_dst = [0] * n_msgs
+        priorities = config.priorities
+        for mid, name in enumerate(self.msg_names):
+            msg = app.message(name)
+            route = system.route(name)
+            self.msg_size[mid] = msg.size
+            self.msg_route[mid] = route_codes[route]
+            self.msg_route_name[mid] = route.name
+            self.msg_dst[mid] = pid_of[msg.dst]
+            if route is not MessageRoute.TT_TO_TT:
+                self.msg_prio[mid] = priorities.message_priority(name)
+                self.msg_frame_time[mid] = system.can_frame_time(name)
+
+        # Queues: Out_CAN, Out_TTP, then Out_<node> per ET node.
+        et_nodes = arch.et_node_names()
+        self.queue_names = ["Out_CAN", "Out_TTP"] + [
+            f"Out_{node}" for node in et_nodes
+        ]
+        queue_of_node = {node: 2 + i for i, node in enumerate(et_nodes)}
+        cpu_of_node = {node: i for i, node in enumerate(et_nodes)}
+        self.n_cpus = len(et_nodes)
+
+        self.proc_wcet = [0.0] * n_procs
+        self.proc_prio = [0] * n_procs
+        self.proc_is_tt = [False] * n_procs
+        self.proc_queue = [0] * n_procs  # Out_<node> of an ET process
+        self.proc_cpu = [-1] * n_procs  # dense ET-node index
+        self.proc_graph = [0] * n_procs
+        self.proc_is_sink = [False] * n_procs
+        graph_names = list(app.graphs)
+        gidx_of = {name: i for i, name in enumerate(graph_names)}
+        self.graph_names = graph_names
+        self.graph_sinks = [len(app.graphs[g].sinks()) for g in graph_names]
+
+        self.succs: List[Tuple[Tuple[int, int], ...]] = [()] * n_procs
+        self.et_fanin = [0] * n_procs
+        for gname, graph in app.graphs.items():
+            gidx = gidx_of[gname]
+            sinks = set(graph.sinks())
+            for proc_name in graph.processes:
+                pid = pid_of[proc_name]
+                proc = app.process(proc_name)
+                self.proc_wcet[pid] = proc.wcet
+                self.proc_graph[pid] = gidx
+                self.proc_is_sink[pid] = proc_name in sinks
+                if arch.is_tt_node(proc.node):
+                    self.proc_is_tt[pid] = True
+                else:
+                    self.proc_prio[pid] = priorities.process_priority(
+                        proc_name
+                    )
+                    self.proc_cpu[pid] = cpu_of_node[proc.node]
+                    self.proc_queue[pid] = queue_of_node[proc.node]
+                    self.et_fanin[pid] = len(graph.predecessors(proc_name))
+                self.succs[pid] = tuple(
+                    (pid_of[succ], mid_of[m] if m is not None else -1)
+                    for succ, m in graph.successors(proc_name)
+                )
+
+        self.transfer_delay = gateway_transfer_delay(system)
+
+        # -- the static timeline ---------------------------------------------
+        # TT->TT frames compile to per-period arrival templates;
+        # everything else time-triggered becomes one sorted event array.
+        # Enumeration order mirrors the legacy engine's seeding order so
+        # the stable sort reproduces its same-instant tie-breaking.
+        hyper = self.hyper
+        #: Per TT->TT message: (round, slot_offset, slot_duration) of the
+        #: carrying frame, or None when no MEDL frame carries it.
+        self.tttt_spec: List[Optional[Tuple[int, float, float]]] = (
+            [None] * n_msgs
+        )
+        events: List[Tuple[float, int, int, int, int, float, float, float]] = []
+
+        def period_event(off, add1, add2, order, kind, a):
+            t0 = (off + 0.0) + add1 + add2
+            events.append((t0, order, kind, a, -1, off, add1, add2))
+
+        def round_event(r, off, add1, add2, order, kind, a):
+            t0 = ((r * self.round_length + off) + add1) + add2
+            events.append((t0, order, kind, a, r, off, add1, add2))
+
+        self.tt_entries: List[Tuple[int, float, Tuple]] = []
+        for node, entries in schedule.tables.items():
+            for entry in entries:
+                pid = pid_of[entry.process]
+                tidx = len(self.tt_entries)
+                # Input checks are attached below, once the MEDL scan
+                # has fixed the static arrival instants.
+                self.tt_entries.append((pid, entry.start, ()))
+                period_event(
+                    entry.start, 0.0, 0.0, _DISPATCH, _K_TT_DISPATCH, tidx
+                )
+                period_event(
+                    entry.start, self.proc_wcet[pid], 0.0,
+                    _DELIVER, _K_TT_COMPLETE, tidx,
+                )
+        for graph in app.graphs.values():
+            for proc_name in graph.processes:
+                pid = pid_of[proc_name]
+                if self.proc_is_tt[pid]:
+                    continue
+                if not graph.predecessors(proc_name):
+                    period_event(
+                        system.release_of(proc_name), 0.0, 0.0,
+                        _DISPATCH, _K_ET_RELEASE, pid,
+                    )
+        gateway = arch.gateway
+        self.gw_capacity = bus.slot_of(gateway).capacity
+        self.gw_duration = bus.slot_of(gateway).duration
+        for base_round in range(self.rounds_per_period):
+            for slot in bus.slots:
+                offset = bus.slot_offset(slot.node)
+                if slot.node == gateway:
+                    round_event(
+                        base_round, offset, 0.0, 0.0, _BUS, _K_GW_SLOT, 0
+                    )
+                    continue
+                frame = schedule.medl.get((slot.node, base_round))
+                if frame is None:
+                    continue
+                for msg_name in frame.messages:
+                    mid = mid_of[msg_name]
+                    route = self.msg_route[mid]
+                    if route == _R_TT_TT:
+                        if self.tttt_spec[mid] is None:
+                            self.tttt_spec[mid] = (
+                                base_round, offset, slot.duration
+                            )
+                    elif route == _R_TT_ET:
+                        # The reception at slot end is templated; the
+                        # Out_CAN entry (+C_T) is scheduled from it at
+                        # runtime so its heap insertion order — and
+                        # therefore CAN arbitration on exact-time ties —
+                        # matches the legacy engine's chain exactly.
+                        round_event(
+                            base_round, offset, slot.duration, 0.0,
+                            _DELIVER, _K_TTP_DELIVER_GW, mid,
+                        )
+                    else:  # pragma: no cover - MEDL carries TT-sent only
+                        raise SimulationError(
+                            f"unexpected route for MEDL message {msg_name}"
+                        )
+
+        # Input checks per TT dispatch, now that arrivals are known.
+        # Check entries: (mid, pred_pid, mode, r, off, dur).
+        for tidx, (pid, start, _) in enumerate(self.tt_entries):
+            graph = app.graph_of_process(self.proc_names[pid])
+            checks = []
+            for pred, msg_name in graph.predecessors(self.proc_names[pid]):
+                if msg_name is None:
+                    continue
+                mid = mid_of[msg_name]
+                if self.msg_route[mid] == _R_TT_TT:
+                    spec = self.tttt_spec[mid]
+                    if spec is None:
+                        checks.append(
+                            (mid, pid_of[pred], _CHK_NEVER, 0, 0.0, 0.0)
+                        )
+                    else:
+                        checks.append(
+                            (mid, pid_of[pred], _CHK_STATIC) + spec
+                        )
+                else:
+                    checks.append(
+                        (mid, pid_of[pred], _CHK_DYNAMIC, 0, 0.0, 0.0)
+                    )
+            self.tt_entries[tidx] = (pid, start, tuple(checks))
+
+        events.sort(key=lambda e: (e[0], e[1]))  # stable: seeding order kept
+        # The replay keeps the two time grids in separate arrays: within
+        # one grid every entry shifts by the same amount per period
+        # (float addition and integer-times-float multiplication are
+        # monotone), so each array's order is valid for *every* period
+        # even when the round does not divide the period exactly and the
+        # grids drift apart by float epsilon; a single mixed array
+        # sorted at period 0 could replay near-tied cross-grid pairs in
+        # stale order at later periods.  At full (time, class) ties the
+        # period grid wins — the legacy engine seeded all schedule-table
+        # and release events before any TDMA event.
+        self.static_period = [
+            e for e in events if e[4] < 0 and e[0] <= hyper
+        ]
+        self.static_round = [
+            e for e in events if e[4] >= 0 and e[0] <= hyper
+        ]
+        # Entries past the period boundary (e.g. a completion of a table
+        # entry packed against the period end) would break the
+        # moving-pointer merge; they replay through the heap instead,
+        # where the legacy engine kept them anyway.
+        self.spill_events = [e for e in events if e[0] > hyper]
+
+        self.stats = SimStats()
+        self.stats.compiles += 1
+        self.stats.compile_s += time.perf_counter() - started
+        self.last_replay: Dict[str, float] = {}
+
+    # -- replay --------------------------------------------------------------
+
+    def run(self, periods: int = 4, execution=None) -> SimulationTrace:
+        """Replay the compiled template for ``periods`` period instances.
+
+        Equivalent to ``Simulator(system, config, schedule, periods,
+        execution).run()`` on the legacy engine, trace for trace.
+        """
+        started = time.perf_counter()
+        hyper = self.hyper
+        rl = self.round_length
+        rpp = self.rounds_per_period
+        horizon = (periods + 1) * hyper
+        limit = horizon + 1e-9
+
+        n_procs = len(self.proc_names)
+        n_msgs = len(self.msg_names)
+        n_graphs = len(self.graph_names)
+        nq = len(self.queue_names)
+
+        # Per-run state (flat, preallocated).
+        proc_resp = [-1.0] * n_procs
+        graph_resp = [-1.0] * n_graphs
+        msg_latency = [-1.0] * n_msgs
+        qlevel = [0.0] * nq
+        qpeak = [0.0] * nq
+        arrival: List[Optional[float]] = [None] * (n_msgs * periods)
+        j_producer: List[Optional[float]] = [None] * (n_msgs * periods)
+        j_can: List[Optional[float]] = [None] * (n_msgs * periods)
+        j_fifo: List[Optional[float]] = [None] * (n_msgs * periods)
+        j_gw_start: List[Optional[float]] = [None] * (n_msgs * periods)
+        j_gw_end: List[Optional[float]] = [None] * (n_msgs * periods)
+        missing = [0] * (n_procs * periods)
+        for pid in range(n_procs):
+            fanin = self.et_fanin[pid]
+            if fanin:
+                base = pid * periods
+                for k in range(periods):
+                    missing[base + k] = fanin
+        sink_left = [0] * (n_graphs * periods)
+        sink_latest = [0.0] * (n_graphs * periods)
+        for g in range(n_graphs):
+            count = self.graph_sinks[g]
+            base = g * periods
+            for k in range(periods):
+                sink_left[base + k] = count
+        job_remaining = [0.0] * (n_procs * periods)
+        job_resume = [0.0] * (n_procs * periods)
+        job_version = [0] * (n_procs * periods)
+        cpu_running = [-1] * self.n_cpus
+        cpu_ready: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(self.n_cpus)
+        ]
+        cpu_seq = [0] * self.n_cpus
+        can_pending: List[Tuple[int, int, int, int, int]] = []
+        can_busy = False
+        can_seq = 0
+        fifo: List[Tuple[int, int]] = []
+        fifo_head = 0
+        tentative: List[Tuple[int, int, float, int, int, float]] = []
+        completed_instances = 0
+
+        # Local bindings for the hot loop.
+        proc_wcet = self.proc_wcet
+        proc_prio = self.proc_prio
+        proc_queue = self.proc_queue
+        proc_cpu = self.proc_cpu
+        proc_graph = self.proc_graph
+        proc_is_tt = self.proc_is_tt
+        proc_is_sink = self.proc_is_sink
+        succs = self.succs
+        msg_size = self.msg_size
+        msg_route = self.msg_route
+        msg_prio = self.msg_prio
+        frame_time = self.msg_frame_time
+        msg_dst = self.msg_dst
+        tt_entries = self.tt_entries
+        gw_capacity = self.gw_capacity
+        gw_duration = self.gw_duration
+        transfer_delay = self.transfer_delay
+        proc_names = self.proc_names
+        s_period = self.static_period
+        s_round = self.static_round
+        n_period = len(s_period)
+        n_round = len(s_round)
+
+        heap: List[Tuple] = []
+        seq = 0
+        for k in range(periods):
+            for (t0, order, kind, a, r, off, a1, a2) in self.spill_events:
+                if r < 0:
+                    t = ((off + k * hyper) + a1) + a2
+                else:
+                    t = (((k * rpp + r) * rl + off) + a1) + a2
+                seq += 1
+                heappush(heap, (t, order, seq, kind, a, k))
+
+        exec_model = execution
+        now = 0.0
+
+        def exec_time(pid: int, k: int) -> float:
+            wcet = proc_wcet[pid]
+            value = exec_model(proc_names[pid], k)
+            if value > wcet + 1e-9:
+                raise SimulationError(
+                    f"execution model exceeded WCET for {proc_names[pid]}: "
+                    f"{value} > {wcet}"
+                )
+            return max(0.0, value)
+
+        def activate(pid: int, k: int) -> None:
+            """One ET activation: the legacy ``_EtCpu.activate``."""
+            nonlocal seq
+            jid = pid * periods + k
+            job_remaining[jid] = (
+                proc_wcet[pid] if exec_model is None else exec_time(pid, k)
+            )
+            cpu = proc_cpu[pid]
+            running = cpu_running[cpu]
+            prio = proc_prio[pid]
+            ready = cpu_ready[cpu]
+            if running < 0:
+                # Through the ready queue even on an idle CPU: a job
+                # activated by a completion must not jump ahead of
+                # higher-priority jobs already waiting.
+                cpu_seq[cpu] += 1
+                heappush(ready, (prio, cpu_seq[cpu], jid))
+                _p, _s, jid2 = heappop(ready)
+                cpu_running[cpu] = jid2
+                job_resume[jid2] = now
+                seq += 1
+                heappush(
+                    heap,
+                    (
+                        now + job_remaining[jid2],
+                        _DELIVER,
+                        seq,
+                        _K_ET_COMPLETE,
+                        jid2,
+                        job_version[jid2],
+                    ),
+                )
+            elif prio < proc_prio[running // periods]:
+                # Preempt: bank the running job's progress.
+                job_remaining[running] -= now - job_resume[running]
+                job_version[running] += 1
+                cpu_seq[cpu] += 1
+                heappush(
+                    ready,
+                    (proc_prio[running // periods], cpu_seq[cpu], running),
+                )
+                cpu_running[cpu] = jid
+                job_resume[jid] = now
+                seq += 1
+                heappush(
+                    heap,
+                    (
+                        now + job_remaining[jid],
+                        _DELIVER,
+                        seq,
+                        _K_ET_COMPLETE,
+                        jid,
+                        job_version[jid],
+                    ),
+                )
+            else:
+                cpu_seq[cpu] += 1
+                heappush(ready, (prio, cpu_seq[cpu], jid))
+
+        static_count = 0
+        dyn_count = 0
+        # Two moving pointers, one per time grid (see the constructor's
+        # partitioning comment): each recomputes its head's absolute
+        # instant with the legacy engine's exact association order.
+        pti = 0
+        ptk = 0 if n_period and periods > 0 else periods
+        if ptk < periods:
+            pte = s_period[0]
+            ptt = ((pte[5] + 0.0) + pte[6]) + pte[7]
+            pto = pte[1]
+        else:
+            pte = None
+            ptt = _INF
+            pto = 3
+        rdi = 0
+        rdk = 0 if n_round and periods > 0 else periods
+        if rdk < periods:
+            rde = s_round[0]
+            rdt = ((rde[4] * rl + rde[5]) + rde[6]) + rde[7]
+            rdo = rde[1]
+        else:
+            rde = None
+            rdt = _INF
+            rdo = 3
+
+        while True:
+            if heap:
+                h = heap[0]
+                dt = h[0]
+                do = h[1]
+            else:
+                h = None
+                dt = _INF
+                do = 3
+            # The static candidate: the period grid wins full ties (the
+            # legacy engine seeded it first).
+            if ptt < rdt or (ptt == rdt and pto <= rdo):
+                st = ptt
+                so = pto
+                from_period = True
+            else:
+                st = rdt
+                so = rdo
+                from_period = False
+            if st < dt or (st == dt and so <= do):
+                if st > limit:
+                    break
+                now = st
+                if from_period:
+                    kind = pte[2]
+                    a = pte[3]
+                    b = ptk
+                    pti += 1
+                    if pti == n_period:
+                        pti = 0
+                        ptk += 1
+                    if ptk < periods:
+                        pte = s_period[pti]
+                        ptt = ((pte[5] + ptk * hyper) + pte[6]) + pte[7]
+                        pto = pte[1]
+                    else:
+                        ptt = _INF
+                        pto = 3
+                else:
+                    kind = rde[2]
+                    a = rde[3]
+                    b = rdk
+                    rdi += 1
+                    if rdi == n_round:
+                        rdi = 0
+                        rdk += 1
+                    if rdk < periods:
+                        rde = s_round[rdi]
+                        rdt = (
+                            ((rdk * rpp + rde[4]) * rl + rde[5]) + rde[6]
+                        ) + rde[7]
+                        rdo = rde[1]
+                    else:
+                        rdt = _INF
+                        rdo = 3
+                static_count += 1
+            else:
+                if dt > limit:
+                    break
+                heappop(heap)
+                now = dt
+                kind = h[3]
+                a = h[4]
+                b = h[5]
+                dyn_count += 1
+
+            if kind == _K_ET_COMPLETE:
+                jid = a
+                pid, k = divmod(jid, periods)
+                cpu = proc_cpu[pid]
+                if cpu_running[cpu] != jid or job_version[jid] != b:
+                    continue  # stale completion (the job was preempted)
+                cpu_running[cpu] = -1
+                resp = now - k * hyper
+                if resp > proc_resp[pid]:
+                    proc_resp[pid] = resp
+                if proc_is_sink[pid]:
+                    g = proc_graph[pid] * periods + k
+                    if now > sink_latest[g]:
+                        sink_latest[g] = now
+                    sink_left[g] -= 1
+                    if sink_left[g] == 0:
+                        gi = proc_graph[pid]
+                        gresp = sink_latest[g] - k * hyper
+                        if gresp > graph_resp[gi]:
+                            graph_resp[gi] = gresp
+                        completed_instances += 1
+                for succ, mid in succs[pid]:
+                    if mid < 0:
+                        # Same-node dependency: one AND-join input down.
+                        idx = succ * periods + k
+                        left = missing[idx] - 1
+                        missing[idx] = left
+                        if left == 0:
+                            activate(succ, k)
+                    else:
+                        idx = mid * periods + k
+                        if j_producer[idx] is None:
+                            j_producer[idx] = now
+                        qi = proc_queue[pid]
+                        can_seq += 1
+                        heappush(
+                            can_pending,
+                            (msg_prio[mid], can_seq, mid, k, qi),
+                        )
+                        level = qlevel[qi] + msg_size[mid]
+                        qlevel[qi] = level
+                        if level > qpeak[qi]:
+                            qpeak[qi] = level
+                        seq += 1
+                        heappush(heap, (now, _BUS, seq, _K_CAN_TRY, 0, 0))
+                ready = cpu_ready[cpu]
+                if cpu_running[cpu] < 0 and ready:
+                    _p, _s, jid2 = heappop(ready)
+                    cpu_running[cpu] = jid2
+                    job_resume[jid2] = now
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + job_remaining[jid2],
+                            _DELIVER,
+                            seq,
+                            _K_ET_COMPLETE,
+                            jid2,
+                            job_version[jid2],
+                        ),
+                    )
+
+            elif kind == _K_TT_DISPATCH:
+                k = b
+                pid, _start, checks = tt_entries[a]
+                duration = (
+                    proc_wcet[pid] if exec_model is None
+                    else exec_time(pid, k)
+                )
+                if checks:
+                    for mid, pred, mode, r2, off2, dur2 in checks:
+                        if mode == _CHK_STATIC:
+                            arr = ((k * rpp + r2) * rl + off2) + dur2
+                            if arr <= now:
+                                continue  # delivered before this dispatch
+                        elif mode == _CHK_DYNAMIC:
+                            if arrival[mid * periods + k] is not None:
+                                continue
+                        tentative.append((pid, k, now, mid, pred, duration))
+                if exec_model is not None:
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + duration,
+                            _DELIVER,
+                            seq,
+                            _K_TT_COMPLETE_DYN,
+                            a,
+                            k,
+                        ),
+                    )
+
+            elif kind == _K_TT_COMPLETE or kind == _K_TT_COMPLETE_DYN:
+                if kind == _K_TT_COMPLETE and exec_model is not None:
+                    continue  # superseded by the model-driven completion
+                k = b
+                pid = tt_entries[a][0]
+                resp = now - k * hyper
+                if resp > proc_resp[pid]:
+                    proc_resp[pid] = resp
+                if proc_is_sink[pid]:
+                    g = proc_graph[pid] * periods + k
+                    if now > sink_latest[g]:
+                        sink_latest[g] = now
+                    sink_left[g] -= 1
+                    if sink_left[g] == 0:
+                        gi = proc_graph[pid]
+                        gresp = sink_latest[g] - k * hyper
+                        if gresp > graph_resp[gi]:
+                            graph_resp[gi] = gresp
+                        completed_instances += 1
+                for succ, mid in succs[pid]:
+                    if mid >= 0:
+                        idx = mid * periods + k
+                        if j_producer[idx] is None:
+                            j_producer[idx] = now
+                # Same-node TT dependencies need no trigger: the
+                # schedule table already sequences them.
+
+            elif kind == _K_GW_SLOT:
+                end = now + gw_duration
+                budget = gw_capacity
+                while fifo_head < len(fifo):
+                    mid, kk = fifo[fifo_head]
+                    size = msg_size[mid]
+                    if size > budget:
+                        break
+                    budget -= size
+                    fifo_head += 1
+                    qlevel[1] -= size
+                    idx = mid * periods + kk
+                    if j_gw_start[idx] is None:
+                        j_gw_start[idx] = now
+                        j_gw_end[idx] = end
+                    seq += 1
+                    heappush(
+                        heap, (end, _DELIVER, seq, _K_GW_DELIVER, mid, kk)
+                    )
+                if fifo_head and fifo_head == len(fifo):
+                    del fifo[:]
+                    fifo_head = 0
+
+            elif kind == _K_CAN_TRY:
+                if not can_busy and can_pending:
+                    _prio, _cs, mid, kk, qi = heappop(can_pending)
+                    can_busy = True
+                    qlevel[qi] -= msg_size[mid]
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + frame_time[mid],
+                            _DELIVER,
+                            seq,
+                            _K_CAN_COMPLETE,
+                            mid,
+                            kk,
+                        ),
+                    )
+
+            elif kind == _K_CAN_COMPLETE:
+                can_busy = False
+                mid = a
+                k = b
+                idx = mid * periods + k
+                if j_can[idx] is None:
+                    j_can[idx] = now
+                if msg_route[mid] == _R_ET_TT:
+                    # To the gateway CAN controller; T copies the frame
+                    # into Out_TTP after the transfer delay.
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + transfer_delay,
+                            _DELIVER,
+                            seq,
+                            _K_FIFO_ENTRY,
+                            mid,
+                            k,
+                        ),
+                    )
+                else:
+                    if arrival[idx] is None:
+                        arrival[idx] = now
+                    lat = now - k * hyper
+                    if lat > msg_latency[mid]:
+                        msg_latency[mid] = lat
+                    dst = msg_dst[mid]
+                    if not proc_is_tt[dst]:
+                        idx2 = dst * periods + k
+                        left = missing[idx2] - 1
+                        missing[idx2] = left
+                        if left == 0:
+                            activate(dst, k)
+                # The freed bus starts the next pending frame at once.
+                if not can_busy and can_pending:
+                    _prio, _cs, mid2, kk2, qi2 = heappop(can_pending)
+                    can_busy = True
+                    qlevel[qi2] -= msg_size[mid2]
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + frame_time[mid2],
+                            _DELIVER,
+                            seq,
+                            _K_CAN_COMPLETE,
+                            mid2,
+                            kk2,
+                        ),
+                    )
+
+            elif kind == _K_FIFO_ENTRY:
+                mid = a
+                idx = mid * periods + b
+                if j_fifo[idx] is None:
+                    j_fifo[idx] = now
+                fifo.append((mid, b))
+                level = qlevel[1] + msg_size[mid]
+                qlevel[1] = level
+                if level > qpeak[1]:
+                    qpeak[1] = level
+
+            elif kind == _K_GW_DELIVER:
+                mid = a
+                k = b
+                idx = mid * periods + k
+                if arrival[idx] is None:
+                    arrival[idx] = now
+                lat = now - k * hyper
+                if lat > msg_latency[mid]:
+                    msg_latency[mid] = lat
+
+            elif kind == _K_TTP_DELIVER_GW:
+                # Frame fully received at the gateway; the transfer
+                # process T copies it into Out_CAN after C_T.  Scheduled
+                # through the heap so the enqueue's insertion order on
+                # exact-time ties matches the legacy engine's chain.
+                seq += 1
+                heappush(
+                    heap,
+                    (
+                        now + transfer_delay,
+                        _DELIVER,
+                        seq,
+                        _K_CAN_ENQ_GW,
+                        a,
+                        b,
+                    ),
+                )
+
+            elif kind == _K_CAN_ENQ_GW:
+                mid = a
+                can_seq += 1
+                heappush(can_pending, (msg_prio[mid], can_seq, mid, b, 0))
+                level = qlevel[0] + msg_size[mid]
+                qlevel[0] = level
+                if level > qpeak[0]:
+                    qpeak[0] = level
+                seq += 1
+                heappush(heap, (now, _BUS, seq, _K_CAN_TRY, 0, 0))
+
+            elif kind == _K_ET_RELEASE:
+                activate(a, b)
+
+        # -- assemble the trace ---------------------------------------------
+        trace = SimulationTrace()
+        for pid in range(n_procs):
+            if proc_resp[pid] > -1.0:
+                trace.process_response[proc_names[pid]] = proc_resp[pid]
+        for g in range(n_graphs):
+            if graph_resp[g] > -1.0:
+                trace.graph_response[self.graph_names[g]] = graph_resp[g]
+        # TT->TT latencies replay the per-period arrival template
+        # (max over instances, with the legacy engine's arithmetic).
+        for mid, spec in enumerate(self.tttt_spec):
+            if spec is None:
+                continue
+            r2, off2, dur2 = spec
+            best = msg_latency[mid]
+            for k in range(periods):
+                arr = ((k * rpp + r2) * rl + off2) + dur2
+                lat = arr - k * hyper
+                if lat > best:
+                    best = lat
+            msg_latency[mid] = best
+        for mid in range(n_msgs):
+            if msg_latency[mid] > -1.0:
+                trace.message_latency[self.msg_names[mid]] = msg_latency[mid]
+        for qi in range(nq):
+            if qpeak[qi] > 0.0:
+                trace.queue_peak[self.queue_names[qi]] = qpeak[qi]
+        trace.completed_instances = completed_instances
+
+        # Confirm tentative violations against the complete arrival
+        # record, annotated with the message's causal journey — the same
+        # two-phase check as the legacy engine's run().
+        tttt_spec = self.tttt_spec
+        msg_names = self.msg_names
+        route_name = self.msg_route_name
+        for pid, k, when, mid, pred, duration in tentative:
+            idx = mid * periods + k
+            if msg_route[mid] == _R_TT_TT:
+                spec = tttt_spec[mid]
+                if spec is None:
+                    arr: Optional[float] = None
+                else:
+                    r2, off2, dur2 = spec
+                    arr = ((k * rpp + r2) * rl + off2) + dur2
+            else:
+                arr = arrival[idx]
+            if dispatch_respects_arrival(when, arr):
+                continue
+            trace.violations.append(
+                ScheduleViolation(
+                    process=proc_names[pid],
+                    instance=k,
+                    dispatch_time=when,
+                    missing_message=msg_names[mid],
+                    producer=proc_names[pred],
+                    producer_finish=j_producer[idx],
+                    can_delivery=j_can[idx],
+                    fifo_entry=j_fifo[idx],
+                    gateway_slot_start=j_gw_start[idx],
+                    gateway_slot_end=j_gw_end[idx],
+                    message_arrival=arr,
+                    consumer_slot_start=when,
+                    consumer_slot_end=when + duration,
+                    route=route_name[mid],
+                )
+            )
+
+        elapsed = time.perf_counter() - started
+        stats = self.stats
+        stats.replays += 1
+        stats.replay_s += elapsed
+        stats.events += static_count + dyn_count
+        stats.static_events += static_count
+        stats.dynamic_events += dyn_count
+        self.last_replay = {
+            "replay_s": elapsed,
+            "events": static_count + dyn_count,
+            "static_events": static_count,
+            "dynamic_events": dyn_count,
+        }
+        return trace
+
+    def profile(self) -> Dict[str, float]:
+        """Compile/replay instrumentation of the most recent run."""
+        events = self.last_replay.get("events", 0)
+        replay_s = self.last_replay.get("replay_s", 0.0)
+        return {
+            "engine": "kernel",
+            "compile_s": self.stats.compile_s,
+            "replay_s": replay_s,
+            "events": events,
+            "static_events": self.last_replay.get("static_events", 0),
+            "dynamic_events": self.last_replay.get("dynamic_events", 0),
+            "events_per_s": events / replay_s if replay_s > 0 else 0.0,
+        }
+
+
+def compiled_simulate(
+    system: System,
+    config: SystemConfiguration,
+    schedule: StaticSchedule,
+    periods: int = 4,
+    execution=None,
+    context: Optional[SimContext] = None,
+) -> SimulationTrace:
+    """One compiled simulation run (compiling a context unless given)."""
+    if context is None:
+        context = SimContext(system, config, schedule)
+    return context.run(periods=periods, execution=execution)

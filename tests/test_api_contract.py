@@ -69,6 +69,35 @@ def test_facade_exports_match_api_package():
         assert getattr(repro, name) is getattr(api, name)
 
 
+def test_cache_info_counts_sim_kernel_compiles_and_reuses():
+    """CacheInfo carries the simulation-kernel counters.
+
+    ``Session.simulate`` compiles one SimContext per configuration and
+    reuses it across replays of the same (memoized) analysis schedule —
+    the contract ``repro analyze --stats`` / ``repro simulate --stats``
+    report on.
+    """
+    from helpers import two_node_config, two_node_system
+    from repro.api import Session
+
+    session = Session(two_node_system())
+    info = session.cache_info()
+    for field in ("sim_compiles", "sim_reuses"):
+        assert field in info._fields
+        assert getattr(session.cache_info(), field) == 0
+    config = two_node_config()
+    session.simulate(config, periods=2)
+    assert session.cache_info().sim_compiles == 1
+    assert session.cache_info().sim_reuses == 0
+    session.simulate(config.copy(), periods=3)  # same hash, new periods
+    assert session.cache_info().sim_compiles == 1
+    assert session.cache_info().sim_reuses == 1
+    # The counters ride along in the dict form the CLI serializes.
+    payload = session.cache_info()._asdict()
+    assert payload["sim_compiles"] == 1
+    assert payload["sim_reuses"] == 1
+
+
 def test_deprecated_shims_warn_and_delegate():
     import repro
     from helpers import two_node_config, two_node_system

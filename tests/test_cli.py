@@ -84,6 +84,29 @@ class TestSimulate:
         code = main(["simulate", str(system_file), "--periods", "2"])
         assert code == 0
 
+    def test_stats_reports_engine_and_session_counters(
+        self, system_file, config_file, capsys
+    ):
+        code = main([
+            "simulate", str(system_file), "--config", str(config_file),
+            "--periods", "2", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulation statistics:" in out
+        assert "engine: kernel" in out
+        assert "events/s" in out
+        assert "sim kernel: 1 template compiles" in out
+
+    def test_legacy_engine_flag(self, system_file, config_file, capsys):
+        code = main([
+            "simulate", str(system_file), "--config", str(config_file),
+            "--periods", "2", "--engine", "legacy", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine: legacy" in out
+
 
 class TestJsonFormat:
     def test_analyze_json_emits_run_result(self, system_file, config_file, capsys):
@@ -155,6 +178,18 @@ class TestConform:
         assert data["campaign"] == 4
         assert data["clean"] is True
         assert len(data["outcomes"]) == 4
+        assert data["profile"]["seeds"] == 4
+        assert data["wall_s"] > 0
+
+    def test_profile_flag_prints_phase_timings(self, capsys):
+        code = main([
+            "conform", "--campaign", "4", "--seed0", "0", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign profile:" in out
+        assert "per-phase: generate" in out
+        assert "events/s" in out
 
 
 class TestAnalyzeValidate:

@@ -113,6 +113,86 @@ class TestCampaignSmoke:
         assert not CampaignReport(spec, [err]).clean
 
 
+class TestCampaignDeterminism:
+    """Serial and ``--workers N`` campaigns are the same campaign."""
+
+    def test_chunks_are_a_pure_function_of_the_spec(self):
+        from repro.conformance import campaign_chunks
+
+        spec = CampaignSpec(campaign=25, seed0=7, workers=3)
+        chunks = campaign_chunks(spec)
+        assert chunks == campaign_chunks(spec)  # deterministic
+        flat = [seed for chunk in chunks for seed in chunk]
+        assert flat == list(range(7, 32))  # contiguous, in seed order
+        assert campaign_chunks(CampaignSpec(campaign=0)) == []
+
+    def test_serial_equals_parallel_outcomes(self):
+        import warnings
+
+        spec_serial = CampaignSpec(campaign=10, seed0=0, workers=1)
+        serial = run_campaign(spec_serial)
+        with warnings.catch_warnings():
+            # Sandboxes without process pools degrade to serial over
+            # the same chunks — the equality below must hold either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = run_campaign(
+                CampaignSpec(campaign=10, seed0=0, workers=2)
+            )
+        assert [o.to_dict() for o in serial.outcomes] == [
+            o.to_dict() for o in parallel.outcomes
+        ]
+
+    def test_serial_equals_parallel_fixtures(self, tmp_path):
+        """Fixture output is identical across worker counts.
+
+        Counterexample files are keyed by seed and produced by the
+        deterministic per-seed pipeline, so serial and parallel runs of
+        one spec must leave identical fixture directories (here: both
+        empty, since the range is clean — the violating case is covered
+        by ``test_detects_and_minimizes_under_unsound_analysis``).
+        """
+        import warnings
+
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run_campaign(
+            CampaignSpec(campaign=6, workers=1, fixture_dir=str(serial_dir))
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            run_campaign(
+                CampaignSpec(
+                    campaign=6, workers=2, fixture_dir=str(parallel_dir)
+                )
+            )
+        assert sorted(p.name for p in serial_dir.iterdir()) == sorted(
+            p.name for p in parallel_dir.iterdir()
+        )
+
+
+class TestCampaignProfile:
+    def test_report_carries_phase_timings(self):
+        report = run_campaign(CampaignSpec(campaign=5, seed0=0))
+        profile = report.profile
+        assert profile["seeds"] == 5
+        assert profile["wall_s"] > 0
+        assert profile["generate_s"] > 0
+        assert profile["analyze_s"] > 0
+        # At least one seed simulated -> the kernel counted events.
+        assert profile["sim_events"] > 0
+        assert profile["events_per_s"] > 0
+        payload = report.to_dict()
+        assert payload["profile"]["seeds"] == 5
+        # Outcome records stay deterministic: no timings inside.
+        assert "profile" not in payload["outcomes"][0]
+
+    def test_legacy_engine_campaign_still_clean(self):
+        report = run_campaign(
+            CampaignSpec(campaign=5, seed0=0, engine="legacy")
+        )
+        assert report.clean
+
+
 class TestClassify:
     def _run(self, **overrides):
         base = dict(
@@ -294,7 +374,7 @@ class TestShrink:
         )
         spec = CampaignSpec()
         system = generate_workload(spec.workload_spec(24))
-        status, violations, _error = evaluate_workload(system)
+        status, violations, _error, _profile = evaluate_workload(system)
         assert status == "violation"
         assert any(v.kind == "missing-message" for v in violations)
 

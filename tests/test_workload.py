@@ -109,3 +109,37 @@ class TestWorkloadGeneration:
         for nodes, total in [(2, 80), (4, 160), (6, 240), (8, 320), (10, 400)]:
             spec = WorkloadSpec(nodes=nodes)
             assert spec.total_processes() == total
+
+
+class TestSteeringEquivalence:
+    """The incremental gateway-traffic steering is the scan steering.
+
+    The campaign hot path replaced the O(arcs)-per-flip rescan with
+    incremental cross-arc accounting; the RNG draw sequence and every
+    keep/revert decision must be preserved exactly, so the generated
+    systems are bit-identical (seeded workloads, pinned conformance
+    seeds and fixture replays all depend on this).
+    """
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            WorkloadSpec(nodes=2, processes_per_node=8, seed=11),
+            WorkloadSpec(nodes=2, processes_per_node=8, seed=24,
+                         gateway_messages=8),
+            WorkloadSpec(nodes=4, processes_per_node=40, seed=0),
+        ],
+        ids=["small", "congested", "bench160"],
+    )
+    def test_incremental_matches_scan(self, spec, monkeypatch):
+        import repro.synth.workload as workload_mod
+        from repro.io.serialize import system_to_dict
+
+        incremental = system_to_dict(generate_workload(spec))
+        monkeypatch.setattr(
+            workload_mod,
+            "_steer_gateway_traffic",
+            workload_mod._steer_gateway_traffic_scan,
+        )
+        scan = system_to_dict(generate_workload(spec))
+        assert incremental == scan
