@@ -1,6 +1,6 @@
 #!/usr/bin/env python
-"""Kernel performance trajectory: write ``BENCH_kernel.json`` and
-``BENCH_sim.json`` records.
+"""Kernel performance trajectory: write ``BENCH_kernel.json``,
+``BENCH_sim.json`` and ``BENCH_explore.json`` records.
 
 Times the three layers the compiled kernel accelerated, on the paper's
 160-process experimental scale (``WorkloadSpec(nodes=4, seed=0)``):
@@ -23,17 +23,27 @@ Times the three layers the compiled kernel accelerated, on the paper's
   double-dispatch, legacy engine) vs the current chunked campaign
   runner on the compiled kernel, at ``--workers 4`` and serially.
 
+``BENCH_explore.json`` records the persistent experiment store:
+
+* ``sweep`` — a design-space sweep (SF/OS/OR/SAS over seeded 40-process
+  workloads) run cold against a fresh store, then warm (resumed), then
+  resumed from a half-filled store (the killed-midway scenario): store
+  hit rates, cold/warm/resume wall-clock and the cold-vs-warm
+  determinism check.
+
 The records are appended-safe: each invocation rewrites the files with
 fresh measurements plus the machine's Python version, so committed
 snapshots form a trajectory across PRs.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [kernel.json] [sim.json]
+    PYTHONPATH=src python benchmarks/run_bench.py [kernel.json]
+    [sim.json] [explore.json]
 
 Scale knobs: ``REPRO_BENCH_NODES`` (default 4), ``REPRO_BENCH_RTA_REPS``
 (default 10), ``REPRO_BENCH_SIM_REPS`` (default 20),
-``REPRO_BENCH_CAMPAIGN`` (default 1000).
+``REPRO_BENCH_CAMPAIGN`` (default 1000), ``REPRO_BENCH_SWEEP_SEEDS``
+(default 6).
 """
 
 import json
@@ -212,9 +222,84 @@ def bench_sim(output, system, nodes):
     print(f"\nwrote {output}")
 
 
+def bench_explore(output):
+    """Measure the store/resume series and write ``BENCH_explore.json``."""
+    import shutil
+    import tempfile
+
+    from repro.explore import SweepSpec, run_sweep
+
+    seeds = int(os.environ.get("REPRO_BENCH_SWEEP_SEEDS", 6))
+
+    def sweep_spec(seed_count):
+        return SweepSpec(
+            name="bench-explore",
+            workload={
+                "nodes": 2, "processes_per_node": 20,
+                "gateway_messages": 5, "graph_size_range": [[4, 8]],
+                "seed": list(range(seed_count)),
+            },
+            methods=("SF", "OS", "OR", "SAS"),
+            options={"sa_iterations": 40},
+            group_by=("seed",),
+        )
+
+    spec = sweep_spec(seeds)
+    # The killed-midway scenario pre-fills half the seeds' cells.
+    half = sweep_spec(max(1, seeds // 2))
+    cells = len(spec.cells())
+    root = tempfile.mkdtemp(prefix="repro-bench-explore-")
+    try:
+        cold_s, cold = _timed(run_sweep, spec, store=os.path.join(root, "a"))
+        warm_s, warm = _timed(run_sweep, spec, store=os.path.join(root, "a"))
+        # The killed-midway scenario: a store holding half the cells.
+        _, partial = _timed(run_sweep, half, store=os.path.join(root, "b"))
+        resume_s, resumed = _timed(
+            run_sweep, spec, store=os.path.join(root, "b")
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    def deterministic(report):
+        data = report.to_dict()
+        return {k: data[k] for k in ("cells", "fronts", "counts")}
+
+    assert warm.store_hits == cells and warm.computed == 0
+    assert resumed.store_hits == partial.computed
+    assert deterministic(cold) == deterministic(warm) == \
+        deterministic(resumed)
+
+    record = {
+        "benchmark": "explore",
+        "python": platform.python_version(),
+        "cores": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sweep": {
+            "cells": cells,
+            "methods": list(spec.methods),
+            "seeds": seeds,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_hit_rate": warm.store_hits / cells,
+            "warm_speedup": cold_s / max(warm_s, 1e-9),
+            "resume_prefilled_cells": partial.computed,
+            "resume_s": resume_s,
+            "resume_hit_rate": resumed.store_hits / cells,
+            "resume_speedup": cold_s / max(resume_s, 1e-9),
+            "deterministic_report": True,  # asserted above
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {output}")
+
+
 def main(argv):
     output = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
     sim_output = argv[2] if len(argv) > 2 else "BENCH_sim.json"
+    explore_output = argv[3] if len(argv) > 3 else "BENCH_explore.json"
     nodes = int(os.environ.get("REPRO_BENCH_NODES", 4))
     reps = int(os.environ.get("REPRO_BENCH_RTA_REPS", 10))
     spec = WorkloadSpec(nodes=nodes, seed=0)
@@ -313,6 +398,7 @@ def main(argv):
     print(f"\nwrote {output}")
 
     bench_sim(sim_output, system, nodes)
+    bench_explore(explore_output)
     return 0
 
 

@@ -1,41 +1,38 @@
 #!/usr/bin/env python3
 """Design-space exploration on a generated workload (section 6 style).
 
-Generates a random 160-process two-cluster application (4 nodes, 40
-processes each, 20 gateway messages — the paper's experimental recipe)
-through :meth:`repro.api.Session.from_workload`, then walks the full
-synthesis pipeline:
+The SF/OS/OR/SAS/SAR comparison is one declarative sweep now: a
+:class:`repro.explore.SweepSpec` over the paper's experimental recipe
+(a random 160-process two-cluster application — 4 nodes, 40 processes
+each, 20 gateway messages) with the five synthesis heuristics as the
+method axis, evaluated by :func:`repro.explore.run_sweep`:
 
 1. SF      — straightforward bus configuration;
 2. OS      — greedy schedulability optimization (Fig. 8);
 3. OR      — buffer-need minimization seeded by OS (Fig. 7);
 4. SAS/SAR — the simulated-annealing reference points.
 
-OS and OR share the session's analysis memo cache, so configurations the
-heuristics revisit are scored once.
+Cells of one workload share a worker-side session (and one OS run seeds
+OR and SAR), so the sweep costs what the old hand-rolled loop did.
+Pass a directory as the third argument to persist every cell in a
+result store — re-running then recomputes nothing.
 
 Run:  python examples/design_space_exploration.py [seed] [sa_iterations]
+      [store_dir]
 """
 
 import sys
-import time
 
-from repro.api import Session
+from repro.explore import SweepSpec, run_sweep
 from repro.io import comparison_table
-from repro.optim import (
-    optimize_resources,
-    run_straightforward,
-    sa_resources,
-    sa_schedule,
-)
-from repro.synth import WorkloadSpec
+from repro.synth import WorkloadSpec, generate_workload
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
     sa_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 120
-    session = Session.from_workload(WorkloadSpec(nodes=4, seed=seed))
-    system = session.system
+    store = sys.argv[3] if len(sys.argv) > 3 else None
+    system = generate_workload(WorkloadSpec(nodes=4, seed=seed))
     print(
         f"Workload (seed {seed}): {system.app.process_count()} processes in "
         f"{len(system.app.graphs)} graphs, {system.app.message_count()} "
@@ -43,59 +40,38 @@ def main() -> None:
         f"gateway)\n"
     )
 
+    spec = SweepSpec(
+        name="synthesis-heuristics",
+        workload={"nodes": 4, "seed": seed},
+        methods=("SF", "OS", "OR", "SAS", "SAR"),
+        options={"sa_iterations": sa_iterations, "sa_seed": seed},
+    )
+    report = run_sweep(spec, store=store)
+
     rows = []
-
-    t0 = time.perf_counter()
-    sf = run_straightforward(system)
-    rows.append(
-        ["SF", f"{sf.degree:.1f}", "yes" if sf.schedulable else "NO",
-         f"{sf.total_buffers:.0f}", f"{time.perf_counter() - t0:.1f}s"]
-    )
-
-    t0 = time.perf_counter()
-    synth = session.synthesize()
-    os_result = synth.os_result
-    rows.append(
-        ["OS", f"{os_result.best.degree:.1f}",
-         "yes" if os_result.schedulable else "NO",
-         f"{os_result.best.total_buffers:.0f}",
-         f"{time.perf_counter() - t0:.1f}s"]
-    )
-
-    t0 = time.perf_counter()
-    or_result = optimize_resources(system, os_result=os_result, session=session)
-    rows.append(
-        ["OR", f"{or_result.best.degree:.1f}",
-         "yes" if or_result.schedulable else "NO",
-         f"{or_result.total_buffers:.0f}",
-         f"{time.perf_counter() - t0:.1f}s"]
-    )
-
-    t0 = time.perf_counter()
-    sas = sa_schedule(system, iterations=sa_iterations, seed=seed)
-    rows.append(
-        ["SAS", f"{sas.best.degree:.1f}", "yes" if sas.schedulable else "NO",
-         f"{sas.best.total_buffers:.0f}", f"{time.perf_counter() - t0:.1f}s"]
-    )
-
-    t0 = time.perf_counter()
-    sar = sa_resources(
-        system, iterations=sa_iterations, seed=seed,
-        initial=os_result.best.config,
-    )
-    rows.append(
-        ["SAR", f"{sar.best.degree:.1f}", "yes" if sar.schedulable else "NO",
-         f"{sar.best.total_buffers:.0f}", f"{time.perf_counter() - t0:.1f}s"]
-    )
-
+    for record in report.records:
+        metrics = record["metrics"]
+        if record["error"]:
+            rows.append([record["method"], "-", "ERROR", "-", "-"])
+            continue
+        rows.append([
+            record["method"],
+            f"{metrics['degree']:.1f}",
+            "yes" if metrics["schedulable"] else "NO",
+            f"{metrics['total_buffers']:.0f}",
+            f"{record['wall_s']:.1f}s",
+        ])
     print(comparison_table(
         "Synthesis heuristics (degree: smaller is better; <= 0 schedulable)",
         ["heuristic", "degree", "schedulable", "s_total [B]", "runtime"],
         rows,
     ))
-    info = session.cache_info()
-    print(f"\n(session cache: {info.backend_calls} analysis runs, "
-          f"{info.hits} memo hits)")
+    evaluations = sum(
+        r["metrics"].get("evaluations", 0) for r in report.records
+    )
+    print(f"\n(sweep: {report.computed} cells computed, "
+          f"{report.store_hits} resumed from the store; "
+          f"{evaluations} analysis runs)")
 
 
 if __name__ == "__main__":

@@ -38,6 +38,13 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.conformance` — the simulator–analysis conformance
   harness: seeded campaigns, violation classification, counterexample
   shrinking, replayable fixtures (CLI: ``repro conform``);
+* :mod:`repro.store` — the persistent experiment store: a
+  content-addressed, append-only on-disk result store that plugs into
+  :class:`Session` as a second memo tier (in-memory -> store ->
+  compute) and is shared bit-identically across processes/machines;
+* :mod:`repro.explore` — resumable design-space campaigns: declarative
+  sweep specs, the shared chunked dispatch runner, per-group Pareto
+  tracking (CLI: ``repro explore``);
 * :mod:`repro.io` — JSON serialization and paper-style reports.
 
 The historical flat function surface (``repro.multi_cluster_scheduling``,
@@ -75,6 +82,7 @@ from .api import (
     config_hash,
     get_backend,
     register_backend,
+    store_key,
 )
 from .buses import CanBusSpec, Slot, TTPBusConfig, TTPBusSpec
 from .exceptions import (
@@ -86,8 +94,10 @@ from .exceptions import (
     ReproError,
     SchedulingError,
     SimulationError,
+    StoreError,
     UnschedulableError,
 )
+from .explore import ExploreReport, SweepSpec, run_sweep
 from .model import (
     Application,
     Architecture,
@@ -118,6 +128,7 @@ from .optim import optimize_schedule as _optimize_schedule
 from .schedule import StaticSchedule, static_schedule
 from .sim import SimulationTrace, Simulator
 from .sim import simulate as _simulate
+from .store import ResultStore
 from .system import System
 
 __version__ = "1.1.0"
@@ -183,8 +194,10 @@ __all__ = [
     "PriorityAssignment",
     "Process",
     "ProcessGraph",
+    "ExploreReport",
     "ReproError",
     "ResponseTimes",
+    "ResultStore",
     "RunResult",
     "SAResult",
     "SchedulabilityReport",
@@ -196,6 +209,8 @@ __all__ = [
     "Simulator",
     "Slot",
     "StaticSchedule",
+    "StoreError",
+    "SweepSpec",
     "SynthesisResult",
     "System",
     "SystemConfiguration",
@@ -219,10 +234,12 @@ __all__ = [
     "legacy_response_time_analysis",
     "response_time_analysis",
     "run_straightforward",
+    "run_sweep",
     "sa_resources",
     "sa_schedule",
     "simulate",
     "static_schedule",
+    "store_key",
     "straightforward_configuration",
     "__version__",
 ]

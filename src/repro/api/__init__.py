@@ -26,7 +26,13 @@ from .backends import (
     register_backend,
 )
 from .result import INFEASIBLE_COST, RunResult, timing_table
-from .session import CacheInfo, Session, SynthesisResult, config_hash
+from .session import (
+    CacheInfo,
+    Session,
+    SynthesisResult,
+    config_hash,
+    store_key,
+)
 
 __all__ = [
     "AnalysisBackend",
@@ -41,5 +47,6 @@ __all__ = [
     "config_hash",
     "get_backend",
     "register_backend",
+    "store_key",
     "timing_table",
 ]

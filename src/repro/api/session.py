@@ -39,21 +39,26 @@ from ..system import System
 from .backends import AnalysisBackend, EvaluationBackend, get_backend
 from .result import RunResult
 
-__all__ = ["CacheInfo", "Session", "SynthesisResult", "config_hash"]
+__all__ = [
+    "CacheInfo", "Session", "SynthesisResult", "config_hash", "store_key",
+]
 
 #: Memoization and hot-path statistics of a session.  The first four
 #: fields are the original cache counters; then the analysis-kernel
 #: instrumentation: total wall-time spent inside evaluation backends,
 #: full kernel compiles, incremental kernel recompiles, and solves that
-#: were warm-started from a previous solution; and finally the
+#: were warm-started from a previous solution; then the
 #: simulation-kernel counters: compiled :class:`repro.sim.kernel.
-#: SimContext` templates and cache hits that reused one.
+#: SimContext` templates and cache hits that reused one; and finally
+#: the persistent-store tier: results served from the on-disk
+#: :class:`repro.store.ResultStore` and results written into it.
 CacheInfo = namedtuple(
     "CacheInfo",
     [
         "hits", "misses", "size", "backend_calls",
         "analysis_time", "kernel_compiles", "kernel_updates",
         "warm_starts", "sim_compiles", "sim_reuses",
+        "store_hits", "store_writes",
     ],
 )
 
@@ -88,6 +93,38 @@ _NON_KEY_OPTIONS = frozenset({"analysis_run", "kernel", "sim_context"})
 
 #: Per-(backend type, option) memo of "run() accepts this keyword".
 _OPTION_CAPABLE: Dict[Tuple[type, str], bool] = {}
+
+#: Minimum seconds between store segment re-scans triggered by
+#: single-evaluation misses (see Session._store_fetch).
+_STORE_REFRESH_INTERVAL = 0.25
+
+#: Option values of these types serialize canonically, so evaluations
+#: keyed on them can live in the persistent store.  Anything else
+#: (callables such as ``execution``, ad-hoc objects) keys by identity
+#: in the in-memory cache and is deliberately *not* store-addressable.
+_STORABLE_OPTION_TYPES = (str, int, float, bool, type(None))
+
+
+def store_key(key: Tuple) -> Optional[str]:
+    """Stable store address of a session cache key, or ``None``.
+
+    Folds the backend name, the keyed options and the configuration
+    hash into one sha256 — the address under which
+    :class:`repro.store.ResultStore` shares the result across
+    processes.  Keys whose options are not plain JSON scalars have no
+    canonical cross-process form and return ``None`` (the evaluation
+    stays memoized in memory only).
+    """
+    name, options_key, config_h = key
+    for _, value in options_key:
+        if not isinstance(value, _STORABLE_OPTION_TYPES):
+            return None
+    payload = json.dumps(
+        [name, [[k, v] for k, v in options_key], config_h],
+        sort_keys=False,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _accepts_option(resolved: "EvaluationBackend", option: str) -> bool:
@@ -225,6 +262,17 @@ class Session:
         Maximum number of memoized results (cached entries retain the
         full analysis payload, so the cache is bounded by default;
         insertion-order eviction).  ``None`` disables the bound.
+    store:
+        Optional persistent second memo tier: a
+        :class:`repro.store.ResultStore` or a directory path (opened as
+        one).  Lookup order is in-memory -> store -> compute; every
+        computed, store-addressable result is appended to the store, so
+        any two sessions sharing the directory — across processes and
+        machines — see bit-identical records
+        (:meth:`cache_info` ``.store_hits`` / ``.store_writes``).
+        Store hits are rebuilt from JSON and therefore carry no rich
+        in-memory ``analysis`` payload (same contract as
+        :meth:`repro.api.result.RunResult.from_dict`).
     """
 
     def __init__(
@@ -232,10 +280,21 @@ class Session:
         system: System,
         default_backend: str = "analysis",
         cache_size: Optional[int] = 4096,
+        store=None,
     ) -> None:
         self.system = system
         self.default_backend = default_backend
         self.cache_size = cache_size
+        if isinstance(store, (str, Path)):
+            from ..store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
+        self._store_hits = 0
+        self._store_writes = 0
+        #: Monotonic time of the last store segment re-scan triggered
+        #: by a single-evaluation miss; see :meth:`_store_fetch`.
+        self._store_refreshed_at = 0.0
         self._cache: Dict[Tuple, RunResult] = {}
         self._hits = 0
         self._misses = 0
@@ -315,6 +374,8 @@ class Session:
             warm_starts=stats.warm_starts if stats else 0,
             sim_compiles=self._sim_compiles,
             sim_reuses=self._sim_reuses,
+            store_hits=self._store_hits,
+            store_writes=self._store_writes,
         )
 
     def _kernel_for(self, config: SystemConfiguration):
@@ -414,9 +475,72 @@ class Session:
         self._sim_cache[config_h] = (schedule, context)
         return {**options, "sim_context": context}
 
-    def clear_cache(self) -> None:
-        """Drop all memoized results (statistics are kept)."""
+    def clear_cache(self, store: bool = False) -> None:
+        """Drop all memoized results (statistics are kept).
+
+        By default only the *in-memory* tier is cleared: the persistent
+        store — shared with other sessions and processes — keeps every
+        record, so an optimizer loop that clears its working cache
+        cannot accidentally wipe results other campaigns rely on.  Pass
+        ``store=True`` to also delete the attached store's records
+        (a no-op when the session has no store).
+        """
         self._cache.clear()
+        if store and self.store is not None:
+            self.store.clear()
+
+    # -- the persistent store tier ------------------------------------------
+
+    def _store_fetch(
+        self, skey: Optional[str], refresh: bool = True
+    ) -> Optional[RunResult]:
+        """Load a result from the store tier; ``None`` on any miss.
+
+        A damaged or unreadable store degrades to a miss (the result is
+        recomputed and re-appended) — persistence must never break an
+        evaluation that plain compute could serve.  ``refresh=False``
+        skips the segment re-scan; batch callers refresh once up front.
+
+        Refreshes are rate-limited per session: an optimizer loop
+        produces thousands of genuine misses in a row, and re-globbing
+        the segment directory for each would dominate on network
+        filesystems.  Records appended by concurrent writers become
+        visible within :data:`_STORE_REFRESH_INTERVAL` seconds — a
+        freshness bound, never a correctness one (a missed record is
+        recomputed bit-identically).
+        """
+        if self.store is None or skey is None:
+            return None
+        if refresh:
+            now = time.monotonic()
+            if now - self._store_refreshed_at < _STORE_REFRESH_INTERVAL:
+                refresh = False
+            else:
+                self._store_refreshed_at = now
+        try:
+            payload = self.store.get(skey, kind="runresult", refresh=refresh)
+        except OSError:
+            return None
+        if payload is None:
+            return None
+        try:
+            run = RunResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        self._store_hits += 1
+        return run
+
+    def _store_write(self, skey: Optional[str], run: RunResult) -> None:
+        """Append a computed result to the store tier (best effort)."""
+        if self.store is None or skey is None:
+            return
+        try:
+            if self.store.put(skey, run.to_dict(), kind="runresult"):
+                self._store_writes += 1
+        except (OSError, TypeError, ValueError):
+            # A full disk or an unserializable payload must not fail the
+            # evaluation itself; the result simply stays process-local.
+            pass
 
     def _check_kernel_option(self, options: Dict[str, Any]) -> None:
         """Reject a caller-supplied kernel compiled for another System.
@@ -512,14 +636,28 @@ class Session:
         memoize: bool = True,
         **options,
     ) -> RunResult:
-        """Evaluate one configuration, consulting the memo cache."""
+        """Evaluate one configuration, consulting the memo tiers.
+
+        Lookup order: in-memory cache, then the persistent store (when
+        the session has one), then compute — computed results populate
+        both tiers on the way out.
+        """
         backend = backend if backend is not None else self.default_backend
         self._check_kernel_option(options)
+        skey = None
         if memoize:
             key = self._key(config, backend, options)
             if key in self._cache:
                 self._hits += 1
                 return self._adapt(self._cache[key], config)
+            if self.store is not None:
+                skey = store_key(key)
+                stored = self._store_fetch(skey)
+                if stored is not None:
+                    # Promote into the in-memory tier: later hits on
+                    # this session skip the disk entirely.
+                    self._remember(key, stored)
+                    return self._adapt(stored, config)
         else:
             # No cache interaction: skip the config hash entirely (it
             # is throughput-relevant on campaign-style one-shot sweeps)
@@ -539,7 +677,12 @@ class Session:
         self._analysis_time += time.perf_counter() - started
         self.backend_calls += 1
         if memoize:
+            # Store-addressable provenance: the configuration hash rides
+            # in the record so optimizer results (and serialized JSON)
+            # can name the exact store entry they came from.
+            run.metadata.setdefault("config_hash", key[2])
             self._remember(key, run)
+            self._store_write(skey, run)
         return run
 
     # -- batch evaluation ---------------------------------------------------
@@ -574,6 +717,26 @@ class Session:
             else:
                 pending.setdefault(key, []).append(index)
 
+        #: Store address per pending key, computed once for the probe
+        #: and reused for the write-back; empty without a store, so the
+        #: store-less batch path never pays for hashing.
+        skeys: Dict[Tuple, Optional[str]] = {}
+        if memoize and self.store is not None and pending:
+            # One segment re-scan covers the whole batch; then probe
+            # each distinct key against the refreshed index.
+            try:
+                self.store.refresh()
+            except OSError:
+                pass
+            for key in list(pending):
+                skeys[key] = store_key(key)
+                stored = self._store_fetch(skeys[key], refresh=False)
+                if stored is None:
+                    continue
+                self._remember(key, stored)
+                for index in pending.pop(key):
+                    results[index] = self._adapt(stored, configs[index])
+
         reps = [(key, configs[indices[0]]) for key, indices in pending.items()]
         if workers > 1 and len(reps) > 1:
             runs = self._run_pool(reps, backend, options, workers)
@@ -597,7 +760,9 @@ class Session:
 
         for (key, _), run in zip(reps, runs):
             if memoize:
+                run.metadata.setdefault("config_hash", key[2])
                 self._remember(key, run)
+                self._store_write(skeys.get(key), run)
             for index in pending[key]:
                 results[index] = self._adapt(run, configs[index])
         assert all(r is not None for r in results)
@@ -724,8 +889,34 @@ class Session:
         is obtained through :meth:`evaluate` first, so it is shared with
         — and memoized alongside — plain ``"analysis"`` evaluations of
         the same configuration.
+
+        A *store*-served analysis record carries no rich in-memory
+        payload (no schedule tables), which would force the simulation
+        backend to re-run the fixed point on every call and defeat the
+        compiled-template cache.  When the simulation itself still has
+        to be computed, such records are refreshed once — one honest
+        recompute, bit-identical by construction — and the rich result
+        replaces the degraded one in the memory tier, so repeated
+        simulations compile/reuse one :class:`SimContext` exactly as
+        without a store.  (When the simulation result is *also* already
+        cached or stored, nothing needs the rich payload and nothing is
+        recomputed.)
         """
         base = self.evaluate(config, backend="analysis", memoize=memoize)
+        if (
+            memoize
+            and base.feasible
+            and base.analysis is None
+            and not self._simulation_available(config, periods, options)
+        ):
+            fresh = self.evaluate(
+                config, backend="analysis", memoize=False
+            )
+            if fresh.feasible and fresh.analysis is not None:
+                key = self._key(config, "analysis", {})
+                fresh.metadata.setdefault("config_hash", key[2])
+                self._remember(key, fresh)
+                base = fresh
         return self.evaluate(
             config,
             backend="simulation",
@@ -734,6 +925,31 @@ class Session:
             analysis_run=base,
             **options,
         )
+
+    def _simulation_available(
+        self,
+        config: SystemConfiguration,
+        periods: int,
+        options: Dict[str, Any],
+    ) -> bool:
+        """Whether a memoized/stored simulation result already exists.
+
+        Used by :meth:`simulate` to decide if a degraded (store-served)
+        analysis record even needs refreshing: when the simulation
+        outcome is itself served from a cache tier, no schedule tables
+        are required.  The probe is index-only and may answer "no" for
+        a record a concurrent writer appended a moment ago — that only
+        costs one redundant analysis pass, never correctness.
+        """
+        key = self._key(
+            config, "simulation", {"periods": periods, **options}
+        )
+        if key in self._cache:
+            return True
+        if self.store is None:
+            return False
+        skey = store_key(key)
+        return skey is not None and self.store.contains(skey)
 
     def sensitivity(
         self,

@@ -37,8 +37,19 @@ Commands
     (:mod:`repro.conformance`): N seeded random workloads through
     analysis and simulation, every dominance violation classified,
     shrunk to a minimal counterexample and persisted as a replayable
-    fixture.  ``--profile`` reports per-phase timings and events/sec.
+    fixture.  ``--profile``/``--stats`` report per-phase timings and
+    events/sec (machine-readable under ``--format json``).
     Exit code 0 only when the campaign is clean.
+
+``explore``
+    Run (or resume) a design-space sweep (:mod:`repro.explore`): a
+    declarative JSON :class:`repro.explore.SweepSpec` — grids/samples
+    over workload-generator parameters, synthesis methods (SF/OS/OR/
+    SAS/SAR, plain analysis/simulation, conformance probes) and bus
+    knobs — evaluated through worker-sharded chunked dispatch with
+    per-group Pareto fronts.  ``--store DIR`` persists every cell in a
+    :class:`repro.store.ResultStore`; a re-run (or a crashed campaign
+    restarted) with ``--resume`` skips everything already stored.
 
 All commands are thin shells over :class:`repro.api.Session`; files are
 the JSON formats of :mod:`repro.io.serialize`.
@@ -100,6 +111,9 @@ def _print_session_stats(session: Session) -> None:
           f"{info.warm_starts} warm-started solves")
     print(f"  sim kernel: {info.sim_compiles} template compiles, "
           f"{info.sim_reuses} reuses")
+    if session.store is not None:
+        print(f"  store: {info.store_hits} hits, "
+              f"{info.store_writes} writes")
 
 
 def _print_sim_stats(sim: dict) -> None:
@@ -120,7 +134,7 @@ def _print_sim_stats(sim: dict) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    session = Session.from_file(args.system)
+    session = Session.from_file(args.system, store=args.store)
     config = _load_config(args.config)
     run = session.evaluate(config)
     validation = None
@@ -158,7 +172,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             _print_session_stats(session)
         return 1
     if args.timing:
-        print(timing_report(session.system, run.analysis.rho))
+        if run.analysis is not None:
+            print(timing_report(session.system, run.analysis.rho))
+        else:
+            # Store-served results carry no rich ResponseTimes payload;
+            # the flattened timing rows hold the same numbers.
+            from .io.report import timing_rows_report
+
+            print(timing_rows_report(run.timing))
         print()
     print(schedulability_report(session.system, run.report, run.buffers))
     if validation is not None:
@@ -177,6 +198,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print()
         _print_session_stats(session)
     return 0 if run.schedulable else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import SweepSpec, run_sweep
+    from .io.report import sweep_report
+
+    spec = SweepSpec.from_file(args.sweep)
+    report = run_sweep(
+        spec,
+        store=args.store,
+        workers=args.workers,
+        resume=not args.no_resume,
+    )
+    if args.format == "json":
+        payload = report.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 1 if report.errored else 0
+    print(sweep_report(report))
+    if args.stats:
+        profile = report.profile
+        print()
+        print("sweep statistics:")
+        print(f"  wall-clock: {profile['wall_s']:.2f} s "
+              f"(cell compute time {profile['cell_wall_s']:.2f} s, "
+              f"{args.workers} workers)")
+        print(f"  store: {profile['store_hits']} cells resumed, "
+              f"{profile['computed']} computed"
+              + (f", {profile['store']['entries']} entries on disk"
+                 if "store" in profile else " (no store attached)"))
+    return 1 if report.errored else 0
 
 
 def _cmd_conform(args: argparse.Namespace) -> int:
@@ -232,7 +283,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             print(f"    counterexample fixture: {outcome.fixture}")
     for outcome in report.errored:
         print(f"  seed {outcome.seed}: evaluation error: {outcome.error}")
-    if args.profile:
+    if args.profile or args.stats:
         profile = report.profile
         print("campaign profile:")
         print(f"  wall-clock: {profile['wall_s']:.2f} s "
@@ -278,12 +329,28 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    session = Session.from_file(args.system)
+    session = Session.from_file(args.system, store=args.store)
     if args.config:
         config = _load_config(args.config)
     else:
         config = session.synthesize().config
     run = session.simulate(config, periods=args.periods, engine=args.engine)
+    if args.format == "json":
+        # The RunResult record already carries the engine counters in
+        # metadata["sim"]; --stats adds the session's cache/kernel/store
+        # statistics so dashboards can scrape one payload.
+        payload = run_result_to_dict(run)
+        if args.stats:
+            payload["session_stats"] = session.cache_info()._asdict()
+        print(json.dumps(payload, indent=2))
+        if not run.feasible:
+            return 2
+        return (
+            0
+            if run.metadata["bound_excess"] <= 1e-6
+            and not run.metadata["violations"]
+            else 2
+        )
     if not run.feasible:
         print(f"configuration could not be simulated: {run.error}")
         return 2
@@ -377,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
              "causal context (producer finish, gateway transfer window, "
              "consumer slot)",
     )
+    ana.add_argument(
+        "--store", default=None,
+        help="persistent result-store directory (second memo tier: "
+             "results computed here are shared with every session "
+             "pointing at the same directory)",
+    )
     ana.set_defaults(func=_cmd_analyze)
 
     conf = sub.add_parser(
@@ -415,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
              "compile vs replay)",
     )
     conf.add_argument(
+        "--stats", action="store_true",
+        help="alias of --profile; with --format json the counters are "
+             "already machine-readable in the report's 'profile' key",
+    )
+    conf.add_argument(
         "--engine", choices=["kernel", "legacy"], default="kernel",
         help="simulation engine: the compiled kernel (default) or the "
              "pre-kernel event-by-event engine (A/B benchmarking)",
@@ -447,7 +525,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: the compiled kernel (default) or the "
              "pre-kernel event-by-event engine",
     )
+    sim.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the RunResult record; with "
+             "--stats it gains a session_stats key)",
+    )
+    sim.add_argument(
+        "--store", default=None,
+        help="persistent result-store directory (second memo tier; "
+             "see `analyze --store`)",
+    )
     sim.set_defaults(func=_cmd_simulate)
+
+    exp = sub.add_parser(
+        "explore",
+        help="run or resume a design-space sweep with Pareto tracking",
+    )
+    exp.add_argument(
+        "--sweep", required=True,
+        help="sweep specification JSON (repro.explore.SweepSpec)",
+    )
+    exp.add_argument(
+        "--store", default=None,
+        help="result-store directory: completed cells persist here and "
+             "are skipped on re-runs (default: in-memory only)",
+    )
+    exp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present in the store (the default; "
+             "kept explicit for scripts)",
+    )
+    exp.add_argument(
+        "--no-resume", action="store_true",
+        help="re-evaluate every cell even when the store has it",
+    )
+    exp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = serial; serial and "
+             "parallel runs produce identical reports)",
+    )
+    exp.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the full sweep report)",
+    )
+    exp.add_argument(
+        "--stats", action="store_true",
+        help="print wall-clock and store statistics after the tables",
+    )
+    exp.set_defaults(func=_cmd_explore)
 
     sens = sub.add_parser(
         "sensitivity", help="robustness margins of a configuration"

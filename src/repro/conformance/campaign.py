@@ -33,7 +33,6 @@ seeds/s; ``repro conform --profile``).
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -375,58 +374,39 @@ def _pin_counterexample(
 def campaign_chunks(spec: CampaignSpec) -> List[List[int]]:
     """Deterministic chunk partition of a campaign's seed range.
 
-    Contiguous chunks of ``ceil(campaign / (workers * 4))`` seeds —
-    a pure function of the spec, never of pool scheduling, so the same
-    spec always produces the same chunks and (since results are
-    concatenated in chunk order) the same outcome order.  Serial runs
-    use the identical partition: the worker count only decides *where*
-    a chunk executes, never *what* it contains — that is the pinned
-    tie-break behind the serial ≡ parallel determinism contract.
+    Delegates to the shared sweep runner
+    (:func:`repro.explore.runner.partition_chunks`): contiguous chunks
+    of ``ceil(campaign / (workers * 4))`` seeds, a pure function of the
+    spec, never of pool scheduling — so the same spec always produces
+    the same chunks and (since results are concatenated in chunk order)
+    the same outcome order.  Serial runs use the identical partition:
+    the worker count only decides *where* a chunk executes, never
+    *what* it contains — that is the pinned tie-break behind the serial
+    ≡ parallel determinism contract.
     """
+    from ..explore.runner import partition_chunks
+
     seeds = list(range(spec.seed0, spec.seed0 + spec.campaign))
-    if not seeds:
-        return []
-    lanes = max(1, spec.workers) * 4
-    size = max(1, -(-len(seeds) // lanes))
-    return [seeds[i:i + size] for i in range(0, len(seeds), size)]
+    return partition_chunks(seeds, spec.workers)
 
 
 def run_campaign(spec: CampaignSpec) -> CampaignReport:
-    """Run one conformance campaign (see module docstring)."""
+    """Run one conformance campaign (see module docstring).
+
+    Dispatch rides the shared chunked runner of :mod:`repro.explore` —
+    the conformance campaign is one sweep kind (cell = seed) with its
+    own classification and fixture pipeline on top.
+    """
+    from ..explore.runner import run_chunked
+
     started = time.perf_counter()
     if spec.fixture_dir is not None:
         Path(spec.fixture_dir).mkdir(parents=True, exist_ok=True)
     chunks = [(spec, chunk) for chunk in campaign_chunks(spec)]
-    results: Optional[List[List[SeedOutcome]]] = None
-    if spec.workers > 1 and len(chunks) > 1:
-        results = _run_pool(chunks, spec.workers)
-    if results is None:
-        results = [_evaluate_chunk(item) for item in chunks]
+    results = run_chunked(chunks, _evaluate_chunk, spec.workers)
     outcomes = [outcome for chunk in results for outcome in chunk]
     outcomes.sort(key=lambda o: o.seed)  # chunk order is seed order; pin it
     return CampaignReport(
         spec=spec, outcomes=outcomes,
         wall_s=time.perf_counter() - started,
     )
-
-
-def _run_pool(
-    chunks: List[Tuple[CampaignSpec, List[int]]], workers: int
-) -> Optional[List[List[SeedOutcome]]]:
-    """Fan chunks out to a process pool; ``None`` when pools don't work."""
-    import pickle
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_evaluate_chunk, chunks, chunksize=1))
-    except (OSError, PermissionError, pickle.PicklingError,
-            BrokenProcessPool) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); "
-            "running the campaign serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return None

@@ -56,3 +56,10 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class StoreError(ReproError):
+    """A persistent result store directory cannot be opened safely,
+    e.g. its meta file is unreadable or carries a newer schema version
+    than this library understands.  (Damaged *records*, by contrast,
+    never raise: the store skips them and the caller recomputes.)"""

@@ -1,0 +1,42 @@
+"""Pareto-front tracking over sweep metrics (the Fig. 9 trade-off).
+
+All axes are minimized, matching the repository's conventions: the
+degree of schedulability ``δΓ`` (<= 0 means schedulable), the total
+buffer need ``s_total`` in bytes, and runtime (evaluation count or
+wall-clock).  A point dominates another when it is no worse on every
+axis and strictly better on at least one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether point ``a`` Pareto-dominates point ``b`` (minimization)."""
+    if len(a) != len(b):
+        raise ValueError("points must share a dimensionality")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate points are all kept (none strictly beats the other), so
+    equally-good heuristics both show up on the front.  O(n²) pairwise
+    scan — sweep fronts are hundreds of cells, not millions.
+    """
+    frozen: List[Tuple[float, ...]] = [tuple(p) for p in points]
+    front: List[int] = []
+    for i, candidate in enumerate(frozen):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(frozen)
+            if j != i
+        ):
+            front.append(i)
+    return front

@@ -1,0 +1,99 @@
+"""Deterministic chunked dispatch shared by every campaign-style sweep.
+
+Generalizes the dispatch scheme the conformance campaign pioneered
+(PR 4) so arbitrary experiment sweeps — design-space explorations,
+conformance fuzzing, future workload scans — ride one runner:
+
+* :func:`partition_chunks` splits a work list into contiguous chunks of
+  ``ceil(n / (workers * 4))`` items.  The partition is a pure function
+  of the work list and the worker count — never of pool scheduling — so
+  one spec always produces the same chunks and, since results are
+  concatenated in chunk order, the same outcome order.
+* :func:`run_chunked` fans the chunks out to a process pool (warm
+  workers amortize imports and allocator state across a whole chunk)
+  and degrades to serial execution — over the *same* chunks — where
+  pools are unavailable.  Serial and ``workers=N`` runs of one work
+  list therefore produce identical result sequences: the worker count
+  only decides *where* a chunk executes, never *what* it contains.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Iterator, List, Sequence, TypeVar
+
+__all__ = ["iter_chunked", "partition_chunks", "run_chunked"]
+
+T = TypeVar("T")
+
+#: Chunks per worker: enough lanes that an unlucky slow chunk cannot
+#: idle the rest of the pool, few enough that per-chunk IPC stays cheap.
+LANES_PER_WORKER = 4
+
+
+def partition_chunks(
+    items: Sequence[T], workers: int
+) -> List[List[T]]:
+    """Contiguous, deterministic chunk partition of a work list."""
+    items = list(items)
+    if not items:
+        return []
+    lanes = max(1, workers) * LANES_PER_WORKER
+    size = max(1, -(-len(items) // lanes))
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def iter_chunked(
+    chunks: Sequence[Any],
+    worker: Callable[[Any], T],
+    workers: int,
+) -> Iterator[T]:
+    """Apply ``worker`` to every chunk payload, streaming the results.
+
+    Yields one result per chunk, *in payload order*, as soon as it is
+    available — the property checkpointing consumers (the sweep
+    engine's incremental store writes) rely on: everything yielded
+    before a crash was already persisted.  ``worker`` must be a
+    module-level (picklable) callable.  With ``workers > 1`` the chunks
+    run on a process pool; pool *infrastructure* failures (sandboxes
+    without fork, unpicklable payloads, broken pools) warn and fall
+    back to serial execution over the not-yet-yielded chunks, while an
+    exception raised by ``worker`` itself propagates — a real
+    evaluation error must not be silently retried on another path.
+    """
+    chunks = list(chunks)
+    position = 0
+    if workers > 1 and len(chunks) > 1:
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for result in pool.map(worker, chunks, chunksize=1):
+                    yield result
+                    position += 1
+                return
+        except (OSError, PermissionError, pickle.PicklingError,
+                BrokenProcessPool) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "running the remaining chunks serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    for chunk in chunks[position:]:
+        yield worker(chunk)
+
+
+def run_chunked(
+    chunks: Sequence[Any],
+    worker: Callable[[Any], T],
+    workers: int,
+) -> List[T]:
+    """Apply ``worker`` to every chunk payload, in payload order.
+
+    The eager form of :func:`iter_chunked` (identical dispatch and
+    fallback semantics), for callers that want the full result list.
+    """
+    return list(iter_chunked(chunks, worker, workers))

@@ -5,7 +5,9 @@ from .report import (
     comparison_table,
     format_table,
     schedulability_report,
+    sweep_report,
     timing_report,
+    timing_rows_report,
 )
 from .serialize import (
     config_from_dict,
@@ -29,7 +31,9 @@ __all__ = [
     "run_result_to_dict",
     "save_system",
     "schedulability_report",
+    "sweep_report",
     "system_from_dict",
     "system_to_dict",
     "timing_report",
+    "timing_rows_report",
 ]

@@ -15,7 +15,14 @@ from ..analysis.degree import SchedulabilityReport
 from ..analysis.timing import ResponseTimes
 from ..system import System
 
-__all__ = ["format_table", "timing_report", "schedulability_report", "comparison_table"]
+__all__ = [
+    "format_table",
+    "timing_report",
+    "timing_rows_report",
+    "schedulability_report",
+    "comparison_table",
+    "sweep_report",
+]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -66,6 +73,35 @@ def timing_report(system: System, rho: ResponseTimes, limit: Optional[int] = Non
     )
 
 
+def timing_rows_report(timing: dict) -> str:
+    """Per-activity timing table from flattened ``RunResult.timing`` rows.
+
+    The serialized twin of :func:`timing_report`: store-served or
+    JSON-round-tripped results carry no rich ``ResponseTimes`` payload,
+    but their ``timing`` rows hold the same numbers — rendered here in
+    the identical column layout (``None`` values, the serialization of
+    diverged/infinite entries, print as ``inf``).
+    """
+    kind_labels = {"process": "process", "can": "can msg", "ttp": "ttp leg"}
+
+    def _cell(value) -> str:
+        return _fmt(float("inf") if value is None else value)
+
+    rows: List[Tuple[object, ...]] = []
+    for kind, label in kind_labels.items():
+        names = sorted(
+            row["name"] for row in timing.values() if row["kind"] == kind
+        )
+        for name in names:
+            row = timing[f"{kind}:{name}"]
+            rows.append(
+                (label, name, _cell(row["offset"]), _cell(row["jitter"]),
+                 _cell(row["queuing"]), _cell(row["duration"]),
+                 _cell(row["response"]))
+            )
+    return format_table(["kind", "name", "O", "J", "w", "C", "r"], rows)
+
+
 def schedulability_report(
     system: System,
     report: SchedulabilityReport,
@@ -104,3 +140,70 @@ def comparison_table(
     body = format_table(headers, rows)
     bar = "=" * len(title)
     return f"{title}\n{bar}\n{body}"
+
+
+def _sweep_params(record: dict) -> str:
+    """Compact ``k=v`` identity of one sweep cell's parameters."""
+    pairs = sorted(record.get("workload", {}).items())
+    pairs += sorted(record.get("options", {}).items())
+    return ", ".join(f"{k}={v}" for k, v in pairs)
+
+
+def sweep_report(report) -> str:
+    """Render a :class:`repro.explore.ExploreReport` as text tables.
+
+    One comparison table over all cells (the section-6 heuristics view)
+    followed by one table per Pareto front group.  Accepts either the
+    report object or its :meth:`to_dict` payload, so serialized reports
+    (CI artifacts, stored JSON) render identically.
+    """
+    data = report.to_dict() if hasattr(report, "to_dict") else report
+    rows = []
+    for record in data["cells"]:
+        metrics = record.get("metrics", {})
+        if record.get("error"):
+            rows.append([
+                record["index"], record["method"], _sweep_params(record),
+                "-", "ERROR", "-", "-",
+            ])
+            continue
+        degree = metrics.get("degree")
+        buffers = metrics.get("total_buffers")
+        rows.append([
+            record["index"],
+            record["method"],
+            _sweep_params(record),
+            _fmt(degree) if degree is not None else "-",
+            "yes" if metrics.get("schedulable") else "NO",
+            f"{buffers:.0f}" if buffers is not None else "-",
+            metrics.get("evaluations", "-"),
+        ])
+    name = data.get("name", "sweep")
+    out = [comparison_table(
+        f"Sweep {name!r}: {len(data['cells'])} cells "
+        "(degree: smaller is better; <= 0 schedulable)",
+        ["cell", "method", "parameters", "degree", "schedulable",
+         "s_total [B]", "evals"],
+        rows,
+    )]
+    for front in data.get("fronts", []):
+        group = front.get("group") or {}
+        label = ", ".join(f"{k}={v}" for k, v in group.items())
+        title = "Pareto front" + (f" [{label}]" if label else "")
+        axes = front["axes"]
+        out.append(comparison_table(
+            title,
+            ["cell", "method", *axes],
+            [
+                [entry["index"], entry["method"],
+                 *(_fmt(v) for v in entry["point"])]
+                for entry in front["cells"]
+            ],
+        ))
+    errors = [r for r in data["cells"] if r.get("error")]
+    for record in errors:
+        out.append(
+            f"cell {record['index']} ({record['method']}): "
+            f"error: {record['error']}"
+        )
+    return "\n\n".join(out)

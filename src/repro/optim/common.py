@@ -48,6 +48,10 @@ class Evaluation:
     report: Optional[SchedulabilityReport] = None
     buffers: Optional[BufferReport] = None
     error: Optional[str] = None
+    #: Store-addressable provenance: the configuration hash the session
+    #: memoized (and persisted) this evaluation under.  ``None`` for
+    #: session-less evaluations, which are never cached or stored.
+    config_hash: Optional[str] = None
 
     @property
     def feasible(self) -> bool:
@@ -76,13 +80,17 @@ class Evaluation:
 
 def evaluation_from_run(run: RunResult) -> Evaluation:
     """Adapt a facade :class:`RunResult` into the heuristics' record."""
+    provenance = run.metadata.get("config_hash")
     if not run.feasible:
-        return Evaluation(config=run.config, error=run.error)
+        return Evaluation(
+            config=run.config, error=run.error, config_hash=provenance
+        )
     return Evaluation(
         config=run.config,
         result=run.analysis,
         report=run.report,
         buffers=run.buffers,
+        config_hash=provenance,
     )
 
 

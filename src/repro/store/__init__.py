@@ -1,0 +1,24 @@
+"""Persistent experiment store: content-addressed, append-only results.
+
+The store is the durable second memo tier behind
+:class:`repro.api.Session` (in-memory -> store -> compute) and the
+resume substrate of :mod:`repro.explore` campaigns: any two sessions —
+in one process, across processes, or across machines sharing a
+directory — see each other's results bit-identically.
+"""
+
+from .store import (
+    SCHEMA_VERSION,
+    STORE_FORMAT,
+    ResultStore,
+    StoreStats,
+    content_key,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+    "ResultStore",
+    "StoreStats",
+    "content_key",
+]

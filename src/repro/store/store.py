@@ -1,0 +1,469 @@
+"""The on-disk result store: JSON-lines segments + a derived index.
+
+Layout of a store directory::
+
+    <root>/store.json               # format + schema version (atomic)
+    <root>/segments/segment-*.jsonl # append-only record logs
+
+Every record is one JSON line::
+
+    {"key": <content hash>, "kind": "runresult", "payload": {...},
+     "sha": <sha256 of the canonical payload>, "v": 1}
+
+Design points (all stdlib):
+
+* **Content-addressed.** Records are keyed by a caller-supplied content
+  hash (e.g. the :func:`repro.api.session.config_hash` of the evaluated
+  configuration folded with the backend name and options).  The payload
+  carries its own checksum, so a record is verifiable in isolation.
+* **Append-only, multi-writer.** Each :class:`ResultStore` instance
+  appends to its *own* segment file (named with pid + random suffix),
+  so concurrent writers never interleave bytes.  Readers index all
+  segments and pick up concurrently appended records via
+  :meth:`ResultStore.refresh`.
+* **Atomic, corruption-tolerant.** A record becomes visible only once
+  its full line (terminated by ``\\n``) is on disk.  A truncated tail —
+  a writer killed mid-append, a torn copy — is simply not indexed (and
+  re-examined on the next refresh, in case a live writer finishes the
+  line); a complete line that fails to parse or whose checksum
+  mismatches is counted in :attr:`StoreStats.corrupt_records` and
+  skipped.  Reads never raise on bad data: the caller recomputes, the
+  store re-appends, and :meth:`compact` drops the damage for good.
+* **Eviction/compaction.** :meth:`compact` rewrites all live records
+  into a single fresh segment (newest-first retention when
+  ``max_entries`` bounds the store) and deletes the old segments.
+  Compaction is a maintenance operation: run it while no other process
+  is writing the same directory.
+
+The index is derived state: it is rebuilt by scanning the segments, so
+the segment files are the only source of truth and the store needs no
+write-ahead log or lock file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..exceptions import StoreError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+    "ResultStore",
+    "StoreStats",
+    "content_key",
+]
+
+#: Format tag written into ``store.json`` and refused when unknown.
+STORE_FORMAT = "repro-store-v1"
+#: Schema version of the record lines; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+_META_NAME = "store.json"
+_SEGMENT_DIR = "segments"
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any) -> str:
+    """Stable content hash of a JSON-compatible value (sha256 hex)."""
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def _payload_sha(payload: Any) -> str:
+    # 16 hex chars: integrity check, not a security boundary.
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    """Observable counters of one :class:`ResultStore` instance."""
+
+    entries: int = 0
+    segments: int = 0
+    puts: int = 0
+    put_dupes: int = 0
+    corrupt_records: int = 0
+    refreshes: int = 0
+    compactions: int = 0
+
+
+@dataclass
+class _Entry:
+    """Index record: where a (kind, key) lives on disk."""
+
+    path: Path
+    offset: int
+    length: int
+
+
+class ResultStore:
+    """A content-addressed, append-only result store (see module docs).
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with its meta file) when missing.
+    max_entries:
+        Optional retention bound applied by :meth:`compact`: the newest
+        ``max_entries`` records (segment modification time, then append
+        order) survive, older ones are evicted.  Deliberately *not*
+        enforced automatically on :meth:`put` — compaction unlinks
+        segments and is only safe while no other process writes the
+        directory, so an auto-trigger would corrupt the multi-writer
+        contract.  ``None`` (default) disables eviction.
+    fsync:
+        Force every appended record to disk with ``os.fsync``.  Off by
+        default: the flush-per-line default already bounds loss to the
+        final record of a crashed process, which the corruption-tolerant
+        reader treats as absent.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: Optional[int] = None,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.fsync = fsync
+        self.stats = StoreStats()
+        self._index: Dict[Tuple[str, str], _Entry] = {}
+        #: Bytes of each segment already scanned into the index.
+        self._scanned: Dict[Path, int] = {}
+        self._writer = None  # lazily opened own segment handle
+        self._writer_path: Optional[Path] = None
+        self._segments_dir = self.root / _SEGMENT_DIR
+        self._open()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _open(self) -> None:
+        self._segments_dir.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / _META_NAME
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"unreadable store meta file {meta_path}: {exc}"
+                ) from exc
+            if meta.get("format") != STORE_FORMAT:
+                raise StoreError(
+                    f"{meta_path} is not a {STORE_FORMAT} store "
+                    f"(found {meta.get('format')!r})"
+                )
+            if meta.get("version", 0) > SCHEMA_VERSION:
+                raise StoreError(
+                    f"store schema version {meta.get('version')} is newer "
+                    f"than this library understands ({SCHEMA_VERSION}); "
+                    "refusing to read it"
+                )
+        else:
+            payload = _canonical(
+                {"format": STORE_FORMAT, "version": SCHEMA_VERSION}
+            )
+            tmp = meta_path.with_suffix(".tmp")
+            tmp.write_text(payload + "\n")
+            os.replace(tmp, meta_path)  # atomic: never a half-written meta
+        self.refresh()
+
+    def close(self) -> None:
+        """Close the writer segment (further puts reopen a new one)."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            finally:
+                self._writer = None
+                self._writer_path = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore({str(self.root)!r}, entries={len(self._index)}, "
+            f"segments={len(self._scanned)})"
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Index records appended since the last scan; returns how many.
+
+        Picks up both new bytes in known segments and whole new segments
+        (other processes' writers).  Only complete, checksum-valid lines
+        enter the index; an unterminated tail is left for a later
+        refresh so a concurrently flushing writer is never mis-read.
+        """
+        self.stats.refreshes += 1
+        added = 0
+        try:
+            segment_paths = sorted(self._segments_dir.glob("*.jsonl"))
+        except OSError:
+            return 0
+        for path in segment_paths:
+            added += self._scan_segment(path)
+        self.stats.segments = len(segment_paths)
+        self.stats.entries = len(self._index)
+        return added
+
+    def _scan_segment(self, path: Path) -> int:
+        offset = self._scanned.get(path, 0)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            # Segment vanished (another process compacted): forget it.
+            self._scanned.pop(path, None)
+            return 0
+        if size <= offset:
+            return 0
+        added = 0
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(size - offset)
+        except OSError:
+            return 0
+        position = offset
+        for line in data.split(b"\n")[:-1]:  # last piece: tail after final \n
+            length = len(line) + 1
+            entry = self._parse_record(line)
+            if entry is not None:
+                kind, key = entry
+                index_key = (kind, key)
+                if index_key not in self._index:
+                    added += 1
+                self._index.setdefault(
+                    index_key, _Entry(path, position, length)
+                )
+            position += length
+        # Everything up to the last newline is settled; an unterminated
+        # tail (position < size) stays unscanned and is retried later.
+        self._scanned[path] = position
+        return added
+
+    def _parse_record(self, line: bytes) -> Optional[Tuple[str, str]]:
+        """Validate one complete line; returns (kind, key) or None."""
+        record = self._decode_record(line)
+        if record is None:
+            self.stats.corrupt_records += 1
+            return None
+        return record["kind"], record["key"]
+
+    @staticmethod
+    def _decode_record(line: bytes) -> Optional[Dict[str, Any]]:
+        if not line.strip():
+            return None
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        key = record.get("key")
+        kind = record.get("kind")
+        payload = record.get("payload")
+        if not isinstance(key, str) or not isinstance(kind, str):
+            return None
+        if record.get("v", 0) > SCHEMA_VERSION:
+            return None
+        if record.get("sha") != _payload_sha(payload):
+            return None
+        return record
+
+    def contains(self, key: str, kind: str = "runresult") -> bool:
+        """Whether a record is indexed (no implicit refresh)."""
+        return (kind, key) in self._index
+
+    def get(
+        self, key: str, kind: str = "runresult", refresh: bool = True
+    ) -> Optional[Any]:
+        """The stored payload for ``(kind, key)``, or ``None``.
+
+        On an index miss the store re-scans the segments first (other
+        processes may have appended since), unless ``refresh=False`` —
+        batch callers refresh once and then probe many keys cheaply.
+        A record that can no longer be read back (deleted segment,
+        bit rot under the checksum) degrades to a miss, never an error.
+        """
+        entry = self._index.get((kind, key))
+        if entry is None and refresh:
+            self.refresh()
+            entry = self._index.get((kind, key))
+        if entry is None:
+            return None
+        try:
+            with open(entry.path, "rb") as handle:
+                handle.seek(entry.offset)
+                line = handle.read(entry.length)
+        except OSError:
+            self._index.pop((kind, key), None)
+            return None
+        record = self._decode_record(line.rstrip(b"\n"))
+        if record is None or record["key"] != key or record["kind"] != kind:
+            self.stats.corrupt_records += 1
+            self._index.pop((kind, key), None)
+            return None
+        return record["payload"]
+
+    def keys(self, kind: Optional[str] = None) -> Iterator[str]:
+        """Indexed keys, optionally filtered by record kind."""
+        for record_kind, key in self._index:
+            if kind is None or record_kind == kind:
+                yield key
+
+    # -- writing -------------------------------------------------------------
+
+    def put(
+        self, key: str, payload: Any, kind: str = "runresult"
+    ) -> bool:
+        """Append one record; returns False when the key is present.
+
+        The duplicate check consults the local index only (call
+        :meth:`refresh` first to also dedupe against concurrent
+        writers); a lost race merely appends an identical record, which
+        compaction later folds away.  The line is flushed before the
+        index is updated, so a key this method reported stored is
+        durable up to OS buffering (pass ``fsync=True`` for crash-hard
+        durability).
+        """
+        if (kind, key) in self._index:
+            self.stats.put_dupes += 1
+            return False
+        record = {
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+            "sha": _payload_sha(payload),
+            "v": SCHEMA_VERSION,
+        }
+        line = (_canonical(record) + "\n").encode("utf-8")
+        writer = self._ensure_writer()
+        offset = writer.tell()
+        writer.write(line)
+        writer.flush()
+        if self.fsync:
+            os.fsync(writer.fileno())
+        assert self._writer_path is not None
+        self._index[(kind, key)] = _Entry(
+            self._writer_path, offset, len(line)
+        )
+        self._scanned[self._writer_path] = offset + len(line)
+        self.stats.puts += 1
+        self.stats.entries = len(self._index)
+        return True
+
+    def _ensure_writer(self):
+        if self._writer is None:
+            suffix = os.urandom(4).hex()
+            self._writer_path = (
+                self._segments_dir / f"segment-{os.getpid()}-{suffix}.jsonl"
+            )
+            self._writer = open(self._writer_path, "ab")
+            self._scanned.setdefault(self._writer_path, 0)
+        return self._writer
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self, max_entries: Optional[int] = None) -> int:
+        """Rewrite all live records into one segment; returns live count.
+
+        Drops duplicate appends, corrupt bytes and truncated tails, and
+        — when ``max_entries`` (or the store's own bound) is set — the
+        oldest surplus records.  Age is approximated by segment
+        modification time (a segment's mtime is its last append) and,
+        within a segment, exact append order; segment *names* carry no
+        temporal meaning.  The new segment is published with an atomic
+        rename before the old segments are unlinked, so a reader never
+        observes an empty store.  Run while no other process writes
+        this directory — compaction unlinks live segments, and a
+        concurrent writer appending to an unlinked file would lose its
+        records.
+        """
+        self.refresh()
+        self.close()
+        limit = max_entries if max_entries is not None else self.max_entries
+
+        def _mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        mtimes = {path: _mtime(path) for path in self._scanned}
+        ordered = sorted(
+            self._index.items(),
+            key=lambda item: (
+                mtimes.get(item[1].path, 0.0),
+                str(item[1].path),
+                item[1].offset,
+            ),
+        )
+        if limit is not None and len(ordered) > limit:
+            ordered = ordered[len(ordered) - limit:]
+        survivors: List[Tuple[Tuple[str, str], Any]] = []
+        for index_key, _ in ordered:
+            kind, key = index_key
+            payload = self.get(key, kind=kind, refresh=False)
+            if payload is not None:
+                survivors.append((index_key, payload))
+        old_segments = sorted(self._segments_dir.glob("*.jsonl"))
+        suffix = os.urandom(4).hex()
+        compacted = (
+            self._segments_dir / f"segment-compact-{os.getpid()}-{suffix}.jsonl"
+        )
+        tmp = compacted.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            for (kind, key), payload in survivors:
+                record = {
+                    "key": key,
+                    "kind": kind,
+                    "payload": payload,
+                    "sha": _payload_sha(payload),
+                    "v": SCHEMA_VERSION,
+                }
+                handle.write((_canonical(record) + "\n").encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, compacted)
+        for path in old_segments:
+            if path != compacted:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self._index.clear()
+        self._scanned.clear()
+        self.stats.corrupt_records = 0
+        self.stats.compactions += 1
+        self.refresh()
+        return len(self._index)
+
+    def clear(self) -> None:
+        """Delete every record (the segments); the store stays usable."""
+        self.close()
+        for path in self._segments_dir.glob("*.jsonl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._index.clear()
+        self._scanned.clear()
+        self.stats.entries = 0
+        self.stats.segments = 0

@@ -14,11 +14,13 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.api",
     "repro.buses",
+    "repro.explore",
     "repro.io",
     "repro.model",
     "repro.optim",
     "repro.schedule",
     "repro.sim",
+    "repro.store",
     "repro.synth",
 ]
 
@@ -34,6 +36,7 @@ FACADE_SYMBOLS = [
     "config_hash",
     "get_backend",
     "register_backend",
+    "store_key",
 ]
 
 

@@ -192,6 +192,168 @@ class TestConform:
         assert "events/s" in out
 
 
+class TestStatsJson:
+    """``--stats --format json``: machine-readable cache/profile
+    counters for analyze, simulate and conform (ISSUE satellite)."""
+
+    def test_analyze_stats_json_carries_session_counters(
+        self, system_file, config_file, capsys
+    ):
+        code = main([
+            "analyze", str(system_file), str(config_file),
+            "--stats", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        stats = data["session_stats"]
+        assert stats["backend_calls"] == 1
+        assert {"hits", "misses", "kernel_compiles", "store_hits",
+                "store_writes"} <= set(stats)
+
+    def test_simulate_stats_json(self, system_file, config_file, capsys):
+        code = main([
+            "simulate", str(system_file), "--config", str(config_file),
+            "--periods", "2", "--stats", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "simulation"
+        assert data["metadata"]["sim"]["engine"] == "kernel"
+        assert data["metadata"]["sim"]["events"] > 0
+        assert data["session_stats"]["sim_compiles"] == 1
+
+    def test_simulate_json_without_stats(
+        self, system_file, config_file, capsys
+    ):
+        code = main([
+            "simulate", str(system_file), "--config", str(config_file),
+            "--periods", "2", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "session_stats" not in data
+        assert data["metadata"]["violations"] == 0
+
+    def test_conform_stats_json_carries_profile(self, capsys):
+        code = main([
+            "conform", "--campaign", "3", "--seed0", "0",
+            "--stats", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["profile"]["seeds"] == 3
+        assert "analyze_s" in data["profile"]
+
+    def test_conform_stats_text_prints_profile(self, capsys):
+        code = main(["conform", "--campaign", "2", "--stats"])
+        assert code == 0
+        assert "campaign profile:" in capsys.readouterr().out
+
+    def test_analyze_timing_renders_on_warm_store(
+        self, system_file, config_file, tmp_path, capsys
+    ):
+        """--timing must work on a store-served result (which has no
+        rich analysis payload) by rendering the serialized rows."""
+        store = str(tmp_path / "store")
+        assert main([
+            "analyze", str(system_file), str(config_file),
+            "--store", store, "--timing",
+        ]) == 0
+        cold = capsys.readouterr().out
+        assert main([
+            "analyze", str(system_file), str(config_file),
+            "--store", store, "--timing",
+        ]) == 0
+        warm = capsys.readouterr().out
+        # Same table, same numbers — one from ResponseTimes, one from
+        # the flattened rows.
+        assert warm == cold
+
+    def test_analyze_store_tier_shared_across_invocations(
+        self, system_file, config_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main([
+            "analyze", str(system_file), str(config_file),
+            "--store", store, "--stats", "--format", "json",
+        ]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["session_stats"]["store_writes"] == 1
+        assert main([
+            "analyze", str(system_file), str(config_file),
+            "--store", store, "--stats", "--format", "json",
+        ]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["session_stats"]["store_hits"] == 1
+        assert warm["session_stats"]["backend_calls"] == 0
+        # Bit-identical record across processes-worth of sessions.
+        cold.pop("session_stats"); warm.pop("session_stats")
+        assert cold == warm
+
+
+class TestExplore:
+    @pytest.fixture()
+    def sweep_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "name": "cli-demo",
+            "workload": {
+                "nodes": 2, "processes_per_node": 6,
+                "gateway_messages": 2, "graph_size_range": [[3, 5]],
+                "seed": [0, 1],
+            },
+            "methods": ["SF", "analysis"],
+            "group_by": ["seed"],
+        }))
+        return path
+
+    def test_text_report(self, sweep_file, tmp_path, capsys):
+        code = main([
+            "explore", "--sweep", str(sweep_file),
+            "--store", str(tmp_path / "store"), "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep 'cli-demo': 4 cells" in out
+        assert "Pareto front [seed=0]" in out
+        assert "4 computed" in out
+
+    def test_json_resume_skips_stored_cells(
+        self, sweep_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main([
+            "explore", "--sweep", str(sweep_file), "--store", str(store),
+            "--format", "json",
+        ]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main([
+            "explore", "--sweep", str(sweep_file), "--store", str(store),
+            "--resume", "--format", "json",
+        ]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["profile"]["store_hits"] == len(cold["cells"]) == 4
+        assert warm["profile"]["computed"] == 0
+        # The deterministic sections are bit-identical cold vs warm.
+        for section in ("cells", "fronts", "counts"):
+            assert cold[section] == warm[section]
+
+    def test_no_resume_recomputes(self, sweep_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main([
+            "explore", "--sweep", str(sweep_file), "--store", str(store),
+            "--format", "json",
+        ])
+        capsys.readouterr()
+        main([
+            "explore", "--sweep", str(sweep_file), "--store", str(store),
+            "--no-resume", "--format", "json",
+        ])
+        data = json.loads(capsys.readouterr().out)
+        assert data["profile"]["store_hits"] == 0
+        assert data["profile"]["computed"] == 4
+
+
 class TestAnalyzeValidate:
     def test_validate_renders_causal_context_in_json(
         self, system_file, config_file, capsys
