@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Kernel performance trajectory: write ``BENCH_kernel.json``,
-``BENCH_sim.json`` and ``BENCH_explore.json`` records.
+``BENCH_sim.json``, ``BENCH_explore.json`` and ``BENCH_serve.json``
+records.
 
 Times the three layers the compiled kernel accelerated, on the paper's
 160-process experimental scale (``WorkloadSpec(nodes=4, seed=0)``):
@@ -31,19 +32,27 @@ Times the three layers the compiled kernel accelerated, on the paper's
   hit rates, cold/warm/resume wall-clock and the cold-vs-warm
   determinism check.
 
+``BENCH_serve.json`` measures the evaluation service (``repro serve``)
+under synthetic many-client open-loop load: N client threads submit
+evaluations over HTTP at a fixed rate (~30% duplicates), and the record
+captures sustained evals/s, request throughput, dedup ratios and
+queue/compute timings.
+
 The records are appended-safe: each invocation rewrites the files with
-fresh measurements plus the machine's Python version, so committed
-snapshots form a trajectory across PRs.
+fresh measurements plus a uniform ``host`` block (cores, Python
+version, timestamp), so committed snapshots form a trajectory across
+PRs.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [kernel.json]
-    [sim.json] [explore.json]
+    [sim.json] [explore.json] [serve.json]
 
 Scale knobs: ``REPRO_BENCH_NODES`` (default 4), ``REPRO_BENCH_RTA_REPS``
 (default 10), ``REPRO_BENCH_SIM_REPS`` (default 20),
 ``REPRO_BENCH_CAMPAIGN`` (default 1000), ``REPRO_BENCH_SWEEP_SEEDS``
-(default 6).
+(default 6), ``REPRO_BENCH_SERVE_SECONDS`` / ``_CLIENTS`` / ``_WORKERS``
+/ ``_RATE`` (defaults 6 / 4 / 2 / 25).
 """
 
 import json
@@ -64,6 +73,19 @@ def _timed(fn, *args, **kwargs):
     t0 = time.perf_counter()
     result = fn(*args, **kwargs)
     return time.perf_counter() - t0, result
+
+
+def _host():
+    """Uniform host block stamped into every BENCH record.
+
+    One shape across BENCH_kernel/sim/explore/serve so trajectory
+    tooling can join records without per-file special cases.
+    """
+    return {
+        "cores": os.cpu_count(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
 
 
 def _legacy_campaign_seed(payload):
@@ -182,9 +204,7 @@ def bench_sim(output, system, nodes):
             "processes": system.app.process_count(),
             "messages": system.app.message_count(),
         },
-        "python": platform.python_version(),
-        "cores": os.cpu_count(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host(),
         "simulation": {
             "reps": sim_reps,
             "periods": periods,
@@ -271,9 +291,7 @@ def bench_explore(output):
 
     record = {
         "benchmark": "explore",
-        "python": platform.python_version(),
-        "cores": os.cpu_count(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host(),
         "sweep": {
             "cells": cells,
             "methods": list(spec.methods),
@@ -296,10 +314,145 @@ def bench_explore(output):
     print(f"\nwrote {output}")
 
 
+def bench_serve(output):
+    """Measure the evaluation service and write ``BENCH_serve.json``.
+
+    Synthetic many-client open-loop load: ``REPRO_BENCH_SERVE_CLIENTS``
+    threads (default 4) each submit evaluations over HTTP at a fixed
+    rate for ``REPRO_BENCH_SERVE_SECONDS`` (default 6), regardless of
+    completion — the open-loop discipline, so queueing shows up as
+    latency, not as a lower offered rate.  About 30% of submissions
+    repeat an earlier configuration, exercising the dedup/store path
+    the service exists for.  Records sustained evals/s, request
+    throughput, dedup ratios and queue/compute timings.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.conformance.campaign import conformance_configuration
+    from repro.io.serialize import config_to_dict, system_to_dict
+    from repro.serve import EvaluationService, ServeClient, serve
+
+    seconds = float(os.environ.get("REPRO_BENCH_SERVE_SECONDS", 6))
+    clients = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", 4))
+    workers = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", 2))
+    rate = float(os.environ.get("REPRO_BENCH_SERVE_RATE", 25.0))
+
+    system = generate_workload(
+        WorkloadSpec(nodes=2, processes_per_node=8, seed=0)
+    )
+    system_dict = system_to_dict(system)
+    total_target = max(clients, int(seconds * rate * clients))
+    unique = max(1, int(total_target * 0.7))
+    configs = [
+        config_to_dict(
+            conformance_configuration(system, rounds_per_period=4 + i)
+        )
+        for i in range(unique)
+    ]
+
+    root = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    service = EvaluationService(os.path.join(root, "store"), workers=workers)
+    ready = threading.Event()
+    announced = {}
+    server_thread = threading.Thread(
+        target=lambda: serve(
+            service, port=0, ready=ready,
+            announce=lambda msg: announced.setdefault("line", msg),
+        ),
+        daemon=True,
+    )
+    server_thread.start()
+    assert ready.wait(timeout=10)
+    url = announced["line"].split("serving on ")[1]
+
+    interval = 1.0 / rate
+    per_client = total_target // clients
+    submitted_ids = [[] for _ in range(clients)]
+
+    def client_body(cid):
+        client = ServeClient(url, timeout=600)
+        t0 = time.perf_counter()
+        for j in range(per_client):
+            # Open loop: wait for the tick, not for the last response.
+            target = t0 + j * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            config = configs[(j * clients + cid) % unique]
+            submitted_ids[cid].append(
+                client.evaluate(system_dict, config)["id"]
+            )
+
+    t_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_body, args=(cid,))
+        for cid in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Wait for the backlog to drain (in-process: watch the jobs).
+    for ids in submitted_ids:
+        for job_id in ids:
+            service.wait(job_id, timeout=600)
+    elapsed = time.perf_counter() - t_start
+    stats = service.stats()
+    ServeClient(url, timeout=30).shutdown()
+    server_thread.join(timeout=60)
+    shutil.rmtree(root, ignore_errors=True)
+
+    counters = stats["counters"]
+    submitted = counters["submitted"]
+    assert counters["errors"] == 0
+    assert submitted == clients * per_client
+    # Exactly-once compute under duplication: never more computations
+    # than unique configurations.
+    assert counters["computed"] <= unique
+
+    record = {
+        "benchmark": "serve",
+        "host": _host(),
+        "load": {
+            "clients": clients,
+            "workers": workers,
+            "offered_rate_per_s": rate * clients,
+            "seconds": seconds,
+            "requests": submitted,
+            "unique_configs": unique,
+            "duplicate_fraction": 1.0 - unique / max(1, submitted),
+        },
+        "service": {
+            "wall_s": elapsed,
+            "requests_per_s": submitted / max(elapsed, 1e-9),
+            "evals_per_s": counters["computed"] / max(elapsed, 1e-9),
+            "computed": counters["computed"],
+            "dedup_hits": counters["dedup_hits"],
+            "store_hits": counters["store_hits"],
+            "dedup_ratio": (
+                (counters["dedup_hits"] + counters["store_hits"])
+                / max(1, submitted)
+            ),
+            "queue_wait_s_avg": stats["timings"]["queue_wait_s_avg"],
+            "unit_compute_s_avg": stats["timings"]["unit_compute_s_avg"],
+            "store_entries": stats["store"]["entries"],
+            "store_shards": stats["store"]["shards"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {output}")
+
+
 def main(argv):
     output = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
     sim_output = argv[2] if len(argv) > 2 else "BENCH_sim.json"
     explore_output = argv[3] if len(argv) > 3 else "BENCH_explore.json"
+    serve_output = argv[4] if len(argv) > 4 else "BENCH_serve.json"
     nodes = int(os.environ.get("REPRO_BENCH_NODES", 4))
     reps = int(os.environ.get("REPRO_BENCH_RTA_REPS", 10))
     spec = WorkloadSpec(nodes=nodes, seed=0)
@@ -370,8 +523,7 @@ def main(argv):
             "processes": system.app.process_count(),
             "can_messages": len(system.can_messages()),
         },
-        "python": platform.python_version(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host(),
         "rta": {
             "reps": reps,
             "legacy_s": legacy_rta,
@@ -399,6 +551,7 @@ def main(argv):
 
     bench_sim(sim_output, system, nodes)
     bench_explore(explore_output)
+    bench_serve(serve_output)
     return 0
 
 

@@ -50,6 +50,26 @@ Commands
     per-group Pareto fronts.  ``--store DIR`` persists every cell in a
     :class:`repro.store.ResultStore`; a re-run (or a crashed campaign
     restarted) with ``--resume`` skips everything already stored.
+    ``--server URL`` runs the sweep through an evaluation service
+    instead of locally (dedup and store live server-side).
+
+``serve``
+    Run the evaluation service (:mod:`repro.serve`): a long-running
+    daemon that accepts evaluations, sweeps and conformance campaigns
+    over HTTP (or a unix socket), coalesces duplicate requests by
+    config hash, batches compatible work onto a warm worker pool and
+    persists everything in one sharded result store.  SIGTERM drains
+    gracefully: in-flight work finishes and is checkpointed.
+
+``submit`` / ``status``
+    Client side of ``serve``: submit one evaluation (system + config
+    JSON files) to a server and poll job status / service metrics.
+
+``store``
+    Inspect and maintain result stores: ``store stats DIR`` prints the
+    shard layout, ``store migrate DIR`` rewrites a flat (pre-shard)
+    store into the sharded layout, ``store compact DIR`` folds
+    segments.
 
 All commands are thin shells over :class:`repro.api.Session`; files are
 the JSON formats of :mod:`repro.io.serialize`.
@@ -59,6 +79,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -201,16 +222,52 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from .explore import SweepSpec, run_sweep
-    from .io.report import sweep_report
+    from .explore import (
+        SweepInterrupted,
+        SweepSpec,
+        run_sweep,
+        trap_signals,
+    )
 
     spec = SweepSpec.from_file(args.sweep)
-    report = run_sweep(
-        spec,
-        store=args.store,
-        workers=args.workers,
-        resume=not args.no_resume,
-    )
+    if args.server:
+        from .serve import run_sweep_via_server
+
+        report = run_sweep_via_server(spec, args.server)
+        return _render_explore_report(args, report)
+    with trap_signals() as stop:
+        try:
+            report = run_sweep(
+                spec,
+                store=args.store,
+                workers=args.workers,
+                resume=not args.no_resume,
+                stop=stop,
+            )
+        except SweepInterrupted as exc:
+            done = exc.store_hits + exc.completed
+            print(
+                f"interrupted: {done}/{exc.total} cells done "
+                f"({exc.completed} evaluated this run)", file=sys.stderr,
+            )
+            if args.store:
+                print(
+                    "resumable — rerun the same command with --resume to "
+                    "continue from the store", file=sys.stderr,
+                )
+            else:
+                print(
+                    "no --store attached: completed cells were not "
+                    "persisted; rerun with --store DIR to make sweeps "
+                    "resumable", file=sys.stderr,
+                )
+            return 130
+    return _render_explore_report(args, report)
+
+
+def _render_explore_report(args: argparse.Namespace, report) -> int:
+    from .io.report import sweep_report
+
     if args.format == "json":
         payload = report.to_dict()
         print(json.dumps(payload, indent=2))
@@ -231,7 +288,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_conform(args: argparse.Namespace) -> int:
-    from .conformance import CampaignSpec, run_campaign
+    from .conformance import CampaignInterrupted, CampaignSpec, run_campaign
+    from .explore import trap_signals
 
     spec = CampaignSpec(
         campaign=args.campaign,
@@ -244,7 +302,34 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         fixture_dir=args.out,
         engine=args.engine,
     )
-    report = run_campaign(spec)
+    if args.server:
+        from .serve import run_campaign_via_server
+
+        report = run_campaign_via_server(spec, args.server)
+        return _render_conform_report(args, spec, report)
+    with trap_signals() as stop:
+        try:
+            report = run_campaign(spec, stop=stop)
+        except CampaignInterrupted as exc:
+            done = len(exc.report.outcomes)
+            counts = exc.report.counts
+            tally = ", ".join(
+                f"{status}: {counts[status]}" for status in sorted(counts)
+            )
+            print(
+                f"interrupted: {done}/{spec.campaign} seeds done"
+                + (f" ({tally})" if tally else ""), file=sys.stderr,
+            )
+            print(
+                f"resumable — rerun with --seed0 {exc.next_seed} "
+                f"--campaign {spec.campaign - done} to finish the range",
+                file=sys.stderr,
+            )
+            return 130
+    return _render_conform_report(args, spec, report)
+
+
+def _render_conform_report(args: argparse.Namespace, spec, report) -> int:
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return 0 if report.clean else 1
@@ -400,6 +485,156 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import EvaluationService, serve
+    from .store import ResultStore
+
+    store = ResultStore(args.store, layout="sharded")
+    if store.layout == "flat":
+        # An existing pre-shard store: meta wins over the constructor
+        # argument, so shard it explicitly before taking traffic.
+        migrated = store.migrate()
+        print(f"migrated {migrated} records from the flat store layout")
+    service = EvaluationService(
+        store,
+        workers=args.workers,
+        batch_window_s=args.batch_window,
+    )
+    return serve(
+        service,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    with open(args.system) as handle:
+        system = json.load(handle)
+    with open(args.config) as handle:
+        config = json.load(handle)
+    options = json.loads(args.options) if args.options else {}
+    client = ServeClient(args.server, timeout=args.timeout)
+    submitted = client.evaluate(
+        system, config, backend=args.backend, options=options
+    )
+    if args.no_wait:
+        print(json.dumps(submitted, indent=2))
+        return 0
+    payload = client.result(submitted["id"], timeout=args.timeout)
+    if args.format == "json":
+        payload["deduplicated"] = submitted["deduplicated"]
+        payload["store_hit"] = submitted["store_hit"]
+        print(json.dumps(payload, indent=2))
+        return 0 if payload["status"] == "done" else 1
+    if payload["status"] != "done":
+        print(f"evaluation failed: {payload.get('error')}", file=sys.stderr)
+        return 1
+    result = payload["result"]
+    verdict = "schedulable" if result["schedulable"] else "NOT schedulable"
+    via = (
+        "store" if submitted["store_hit"]
+        else "deduplicated" if submitted["deduplicated"]
+        else "computed"
+    )
+    print(
+        f"{submitted['id']}: {verdict}, degree {result['degree']:.1f}, "
+        f"s_total {result['total_buffers']:.0f} bytes ({via})"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    if not args.id:
+        stats = client.stats()
+        if args.format == "json":
+            print(json.dumps(stats, indent=2))
+            return 0
+        counters = stats["counters"]
+        print(f"server {args.server}: up {stats['uptime_s']:.0f} s, "
+              f"{stats['workers']} workers")
+        print(f"  queue: {stats['queue_depth']} waiting, "
+              f"{stats['in_flight_units']} units in flight")
+        print(f"  requests: {counters['submitted']} submitted, "
+              f"{counters['dedup_hits']} deduplicated, "
+              f"{counters['store_hits']} store hits, "
+              f"{counters['computed']} computed, "
+              f"{counters['errors']} errors")
+        print(f"  throughput: {stats['evals_per_s']:.1f} evals/s "
+              f"(queue wait {stats['timings']['queue_wait_s_avg']:.3f} s, "
+              f"unit compute "
+              f"{stats['timings']['unit_compute_s_avg']:.3f} s avg)")
+        store = stats["store"]
+        print(f"  store: {store['entries']} entries in "
+              f"{store['segments']} segments across "
+              f"{store['shards']} shards")
+        return 0
+    payloads = [client.status(job_id) for job_id in args.id]
+    if args.format == "json":
+        print(json.dumps(payloads, indent=2))
+    else:
+        for payload in payloads:
+            line = f"{payload['id']}: {payload['status']}"
+            if "progress" in payload:
+                progress = payload["progress"]
+                line += (f" ({progress['done']}/{progress['total']} done, "
+                         f"{progress['store_hits']} from store)")
+            if payload.get("error"):
+                line += f" — {payload['error']}"
+            print(line)
+    return 0 if all(p["status"] != "error" for p in payloads) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ResultStore
+
+    store = ResultStore(args.dir)
+    if args.store_command == "stats":
+        per_shard = store.shard_stats()
+        payload = {
+            "layout": store.layout,
+            "entries": store.stats.entries,
+            "segments": store.stats.segments,
+            "shards": store.stats.shards,
+            "per_shard": per_shard,
+        }
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"{args.dir}: {store.layout} layout, "
+              f"{store.stats.entries} entries in "
+              f"{store.stats.segments} segments")
+        for shard in sorted(per_shard):
+            info = per_shard[shard]
+            label = shard if shard else "(flat)"
+            print(f"  {label}: {info['entries']} entries, "
+                  f"{info['segments']} segments, {info['bytes']} bytes")
+        return 0
+    if args.store_command == "migrate":
+        if store.layout == "sharded":
+            print(f"{args.dir}: already sharded; nothing to do")
+            store.close()
+            return 0
+        count = store.migrate(shard_prefix=args.shard_prefix)
+        print(f"{args.dir}: migrated {count} records into "
+              f"{store.stats.shards} shards")
+        store.close()
+        return 0
+    if args.store_command == "compact":
+        count = store.compact(max_entries=args.max_entries)
+        print(f"{args.dir}: compacted to {count} records in "
+              f"{store.stats.segments} segments")
+        store.close()
+        return 0
+    raise AssertionError(f"unknown store command {args.store_command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -497,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: the compiled kernel (default) or the "
              "pre-kernel event-by-event engine (A/B benchmarking)",
     )
+    conf.add_argument(
+        "--server", default=None,
+        help="evaluation-service URL: run the campaign through "
+             "`repro serve` (no fixtures are produced server-side)",
+    )
     conf.set_defaults(func=_cmd_conform)
 
     syn = sub.add_parser("synthesize", help="synthesize a configuration")
@@ -572,7 +812,125 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print wall-clock and store statistics after the tables",
     )
+    exp.add_argument(
+        "--server", default=None,
+        help="evaluation-service URL (http://host:port or unix:/path): "
+             "run the sweep through `repro serve` instead of locally; "
+             "dedup and the result store live server-side",
+    )
     exp.set_defaults(func=_cmd_explore)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the evaluation service (daemon with dedup, batching, "
+             "a worker pool and a sharded result store)",
+    )
+    srv.add_argument(
+        "--store", required=True,
+        help="sharded result-store directory (created if missing; a "
+             "flat pre-shard store is migrated on open)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes (default 2; 0 = inline "
+             "execution, for sandboxes without fork)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8763,
+        help="TCP port (default 8763; 0 = pick a free port)",
+    )
+    srv.add_argument(
+        "--socket", default=None,
+        help="serve on a unix socket at this path instead of TCP "
+             "(clients use unix:/path URLs)",
+    )
+    srv.add_argument(
+        "--batch-window", type=float, default=0.02,
+        help="seconds the dispatcher lets requests accumulate before "
+             "cutting dispatch units (default 0.02)",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true",
+        help="log every request to stderr",
+    )
+    srv.set_defaults(func=_cmd_serve)
+
+    sbm = sub.add_parser(
+        "submit", help="submit one evaluation to a `repro serve` daemon"
+    )
+    sbm.add_argument("system", help="system JSON file")
+    sbm.add_argument("config", help="configuration JSON file")
+    sbm.add_argument(
+        "--server", required=True,
+        help="service URL (http://host:port or unix:/path)",
+    )
+    sbm.add_argument(
+        "--backend", choices=["analysis", "simulation"], default="analysis",
+    )
+    sbm.add_argument(
+        "--options", default=None,
+        help='evaluation options as JSON (e.g. \'{"periods": 4}\')',
+    )
+    sbm.add_argument(
+        "--no-wait", action="store_true",
+        help="print the submission envelope and exit without waiting "
+             "(poll later with `repro status`)",
+    )
+    sbm.add_argument("--timeout", type=float, default=600.0)
+    sbm.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json emits the full result payload)",
+    )
+    sbm.set_defaults(func=_cmd_submit)
+
+    sts = sub.add_parser(
+        "status",
+        help="poll job status or service metrics of a `repro serve` daemon",
+    )
+    sts.add_argument(
+        "id", nargs="*",
+        help="job ids to poll (none: print the service's /stats)",
+    )
+    sts.add_argument("--server", required=True, help="service URL")
+    sts.add_argument("--timeout", type=float, default=30.0)
+    sts.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    sts.set_defaults(func=_cmd_status)
+
+    sto = sub.add_parser(
+        "store", help="inspect and maintain result stores"
+    )
+    sto_sub = sto.add_subparsers(dest="store_command", required=True)
+    sto_stats = sto_sub.add_parser(
+        "stats", help="print layout, entry counts and per-shard sizes"
+    )
+    sto_stats.add_argument("dir", help="store directory")
+    sto_stats.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    sto_stats.set_defaults(func=_cmd_store)
+    sto_migrate = sto_sub.add_parser(
+        "migrate",
+        help="rewrite a flat (pre-shard) store into the sharded layout",
+    )
+    sto_migrate.add_argument("dir", help="store directory")
+    sto_migrate.add_argument(
+        "--shard-prefix", type=int, default=None,
+        help="hex-prefix length of the shard fan-out (default 1 = 16 "
+             "shards)",
+    )
+    sto_migrate.set_defaults(func=_cmd_store)
+    sto_compact = sto_sub.add_parser(
+        "compact", help="fold segments (optionally evicting to a limit)"
+    )
+    sto_compact.add_argument("dir", help="store directory")
+    sto_compact.add_argument(
+        "--max-entries", type=int, default=None,
+        help="evict oldest records beyond this count",
+    )
+    sto_compact.set_defaults(func=_cmd_store)
 
     sens = sub.add_parser(
         "sensitivity", help="robustness margins of a configuration"
@@ -593,7 +951,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `| head`) closed early; exit with
+        # the conventional SIGPIPE status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ The CLI front end is ``repro conform --campaign N --workers K``.
 """
 
 from .campaign import (
+    CampaignInterrupted,
     CampaignReport,
     CampaignSpec,
     SeedOutcome,
@@ -37,6 +38,7 @@ from .fixtures import load_fixture, replay_fixture, save_fixture
 from .shrink import shrink_counterexample
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignReport",
     "CampaignSpec",
     "ConformanceViolation",

@@ -32,6 +32,7 @@ seeds/s; ``repro conform --profile``).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +49,7 @@ from ..system import System
 from .classify import ConformanceViolation, classify_run
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignReport",
     "CampaignSpec",
     "SeedOutcome",
@@ -100,6 +102,32 @@ class CampaignSpec:
             seed=seed,
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (how a campaign travels to a server)."""
+        return {
+            "campaign": self.campaign,
+            "seed0": self.seed0,
+            "workers": self.workers,
+            "periods": self.periods,
+            "nodes": self.nodes,
+            "processes_per_node": self.processes_per_node,
+            "rounds_per_period": self.rounds_per_period,
+            "utilizations": list(self.utilizations),
+            "gateway_messages": list(self.gateway_messages),
+            "shrink": self.shrink,
+            "fixture_dir": self.fixture_dir,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        kwargs = dict(data)
+        if "utilizations" in kwargs:
+            kwargs["utilizations"] = tuple(kwargs["utilizations"])
+        if "gateway_messages" in kwargs:
+            kwargs["gateway_messages"] = tuple(kwargs["gateway_messages"])
+        return cls(**kwargs)
+
 
 @dataclass
 class SeedOutcome:
@@ -133,6 +161,26 @@ class SeedOutcome:
             "error": self.error,
             "fixture": self.fixture,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SeedOutcome":
+        """Rebuild an outcome from its :meth:`to_dict` form.
+
+        The round trip covers the deterministic record; ``profile``
+        (timings) deliberately does not travel.
+        """
+        return cls(
+            seed=data["seed"],
+            status=data["status"],
+            violations=[
+                ConformanceViolation.from_dict(v)
+                for v in data.get("violations", [])
+            ],
+            processes=data.get("processes", 0),
+            messages=data.get("messages", 0),
+            error=data.get("error"),
+            fixture=data.get("fixture"),
+        )
 
 
 @dataclass
@@ -390,21 +438,58 @@ def campaign_chunks(spec: CampaignSpec) -> List[List[int]]:
     return partition_chunks(seeds, spec.workers)
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignReport:
+class CampaignInterrupted(ReproError):
+    """A campaign was stopped by a trapped signal after finishing its
+    in-flight seed chunk.  Carries the partial report over the seeds
+    that completed — contiguous from ``seed0``, since chunks stream
+    back in seed order — so the caller can both summarize what ran and
+    resume with ``--seed0 next_seed`` for the remainder."""
+
+    def __init__(self, report: CampaignReport) -> None:
+        done = len(report.outcomes)
+        super().__init__(
+            f"campaign interrupted: {done}/{report.spec.campaign} seeds done"
+        )
+        #: The partial campaign over the completed seeds.
+        self.report = report
+        #: First seed that did not run (== seed0 + completed count).
+        self.next_seed = report.spec.seed0 + done
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    stop: Optional[threading.Event] = None,
+) -> CampaignReport:
     """Run one conformance campaign (see module docstring).
 
     Dispatch rides the shared chunked runner of :mod:`repro.explore` —
     the conformance campaign is one sweep kind (cell = seed) with its
-    own classification and fixture pipeline on top.
+    own classification and fixture pipeline on top.  ``stop``
+    (typically from :func:`repro.explore.runner.trap_signals`) makes
+    the campaign interruptible: the in-flight chunk finishes, the rest
+    is abandoned, and :class:`CampaignInterrupted` carries the partial
+    report plus the seed to resume from.
     """
-    from ..explore.runner import run_chunked
+    from ..explore.runner import RunInterrupted, iter_chunked
 
     started = time.perf_counter()
     if spec.fixture_dir is not None:
         Path(spec.fixture_dir).mkdir(parents=True, exist_ok=True)
     chunks = [(spec, chunk) for chunk in campaign_chunks(spec)]
-    results = run_chunked(chunks, _evaluate_chunk, spec.workers)
-    outcomes = [outcome for chunk in results for outcome in chunk]
+    outcomes: List[SeedOutcome] = []
+    try:
+        for result in iter_chunked(
+            chunks, _evaluate_chunk, spec.workers, stop=stop
+        ):
+            outcomes.extend(result)
+    except RunInterrupted as exc:
+        outcomes.sort(key=lambda o: o.seed)
+        raise CampaignInterrupted(
+            CampaignReport(
+                spec=spec, outcomes=outcomes,
+                wall_s=time.perf_counter() - started,
+            )
+        ) from exc
     outcomes.sort(key=lambda o: o.seed)  # chunk order is seed order; pin it
     return CampaignReport(
         spec=spec, outcomes=outcomes,

@@ -18,14 +18,22 @@ loop into a subsystem::
 CLI: ``repro explore --sweep spec.json --store DIR --resume --workers K``.
 """
 
-from .engine import ExploreReport, evaluate_cell, run_sweep
+from .engine import ExploreReport, SweepInterrupted, evaluate_cell, run_sweep
 from .pareto import dominates, pareto_front
-from .runner import iter_chunked, partition_chunks, run_chunked
+from .runner import (
+    RunInterrupted,
+    iter_chunked,
+    partition_chunks,
+    run_chunked,
+    trap_signals,
+)
 from .spec import Cell, SweepSpec
 
 __all__ = [
     "Cell",
     "ExploreReport",
+    "RunInterrupted",
+    "SweepInterrupted",
     "SweepSpec",
     "dominates",
     "evaluate_cell",
@@ -34,4 +42,5 @@ __all__ = [
     "partition_chunks",
     "run_chunked",
     "run_sweep",
+    "trap_signals",
 ]

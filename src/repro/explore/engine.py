@@ -29,6 +29,7 @@ it, so the caches are invisible in the records.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -46,10 +47,10 @@ from ..optim.straightforward import straightforward_configuration
 from ..store import ResultStore
 from ..synth.workload import generate_workload
 from .pareto import pareto_front
-from .runner import iter_chunked
+from .runner import RunInterrupted, iter_chunked
 from .spec import KNOWN_OPTIONS, Cell, SweepSpec
 
-__all__ = ["ExploreReport", "run_sweep"]
+__all__ = ["ExploreReport", "SweepInterrupted", "run_sweep"]
 
 #: Format tag of serialized sweep reports.
 REPORT_FORMAT = "repro-explore-report-v1"
@@ -417,11 +418,30 @@ class ExploreReport:
         return out
 
 
+class SweepInterrupted(ReproError):
+    """A sweep was stopped by a trapped signal after checkpointing its
+    completed cells — rerunning the same spec against the same store
+    resumes where it left off (``resume=True``, the default)."""
+
+    def __init__(self, completed: int, total: int, store_hits: int) -> None:
+        super().__init__(
+            f"sweep interrupted: {store_hits + completed}/{total} cells "
+            "done and checkpointed"
+        )
+        #: Cells evaluated (and checkpointed) by this run.
+        self.completed = completed
+        #: Cells of the spec, total.
+        self.total = total
+        #: Cells that were already in the store when the run started.
+        self.store_hits = store_hits
+
+
 def run_sweep(
     spec: SweepSpec,
     store: Union[None, str, Path, ResultStore] = None,
     workers: int = 1,
     resume: bool = True,
+    stop: Optional[threading.Event] = None,
 ) -> ExploreReport:
     """Run (or resume) one sweep; see the module docstring.
 
@@ -433,6 +453,12 @@ def run_sweep(
     the parent, so workers need no store access (and a read-only
     network filesystem can still back a many-machine sweep through its
     one writer).
+
+    ``stop`` (typically the event of
+    :func:`repro.explore.runner.trap_signals`) makes the sweep
+    interruptible: when it fires, the unit in flight finishes and is
+    checkpointed, the rest is abandoned, and :class:`SweepInterrupted`
+    reports how much of the campaign is durable.
     """
     started = time.perf_counter()
     if isinstance(store, (str, Path)):
@@ -474,19 +500,24 @@ def run_sweep(
             units.append([i])
     payloads = [[cells[i].to_dict() for i in unit] for unit in units]
     computed = 0
-    stream = iter_chunked(payloads, _evaluate_chunk, workers)
-    for unit, chunk_records in zip(units, stream):
-        for i, record in zip(unit, chunk_records):
-            records[i] = record
-            computed += 1
-            if store is not None:
-                # Checkpoint immediately: everything evaluated so far
-                # is durable before the next unit starts (crash =
-                # resume).
-                try:
-                    store.put(record["key"], record, kind=CELL_KIND)
-                except (OSError, TypeError, ValueError):
-                    pass  # persistence is best effort; still reported
+    stream = iter_chunked(payloads, _evaluate_chunk, workers, stop=stop)
+    try:
+        for unit, chunk_records in zip(units, stream):
+            for i, record in zip(unit, chunk_records):
+                records[i] = record
+                computed += 1
+                if store is not None:
+                    # Checkpoint immediately: everything evaluated so
+                    # far is durable before the next unit starts (crash
+                    # = resume).
+                    try:
+                        store.put(record["key"], record, kind=CELL_KIND)
+                    except (OSError, TypeError, ValueError):
+                        pass  # persistence best effort; still reported
+    except RunInterrupted as exc:
+        raise SweepInterrupted(
+            completed=computed, total=len(cells), store_hits=store_hits
+        ) from exc
     assert all(record is not None for record in records)
     return ExploreReport(
         spec=spec,

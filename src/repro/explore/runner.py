@@ -19,10 +19,19 @@ conformance fuzzing, future workload scans — ride one runner:
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import warnings
-from typing import Any, Callable, Iterator, List, Sequence, TypeVar
+from typing import Any, Callable, Iterator, List, Optional, Sequence, TypeVar
 
-__all__ = ["iter_chunked", "partition_chunks", "run_chunked"]
+__all__ = [
+    "RunInterrupted",
+    "iter_chunked",
+    "partition_chunks",
+    "run_chunked",
+    "trap_signals",
+]
 
 T = TypeVar("T")
 
@@ -43,10 +52,67 @@ def partition_chunks(
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
+class RunInterrupted(Exception):
+    """A chunked run was stopped by a trapped signal (see
+    :func:`trap_signals`) after ``completed`` of ``total`` chunks had
+    been yielded — everything yielded was already consumed (and, in the
+    checkpointing consumers, persisted), so the run is resumable."""
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"interrupted after {completed}/{total} chunks"
+        )
+        self.completed = completed
+        self.total = total
+
+
+@contextlib.contextmanager
+def trap_signals(
+    signals: Sequence[int] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[threading.Event]:
+    """Trap SIGINT/SIGTERM into a stop event for the ``with`` body.
+
+    The first signal sets the returned :class:`threading.Event` instead
+    of killing the process, letting a dispatcher finish its in-flight
+    chunk, checkpoint, and exit cleanly (pass the event to
+    :func:`iter_chunked` as ``stop``).  The previous handlers are
+    restored on exit.  Outside the main thread — where Python forbids
+    handler installation — the event is returned un-trapped and simply
+    never fires, so library callers embedded in servers stay safe.
+    """
+    stop = threading.Event()
+    previous = {}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API shape
+        stop.set()
+
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, _handler)
+    except ValueError:  # not the main thread
+        pass
+    try:
+        yield stop
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _worker_ignores_signals() -> None:
+    """Pool-worker initializer: terminal signals are the dispatcher's
+    business.  A Ctrl-C reaches the whole foreground process group, and
+    a worker that died mid-chunk would break the pool and lose the
+    chunk — the dispatcher traps the signal, drains, and shuts the
+    pool down in an orderly way instead."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+
 def iter_chunked(
     chunks: Sequence[Any],
     worker: Callable[[Any], T],
     workers: int,
+    stop: Optional[threading.Event] = None,
 ) -> Iterator[T]:
     """Apply ``worker`` to every chunk payload, streaming the results.
 
@@ -60,19 +126,40 @@ def iter_chunked(
     back to serial execution over the not-yet-yielded chunks, while an
     exception raised by ``worker`` itself propagates — a real
     evaluation error must not be silently retried on another path.
+
+    ``stop`` (typically from :func:`trap_signals`) requests a graceful
+    interrupt: the run finishes the chunk in flight, abandons the rest
+    (queued chunks are cancelled, pool workers ignore the terminal
+    signals so no chunk dies halfway), and raises
+    :class:`RunInterrupted` carrying the completed count.  Everything
+    yielded before the interrupt was complete — a consumer that
+    checkpoints per chunk can resume exactly there.
     """
     chunks = list(chunks)
     position = 0
+
+    def _interrupted() -> bool:
+        return stop is not None and stop.is_set()
+
+    if _interrupted():
+        raise RunInterrupted(0, len(chunks))
     if workers > 1 and len(chunks) > 1:
         import pickle
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_ignores_signals
+            ) as pool:
                 for result in pool.map(worker, chunks, chunksize=1):
                     yield result
                     position += 1
+                    if _interrupted() and position < len(chunks):
+                        # Drain: running chunks finish (their results
+                        # are discarded), queued ones never start.
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        raise RunInterrupted(position, len(chunks))
                 return
         except (OSError, PermissionError, pickle.PicklingError,
                 BrokenProcessPool) as exc:
@@ -83,7 +170,10 @@ def iter_chunked(
                 stacklevel=2,
             )
     for chunk in chunks[position:]:
+        if _interrupted():
+            raise RunInterrupted(position, len(chunks))
         yield worker(chunk)
+        position += 1
 
 
 def run_chunked(

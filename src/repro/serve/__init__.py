@@ -1,0 +1,43 @@
+"""``repro.serve`` — the evaluation service (PR 6).
+
+A long-running daemon that turns the repo's evaluation machinery into a
+shared, deduplicating appliance: clients submit systems/configurations
+(or whole sweeps and conformance campaigns) over HTTP or a unix socket;
+the service normalizes every request to its content address, coalesces
+duplicates, batches compatible work onto a warm worker pool, and
+persists everything in one sharded :class:`repro.store.ResultStore`.
+
+Layering: :mod:`.protocol` (addressing), :mod:`.service` (the engine),
+:mod:`.server` (HTTP shell), :mod:`.client` (client + report adapters).
+"""
+
+from .client import (
+    ServeClient,
+    ServerError,
+    run_campaign_via_server,
+    run_sweep_via_server,
+)
+from .protocol import (
+    PROTOCOL_FORMAT,
+    evaluation_key,
+    seed_key,
+    system_fingerprint,
+)
+from .server import UnixHTTPServer, make_server, serve
+from .service import EvaluationService, Job
+
+__all__ = [
+    "EvaluationService",
+    "Job",
+    "PROTOCOL_FORMAT",
+    "ServeClient",
+    "ServerError",
+    "UnixHTTPServer",
+    "evaluation_key",
+    "make_server",
+    "run_campaign_via_server",
+    "run_sweep_via_server",
+    "seed_key",
+    "serve",
+    "system_fingerprint",
+]

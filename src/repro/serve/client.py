@@ -1,0 +1,260 @@
+"""Client side of the evaluation service.
+
+:class:`ServeClient` is a thin stdlib HTTP client over the endpoints of
+:mod:`repro.serve.server` — submit, poll, stream — plus two adapters
+that make the service a drop-in backend for the existing front ends:
+:func:`run_sweep_via_server` returns the same
+:class:`repro.explore.engine.ExploreReport` a local
+:func:`repro.explore.run_sweep` would, and
+:func:`run_campaign_via_server` the same
+:class:`repro.conformance.campaign.CampaignReport` — which is what lets
+``repro explore --server URL`` / ``repro conform --server URL`` reuse
+their entire reporting paths unchanged.
+
+Server URLs are ``http://host:port`` or ``unix:/path/to.sock`` (the
+AF_UNIX transport of :class:`repro.serve.server.UnixHTTPServer`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import quote, urlsplit
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "ServeClient",
+    "ServerError",
+    "run_campaign_via_server",
+    "run_sweep_via_server",
+]
+
+
+class ServerError(ReproError):
+    """The server answered with an error envelope (or not at all)."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._unix_path)
+
+
+class ServeClient:
+    """One evaluation-service endpoint (TCP or unix socket).
+
+    Connections are per-request (the server is HTTP/1.0), so a client
+    object is cheap, stateless and safe to share across threads.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        self.url = url
+        self.timeout = timeout
+        if url.startswith("unix:"):
+            self._unix_path: Optional[str] = url[len("unix:"):]
+        else:
+            parts = urlsplit(url if "//" in url else f"http://{url}")
+            if parts.scheme not in ("", "http"):
+                raise ServerError(
+                    f"unsupported server URL scheme {parts.scheme!r} "
+                    "(use http://host:port or unix:/path)"
+                )
+            self._unix_path = None
+            self._host = parts.hostname or "127.0.0.1"
+            self._port = parts.port or 80
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = self._connection()
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = json.loads(response.read().decode("utf-8"))
+            except (OSError, http.client.HTTPException,
+                    json.JSONDecodeError) as exc:
+                raise ServerError(
+                    f"server {self.url} unreachable or spoke garbage "
+                    f"({method} {path}: {exc})"
+                ) from exc
+            if response.status >= 400:
+                raise ServerError(
+                    data.get("error", f"HTTP {response.status}")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        system: Dict[str, Any],
+        config: Dict[str, Any],
+        backend: str = "analysis",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one evaluation; returns the submission envelope."""
+        return self._request("POST", "/evaluate", {
+            "system": system,
+            "config": config,
+            "backend": backend,
+            "options": options or {},
+        })
+
+    def submit_sweep(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/sweep", {"spec": spec_dict})
+
+    def submit_campaign(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/conform", {"spec": spec_dict})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/status?id={quote(job_id)}")
+
+    def result(
+        self, job_id: str, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The job's result, long-polling ``/result`` until resolved.
+
+        Returns the full payload (``status`` + ``result``/``error``).
+        With ``wait=False`` a single poll; otherwise retries until the
+        job resolves or ``timeout`` (default: the client timeout).
+        """
+        deadline = time.monotonic() + (
+            self.timeout if timeout is None else timeout
+        )
+        while True:
+            payload = self._request("GET", f"/result?id={quote(job_id)}")
+            if payload["status"] in ("done", "error") or not wait:
+                return payload
+            if time.monotonic() > deadline:
+                raise ServerError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last status {payload['status']!r})"
+                )
+
+    def results(self, job_ids: List[str]) -> Iterator[Dict[str, Any]]:
+        """Stream results as they complete (the ``/results`` JSONL feed).
+
+        Yields one payload per job in *completion* order; the stream
+        ends when every requested job has resolved.
+        """
+        if not job_ids:
+            return
+        query = "&".join(f"id={quote(job_id)}" for job_id in job_ids)
+        conn = self._connection()
+        try:
+            try:
+                conn.request("GET", f"/results?{query}")
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServerError(
+                    f"server {self.url} unreachable ({exc})"
+                ) from exc
+            if response.status >= 400:
+                data = json.loads(response.read().decode("utf-8"))
+                raise ServerError(
+                    data.get("error", f"HTTP {response.status}")
+                )
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return self._request("GET", "/healthz").get("status") == "ok"
+        except ServerError:
+            return False
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain and exit (``POST /shutdown``)."""
+        return self._request("POST", "/shutdown", {})
+
+
+def _unwrap(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The job's result dict, or raise its error."""
+    if payload["status"] == "error":
+        raise ServerError(payload.get("error", "evaluation failed"))
+    result = payload.get("result")
+    if result is None:
+        raise ServerError(f"job {payload.get('id')} returned no result")
+    return result
+
+
+def run_sweep_via_server(spec, url: str, timeout: float = 3600.0):
+    """Run a sweep through a server; same report as a local run.
+
+    The server expands the same cells, dedups them against *its* store
+    and computes the remainder; the returned
+    :class:`repro.explore.engine.ExploreReport` is assembled exactly as
+    the local engine would (records in cell order), so the CLI's table,
+    fronts and JSON report paths work unchanged.
+    """
+    from ..explore.engine import ExploreReport
+
+    started = time.perf_counter()
+    client = ServeClient(url, timeout=timeout)
+    submitted = client.submit_sweep(spec.to_dict())
+    payload = client.result(submitted["id"], timeout=timeout)
+    result = _unwrap(payload)
+    return ExploreReport(
+        spec=spec,
+        records=result["records"],
+        store_hits=result["store_hits"],
+        computed=result["computed"],
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def run_campaign_via_server(spec, url: str, timeout: float = 3600.0):
+    """Run a conformance campaign through a server.
+
+    Fixtures are not produced (they are a server-local filesystem
+    concern the service disables); everything else — outcomes, counts,
+    clean verdict — matches a local ``shrink=False`` run of the spec.
+    """
+    from ..conformance.campaign import CampaignReport, SeedOutcome
+
+    started = time.perf_counter()
+    client = ServeClient(url, timeout=timeout)
+    submitted = client.submit_campaign(spec.to_dict())
+    payload = client.result(submitted["id"], timeout=timeout)
+    result = _unwrap(payload)
+    outcomes = [
+        SeedOutcome.from_dict(data) for data in result["outcomes"]
+    ]
+    return CampaignReport(
+        spec=spec,
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - started,
+    )

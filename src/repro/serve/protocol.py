@@ -1,0 +1,94 @@
+"""Addressing and record kinds of the evaluation service.
+
+Every evaluation request is normalized to the *existing* session store
+address — :func:`repro.api.session.store_key` over ``(backend, options,
+config_hash)`` — and then namespaced by a content hash of the system it
+belongs to.  The extra fold matters because the two store contracts
+differ: a :class:`repro.api.Session`-attached store directory is
+per-system (the session owns exactly one system, so the config hash is
+unambiguous), while one server store serves every system its clients
+submit — without the namespace, two clients evaluating the *same*
+configuration on *different* systems would alias one record.
+
+Sweep cells need no such fold: a :class:`repro.explore.spec.Cell` key
+already hashes the workload recipe (the system's generator parameters),
+so the engine's cell records are shared verbatim between direct
+``repro explore`` runs and server-side sweeps against the same store.
+Conformance seeds get a deterministic key over the outcome-relevant
+campaign parameters plus the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..api.session import _options_key, config_hash, store_key
+from ..io.serialize import config_from_dict
+from ..store import content_key
+
+__all__ = [
+    "PROTOCOL_FORMAT",
+    "RESULT_KIND",
+    "SEED_KIND",
+    "evaluation_key",
+    "seed_key",
+    "system_fingerprint",
+]
+
+#: Format tag stamped into every HTTP response envelope.
+PROTOCOL_FORMAT = "repro-serve-v1"
+#: Store kind of served evaluation results.  The payload is exactly a
+#: :meth:`repro.api.result.RunResult.to_dict` record — the same bytes a
+#: direct session would produce — only the key carries the extra
+#: system namespace.
+RESULT_KIND = "runresult"
+#: Store kind of conformance seed outcomes computed via the service.
+SEED_KIND = "conformseed"
+
+#: Campaign parameters that determine a seed's outcome.  ``workers``
+#: (placement), ``campaign``/``seed0`` (range), ``fixture_dir`` and
+#: ``shrink`` (reporting) deliberately do not key — the same seed under
+#: the same semantics must hit the same record however it is batched.
+_SEED_KEY_FIELDS = (
+    "nodes",
+    "processes_per_node",
+    "periods",
+    "rounds_per_period",
+    "utilizations",
+    "gateway_messages",
+    "engine",
+)
+
+
+def system_fingerprint(system_dict: Dict[str, Any]) -> str:
+    """Content hash of a serialized system (the namespace component)."""
+    return content_key(system_dict)
+
+
+def evaluation_key(
+    system_h: str,
+    backend: str,
+    options: Dict[str, Any],
+    config_dict: Dict[str, Any],
+) -> Tuple[Optional[str], Optional[str]]:
+    """``(session store key, serve store key)`` of one request.
+
+    The first element is the classic per-system address
+    (:func:`repro.api.session.store_key` — what a direct session would
+    use); the second folds in the system fingerprint and is the address
+    the service dedups and stores under.  Both are ``None`` when the
+    options are not store-addressable (non-scalar values) — such a
+    request is evaluated but neither coalesced nor persisted, mirroring
+    the session's memory-only treatment.
+    """
+    config = config_from_dict(config_dict)
+    skey = store_key((backend, _options_key(options), config_hash(config)))
+    if skey is None:
+        return None, None
+    return skey, content_key(["serve-eval", system_h, skey])
+
+
+def seed_key(spec_dict: Dict[str, Any], seed: int) -> str:
+    """Store address of one conformance seed outcome."""
+    semantics = {name: spec_dict[name] for name in _SEED_KEY_FIELDS}
+    return content_key(["conform-seed", semantics, seed])

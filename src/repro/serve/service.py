@@ -1,0 +1,810 @@
+"""The evaluation service core: queue, dedup, batching, worker pool.
+
+:class:`EvaluationService` is the transport-independent engine behind
+``repro serve`` (the HTTP layer in :mod:`repro.serve.server` is a thin
+shell over it).  One request flows through five stages:
+
+1. **Normalize.**  The request is reduced to its store address
+   (:func:`repro.serve.protocol.evaluation_key` — the session's
+   ``store_key`` namespaced by the system fingerprint).
+2. **Dedup.**  A store hit completes the request immediately
+   (``store_hits``); a key already queued or running attaches the
+   request to the in-flight job (``dedup_hits``) — duplicate configs
+   are computed exactly once however many clients race on them.
+3. **Batch.**  The dispatcher groups queued requests by
+   ``(system, backend, options)`` — the compatibility class that can
+   share a warm :class:`repro.api.Session` — and splits each group
+   into dispatch units with the same
+   :func:`repro.explore.runner.partition_chunks` the sweep engine uses.
+4. **Compute.**  Units fan out to a persistent pool of forked worker
+   processes.  Each worker keeps an LRU of per-system sessions, so
+   ``AnalysisContext``/``SimContext`` compiles amortize across every
+   request that ever hits that system — the point of running a daemon
+   instead of one-shot scripts.  ``workers=0`` degrades to inline
+   execution in the dispatcher thread (sandboxes without fork).
+5. **Persist + resolve.**  The collector writes each result to the
+   sharded store (grace-window compaction keeps the directory bounded
+   while live), resolves the job, and wakes every waiter.
+
+Sweeps and conformance campaigns ride the same pipeline as batch jobs:
+the service expands the spec server-side (deterministically — the same
+cells/chunks a local run would produce), dedups cells/seeds against the
+store, and fans the remainder out as units; the client reassembles the
+report.  Worker processes never touch the store — all store I/O stays
+on the service threads, so the multi-writer story stays one writer per
+process plus shard-local segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..exceptions import ReproError
+from ..explore.runner import partition_chunks
+from ..store import ResultStore
+from .protocol import (
+    RESULT_KIND,
+    SEED_KIND,
+    evaluation_key,
+    seed_key,
+    system_fingerprint,
+)
+
+__all__ = ["EvaluationService", "Job"]
+
+#: Warm sessions kept per worker process (LRU beyond this).
+SESSION_CACHE_LIMIT = 4
+#: Completed jobs remembered for status polling (LRU beyond this).
+_JOB_HISTORY_LIMIT = 4096
+
+
+def _worker_main(task_q, result_q) -> None:
+    """Worker process loop: evaluate dispatch units until poisoned.
+
+    Terminal signals are ignored — draining is the service's business,
+    and a worker dying mid-unit would break the pool and lose the unit.
+    A unit that raises reports an error result instead of killing the
+    worker, so one bad request cannot take the pool down.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    sessions: OrderedDict[str, Any] = OrderedDict()
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        unit_id, kind, payload = task
+        try:
+            result_q.put((unit_id, "ok", _run_unit(sessions, kind, payload)))
+        except BaseException as exc:  # noqa: BLE001 - worker must survive
+            result_q.put((unit_id, "error", f"{type(exc).__name__}: {exc}"))
+
+
+def _session_for(sessions: OrderedDict, system_h: str, system_dict):
+    """The worker's warm session for a system (LRU-bounded)."""
+    from ..api.session import Session
+    from ..io.serialize import system_from_dict
+
+    session = sessions.get(system_h)
+    if session is None:
+        session = Session(system_from_dict(system_dict))
+        sessions[system_h] = session
+        while len(sessions) > SESSION_CACHE_LIMIT:
+            sessions.popitem(last=False)
+    else:
+        sessions.move_to_end(system_h)
+    return session
+
+
+def _run_unit(sessions: OrderedDict, kind: str, payload: Any) -> Any:
+    """Evaluate one dispatch unit (worker side or inline)."""
+    if kind == "eval":
+        return _run_eval_unit(sessions, payload)
+    if kind == "cells":
+        from ..explore.engine import _evaluate_chunk
+
+        return _evaluate_chunk(payload)
+    if kind == "seeds":
+        from ..conformance.campaign import CampaignSpec, _evaluate_chunk
+
+        spec = CampaignSpec.from_dict(payload["spec"])
+        outcomes = _evaluate_chunk((spec, payload["seeds"]))
+        return [outcome.to_dict() for outcome in outcomes]
+    raise ReproError(f"unknown dispatch unit kind {kind!r}")
+
+
+def _run_eval_unit(
+    sessions: OrderedDict, payload: Dict[str, Any]
+) -> List[Tuple[str, str, Any]]:
+    """One batched evaluation unit: same system, backend and options.
+
+    Results are exactly what a direct session produces
+    (``RunResult.to_dict()``) — the bit-identity contract of the
+    service's end-to-end test.  Per-item failures become per-item error
+    entries; the rest of the unit still completes.
+    """
+    from ..io.serialize import config_from_dict, run_result_to_dict
+
+    session = _session_for(
+        sessions, payload["system_hash"], payload["system"]
+    )
+    out: List[Tuple[str, str, Any]] = []
+    for job_id, config_dict in payload["items"]:
+        try:
+            run = session.evaluate(
+                config_from_dict(config_dict),
+                backend=payload["backend"],
+                **payload["options"],
+            )
+            out.append((job_id, "ok", run_result_to_dict(run)))
+        except (ReproError, TypeError, ValueError) as exc:
+            out.append((job_id, "error", str(exc)))
+    return out
+
+
+@dataclass
+class Job:
+    """One tracked request (a single evaluation or a whole batch)."""
+
+    id: str
+    kind: str  # "eval" | "sweep" | "conform"
+    status: str = "queued"  # queued | running | done | error
+    #: Serve store key (eval jobs with addressable options only).
+    key: Optional[str] = None
+    #: The work (eval: dispatch payload fields; batch: spec + slots).
+    request: Dict[str, Any] = field(default_factory=dict)
+    result: Any = None
+    error: Optional[str] = None
+    done: threading.Event = field(default_factory=threading.Event)
+    created: float = field(default_factory=time.monotonic)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    #: Requests coalesced onto this job (the dedup fan-in count).
+    attached: int = 1
+    #: Batch jobs: dispatch units still out.
+    pending_units: int = 0
+    #: Batch jobs: results land here, position-addressed.
+    slots: List[Any] = field(default_factory=list)
+    #: Batch jobs: how many slots came from the store.
+    store_hits: int = 0
+    #: Batch jobs: how many slots were computed by this job.
+    computed: int = 0
+
+    def public_status(self) -> Dict[str, Any]:
+        """The JSON shape of ``GET /status``."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "attached": self.attached,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.kind != "eval":
+            total = len(self.slots)
+            out["progress"] = {
+                "total": total,
+                "done": sum(1 for slot in self.slots if slot is not None),
+                "store_hits": self.store_hits,
+                "computed": self.computed,
+            }
+        if self.finished is not None and self.started is not None:
+            out["compute_s"] = self.finished - self.started
+        return out
+
+
+class EvaluationService:
+    """Queue + dedup + batching + worker pool (see module docstring).
+
+    Parameters
+    ----------
+    store:
+        Sharded result store (directory or instance) backing dedup and
+        persistence.
+    workers:
+        Persistent worker processes.  ``0`` = inline execution in the
+        dispatcher thread (no fork needed; used as the degraded mode in
+        sandboxes and for deterministic tests).
+    batch_window_s:
+        How long the dispatcher lets queued requests accumulate before
+        cutting dispatch units — the knob trading latency for batch
+        size (and thus warm-session locality).
+    """
+
+    def __init__(
+        self,
+        store: Union[str, Path, ResultStore],
+        workers: int = 2,
+        batch_window_s: float = 0.02,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store = store
+        self.workers = max(0, int(workers))
+        self.batch_window_s = batch_window_s
+        self._lock = threading.RLock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        #: serve-key -> queued/running eval job (the dedup map).
+        self._inflight: Dict[str, Job] = {}
+        #: Eval jobs awaiting batching.
+        self._eval_queue: deque = deque()
+        #: (unit_id, kind, payload) awaiting dispatch (all kinds).
+        self._dispatch_queue: deque = deque()
+        #: unit_id -> unit bookkeeping for the collector.
+        self._units: Dict[str, Dict[str, Any]] = {}
+        self._unit_counter = itertools.count()
+        self._accepting = True
+        self._stop = threading.Event()
+        self._started_at = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "dedup_hits": 0,
+            "store_hits": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+        self._timings: Dict[str, float] = {
+            "queue_wait_s": 0.0,
+            "unit_compute_s": 0.0,
+            "units": 0.0,
+        }
+        self._wake = threading.Condition(self._lock)
+        self._procs: List[Any] = []
+        self._task_q = None
+        self._result_q = None
+        self._inline_sessions: OrderedDict = OrderedDict()
+        if self.workers > 0:
+            self._start_pool()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        self._collector = None
+        if self.workers > 0:
+            self._collector = threading.Thread(
+                target=self._collect_loop, name="serve-collect", daemon=True
+            )
+            self._collector.start()
+
+    # -- pool ----------------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+            self._task_q = ctx.Queue()
+            self._result_q = ctx.Queue()
+            procs = []
+            for _ in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(self._task_q, self._result_q),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            self._procs = procs
+        except (OSError, PermissionError, ValueError):
+            # No fork available: degrade to inline execution.
+            self.workers = 0
+            self._procs = []
+            self._task_q = None
+            self._result_q = None
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_evaluation(
+        self,
+        system: Dict[str, Any],
+        config: Dict[str, Any],
+        backend: str = "analysis",
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one evaluation; returns the submission envelope.
+
+        ``{"id", "status", "deduplicated", "store_hit"}`` — with
+        ``status == "done"`` the result is already available (store
+        hit).  A request whose key is in flight attaches to the
+        existing job and returns that job's id: polling either id
+        observes the single shared computation.
+        """
+        options = dict(options or {})
+        system_h = system_fingerprint(system)
+        skey, serve_key = evaluation_key(system_h, backend, options, config)
+        with self._lock:
+            if not self._accepting:
+                raise ReproError("service is draining; not accepting work")
+            self.counters["submitted"] += 1
+            if serve_key is not None:
+                payload = self.store.get(serve_key, kind=RESULT_KIND)
+                if payload is not None:
+                    job = self._new_job("eval", key=serve_key)
+                    job.status = "done"
+                    job.result = payload
+                    job.finished = job.started = time.monotonic()
+                    job.done.set()
+                    self.counters["store_hits"] += 1
+                    return self._submit_envelope(
+                        job, deduplicated=False, store_hit=True
+                    )
+                inflight = self._inflight.get(serve_key)
+                if inflight is not None:
+                    inflight.attached += 1
+                    self.counters["dedup_hits"] += 1
+                    return self._submit_envelope(
+                        inflight, deduplicated=True, store_hit=False
+                    )
+            job = self._new_job("eval", key=serve_key)
+            job.request = {
+                "system": system,
+                "system_hash": system_h,
+                "backend": backend,
+                "options": options,
+                "config": config,
+                "skey": skey,
+            }
+            if serve_key is not None:
+                self._inflight[serve_key] = job
+            self._eval_queue.append(job)
+            self._wake.notify_all()
+            return self._submit_envelope(
+                job, deduplicated=False, store_hit=False
+            )
+
+    def submit_sweep(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a whole sweep; cells dedup against the store.
+
+        The expansion is exactly the engine's (:mod:`repro.explore`):
+        same cells, same store keys, same re-homing of stored records
+        onto this spec's positions — a sweep run through the server and
+        one run locally against the same store produce the same records
+        and share each other's checkpoints.
+        """
+        from ..explore.engine import CELL_KIND
+        from ..explore.spec import SweepSpec
+
+        spec = SweepSpec.from_dict(spec_dict)
+        cells = spec.cells()
+        with self._lock:
+            if not self._accepting:
+                raise ReproError("service is draining; not accepting work")
+            job = self._new_job("sweep")
+            job.request = {"spec": spec.to_dict()}
+            job.slots = [None] * len(cells)
+            self.store.refresh()
+            pending: List[int] = []
+            for i, cell in enumerate(cells):
+                payload = self.store.get(
+                    cell.key, kind=CELL_KIND, refresh=False
+                )
+                if isinstance(payload, dict) and payload.get("key") == cell.key:
+                    job.slots[i] = {
+                        **payload,
+                        "index": cell.index,
+                        "method": cell.method,
+                        "workload": dict(cell.workload),
+                        "options": dict(cell.options),
+                    }
+                    job.store_hits += 1
+                else:
+                    pending.append(i)
+            self.counters["store_hits"] += job.store_hits
+            units: List[List[int]] = []
+            for i in pending:
+                if units and (
+                    cells[units[-1][-1]].workload == cells[i].workload
+                ):
+                    units[-1].append(i)
+                else:
+                    units.append([i])
+            job.started = time.monotonic()
+            job.status = "running"
+            if not units:
+                self._finish_batch(job)
+            job.pending_units = len(units)
+            for unit in units:
+                self._enqueue_unit(
+                    "cells",
+                    [cells[i].to_dict() for i in unit],
+                    meta={"job": job, "positions": unit, "cell_kind": True},
+                )
+            return self._submit_envelope(
+                job, deduplicated=False, store_hit=not units
+            )
+
+    def submit_campaign(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a conformance campaign; seeds dedup against the store.
+
+        The server forces ``fixture_dir=None`` (fixtures are a local
+        filesystem concern of the submitting client) and re-chunks with
+        its own worker count.
+        """
+        from ..conformance.campaign import CampaignSpec
+
+        spec = CampaignSpec.from_dict(spec_dict)
+        worker_spec = CampaignSpec.from_dict({
+            **spec.to_dict(),
+            "fixture_dir": None,
+            "workers": 1,
+            "shrink": False,
+        })
+        seeds = list(range(spec.seed0, spec.seed0 + spec.campaign))
+        key_spec = worker_spec.to_dict()
+        with self._lock:
+            if not self._accepting:
+                raise ReproError("service is draining; not accepting work")
+            job = self._new_job("conform")
+            job.request = {"spec": key_spec}
+            job.slots = [None] * len(seeds)
+            self.store.refresh()
+            pending: List[int] = []
+            for i, seed in enumerate(seeds):
+                payload = self.store.get(
+                    seed_key(key_spec, seed), kind=SEED_KIND, refresh=False
+                )
+                if isinstance(payload, dict) and payload.get("seed") == seed:
+                    job.slots[i] = payload
+                    job.store_hits += 1
+                else:
+                    pending.append(i)
+            self.counters["store_hits"] += job.store_hits
+            chunk_width = max(1, self.workers)
+            chunks = partition_chunks(pending, chunk_width)
+            job.started = time.monotonic()
+            job.status = "running"
+            if not chunks:
+                self._finish_batch(job)
+            job.pending_units = len(chunks)
+            for chunk in chunks:
+                self._enqueue_unit(
+                    "seeds",
+                    {"spec": key_spec, "seeds": [seeds[i] for i in chunk]},
+                    meta={"job": job, "positions": chunk},
+                )
+            return self._submit_envelope(
+                job, deduplicated=False, store_hit=not chunks
+            )
+
+    def _new_job(self, kind: str, key: Optional[str] = None) -> Job:
+        job = Job(id=f"r{uuid.uuid4().hex[:12]}", kind=kind, key=key)
+        self._jobs[job.id] = job
+        while len(self._jobs) > _JOB_HISTORY_LIMIT:
+            oldest_id, oldest = next(iter(self._jobs.items()))
+            if not oldest.done.is_set():
+                break  # never evict live work
+            self._jobs.pop(oldest_id)
+        return job
+
+    @staticmethod
+    def _submit_envelope(
+        job: Job, deduplicated: bool, store_hit: bool
+    ) -> Dict[str, Any]:
+        return {
+            "id": job.id,
+            "status": job.status,
+            "deduplicated": deduplicated,
+            "store_hit": store_hit,
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _enqueue_unit(
+        self, kind: str, payload: Any, meta: Dict[str, Any]
+    ) -> None:
+        """Register a dispatch unit and queue it (lock held)."""
+        unit_id = f"u{next(self._unit_counter)}"
+        meta = dict(meta)
+        meta["kind"] = kind
+        meta["queued_at"] = time.monotonic()
+        self._units[unit_id] = meta
+        self._dispatch_queue.append((unit_id, kind, payload))
+        self._wake.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        """Batch eval jobs into units; push every unit to the pool.
+
+        Runs until the service stops.  The batch window lets racing
+        clients' requests coalesce into fewer, larger units (more
+        warm-session locality per IPC round trip).
+        """
+        while not self._stop.is_set():
+            with self._wake:
+                if not self._eval_queue and not self._dispatch_queue:
+                    self._wake.wait(timeout=0.1)
+                    continue
+            if self._eval_queue:
+                time.sleep(self.batch_window_s)
+                with self._lock:
+                    batch = list(self._eval_queue)
+                    self._eval_queue.clear()
+                    self._cut_eval_units(batch)
+            units = []
+            with self._lock:
+                while self._dispatch_queue:
+                    units.append(self._dispatch_queue.popleft())
+            for unit_id, kind, payload in units:
+                if self._task_q is not None:
+                    self._task_q.put((unit_id, kind, payload))
+                else:
+                    # Inline mode: compute here, resolve directly.
+                    try:
+                        result = _run_unit(
+                            self._inline_sessions, kind, payload
+                        )
+                        self._complete_unit(unit_id, "ok", result)
+                    except (ReproError, TypeError, ValueError) as exc:
+                        self._complete_unit(unit_id, "error", str(exc))
+
+    def _cut_eval_units(self, batch: List[Job]) -> None:
+        """Group queued eval jobs into dispatch units (lock held)."""
+        import json as _json
+
+        groups: "OrderedDict[str, List[Job]]" = OrderedDict()
+        for job in batch:
+            request = job.request
+            group_key = _json.dumps(
+                [
+                    request["system_hash"],
+                    request["backend"],
+                    sorted(request["options"].items()),
+                ],
+                default=str,
+            )
+            groups.setdefault(group_key, []).append(job)
+        for jobs in groups.values():
+            request = jobs[0].request
+            for unit in partition_chunks(jobs, max(1, self.workers)):
+                for job in unit:
+                    job.status = "running"
+                    job.started = time.monotonic()
+                    self._timings["queue_wait_s"] += (
+                        job.started - job.created
+                    )
+                self._enqueue_unit(
+                    "eval",
+                    {
+                        "system": request["system"],
+                        "system_hash": request["system_hash"],
+                        "backend": request["backend"],
+                        "options": request["options"],
+                        "items": [
+                            (job.id, job.request["config"]) for job in unit
+                        ],
+                    },
+                    meta={"jobs": {job.id: job for job in unit}},
+                )
+
+    # -- collection ----------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        import queue as _queue
+
+        while not self._stop.is_set() or self._units:
+            try:
+                unit_id, status, result = self._result_q.get(timeout=0.1)
+            except _queue.Empty:
+                continue
+            except (OSError, EOFError):
+                break
+            self._complete_unit(unit_id, status, result)
+
+    def _complete_unit(self, unit_id: str, status: str, result: Any) -> None:
+        with self._lock:
+            meta = self._units.pop(unit_id, None)
+            if meta is None:
+                return
+            self._timings["units"] += 1
+            self._timings["unit_compute_s"] += (
+                time.monotonic() - meta["queued_at"]
+            )
+            if "jobs" in meta:
+                self._complete_eval_unit(meta, status, result)
+            else:
+                self._complete_batch_unit(meta, status, result)
+
+    def _complete_eval_unit(
+        self, meta: Dict[str, Any], status: str, result: Any
+    ) -> None:
+        jobs: Dict[str, Job] = meta["jobs"]
+        if status != "ok":
+            for job in jobs.values():
+                self._resolve_eval(job, "error", str(result))
+            return
+        for job_id, item_status, payload in result:
+            job = jobs.get(job_id)
+            if job is not None:
+                self._resolve_eval(job, item_status, payload)
+
+    def _resolve_eval(self, job: Job, status: str, payload: Any) -> None:
+        job.finished = time.monotonic()
+        if status == "ok":
+            job.status = "done"
+            job.result = payload
+            self.counters["computed"] += 1
+            if job.key is not None:
+                try:
+                    self.store.put(job.key, payload, kind=RESULT_KIND)
+                except (OSError, TypeError, ValueError):
+                    pass
+        else:
+            job.status = "error"
+            job.error = str(payload)
+            self.counters["errors"] += 1
+        if job.key is not None:
+            self._inflight.pop(job.key, None)
+        job.done.set()
+
+    def _complete_batch_unit(
+        self, meta: Dict[str, Any], status: str, result: Any
+    ) -> None:
+        from ..explore.engine import CELL_KIND
+
+        job: Job = meta["job"]
+        positions: List[int] = meta["positions"]
+        if status != "ok":
+            job.status = "error"
+            job.error = str(result)
+            self.counters["errors"] += 1
+            job.pending_units -= 1
+            job.finished = time.monotonic()
+            job.done.set()
+            return
+        for position, record in zip(positions, result):
+            job.slots[position] = record
+            job.computed += 1
+            self.counters["computed"] += 1
+            try:
+                if meta.get("cell_kind"):
+                    self.store.put(record["key"], record, kind=CELL_KIND)
+                else:
+                    self.store.put(
+                        seed_key(job.request["spec"], record["seed"]),
+                        record,
+                        kind=SEED_KIND,
+                    )
+            except (OSError, TypeError, ValueError):
+                pass
+        job.pending_units -= 1
+        if job.pending_units <= 0 and job.status == "running":
+            self._finish_batch(job)
+
+    def _finish_batch(self, job: Job) -> None:
+        """Assemble a completed batch job's result (lock held)."""
+        job.status = "done"
+        job.finished = time.monotonic()
+        wall_s = job.finished - (job.started or job.finished)
+        if job.kind == "sweep":
+            job.result = {
+                "records": list(job.slots),
+                "store_hits": job.store_hits,
+                "computed": job.computed,
+                "wall_s": wall_s,
+            }
+        else:
+            job.result = {
+                "outcomes": list(job.slots),
+                "store_hits": job.store_hits,
+                "computed": job.computed,
+                "wall_s": wall_s,
+            }
+        job.done.set()
+
+    # -- observation ---------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job resolves; raises on unknown ids."""
+        job = self.job(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        job.done.wait(timeout=timeout)
+        return job
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: queue, dedup, store and throughput."""
+        with self._lock:
+            elapsed = time.monotonic() - self._started_at
+            units = self._timings["units"] or 1.0
+            evals = self.counters["computed"]
+            queued_evals = len(self._eval_queue)
+            live_units = len(self._units)
+            # Live view from the index (stats.segments/shards only
+            # update on full refresh, which the hot path avoids).
+            per_shard = self.store.shard_stats()
+            store_stats = {
+                "entries": self.store.stats.entries,
+                "segments": sum(
+                    info["segments"] for info in per_shard.values()
+                ),
+                "shards": len(per_shard),
+                "puts": self.store.stats.puts,
+            }
+            submitted = self.counters["submitted"] or 1
+            return {
+                "uptime_s": elapsed,
+                "workers": self.workers,
+                "queue_depth": queued_evals + len(self._dispatch_queue),
+                "in_flight_units": live_units,
+                "counters": dict(self.counters),
+                "dedup_ratio": self.counters["dedup_hits"] / submitted,
+                "evals_per_s": evals / elapsed if elapsed > 0 else 0.0,
+                "timings": {
+                    "queue_wait_s_avg": (
+                        self._timings["queue_wait_s"]
+                        / max(1, self.counters["computed"]
+                              + self.counters["errors"])
+                    ),
+                    "unit_compute_s_avg": (
+                        self._timings["unit_compute_s"] / units
+                    ),
+                },
+                "store": store_stats,
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: finish in-flight work, checkpoint, stop.
+
+        Stops accepting new requests, waits for the queue and every
+        dispatched unit to resolve (bounded by ``timeout``), then stops
+        the workers and closes the store.  Returns True when everything
+        completed, False on timeout (remaining work is abandoned but
+        everything already collected is persisted — the store is the
+        checkpoint).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._lock:
+            self._accepting = False
+        clean = True
+        while True:
+            with self._lock:
+                idle = (
+                    not self._eval_queue
+                    and not self._dispatch_queue
+                    and not self._units
+                )
+            if idle:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                clean = False
+                break
+            time.sleep(0.02)
+        self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
+        if self._task_q is not None:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except (OSError, ValueError):
+                    break
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():
+                    proc.terminate()
+                    clean = False
+        if self._collector is not None:
+            self._collector.join(timeout=5)
+        self._dispatcher.join(timeout=5)
+        self.store.close()
+        return clean
+
+    def close(self) -> None:
+        """Hard stop (tests): no drain wait, workers terminated."""
+        self.drain(timeout=0.0)

@@ -8,17 +8,21 @@ directory — see each other's results bit-identically.
 """
 
 from .store import (
+    DEFAULT_SHARD_PREFIX,
     SCHEMA_VERSION,
     STORE_FORMAT,
     ResultStore,
     StoreStats,
     content_key,
+    shard_of,
 )
 
 __all__ = [
+    "DEFAULT_SHARD_PREFIX",
     "SCHEMA_VERSION",
     "STORE_FORMAT",
     "ResultStore",
     "StoreStats",
     "content_key",
+    "shard_of",
 ]

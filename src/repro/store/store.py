@@ -1,9 +1,19 @@
-"""The on-disk result store: JSON-lines segments + a derived index.
+"""The on-disk result store: sharded JSON-lines segments + a derived
+index.
 
-Layout of a store directory::
+Layout of a store directory (the sharded layout, default since the
+evaluation service)::
 
-    <root>/store.json               # format + schema version (atomic)
-    <root>/segments/segment-*.jsonl # append-only record logs
+    <root>/store.json                 # format + schema + shard geometry
+    <root>/shards/<p>/segment-*.jsonl # append-only logs, one dir per
+                                      # store-key prefix ``p``
+
+and the *flat* pre-shard layout (still fully readable and writable — a
+directory created by an older library keeps working unchanged, and
+:meth:`ResultStore.migrate` rewrites it into shards)::
+
+    <root>/store.json
+    <root>/segments/segment-*.jsonl
 
 Every record is one JSON line::
 
@@ -16,11 +26,18 @@ Design points (all stdlib):
   hash (e.g. the :func:`repro.api.session.config_hash` of the evaluated
   configuration folded with the backend name and options).  The payload
   carries its own checksum, so a record is verifiable in isolation.
+* **Sharded.** A record lives in the shard named by the first
+  ``shard_prefix`` hex characters of its key (keys that are not hex are
+  re-hashed first), so the segment population of one directory grows
+  with ``entries / 16**shard_prefix`` rather than with the whole store:
+  index rebuilds, point lookups (:meth:`get` re-scans only the missing
+  key's shard) and :meth:`compact` all operate per shard.  This is what
+  lets one directory survive service-scale volume.
 * **Append-only, multi-writer.** Each :class:`ResultStore` instance
-  appends to its *own* segment file (named with pid + random suffix),
-  so concurrent writers never interleave bytes.  Readers index all
-  segments and pick up concurrently appended records via
-  :meth:`ResultStore.refresh`.
+  appends to its *own* segment file per shard (named with pid + random
+  suffix), so concurrent writers never interleave bytes — within a
+  shard or across shards.  Readers index the segments and pick up
+  concurrently appended records via :meth:`ResultStore.refresh`.
 * **Atomic, corruption-tolerant.** A record becomes visible only once
   its full line (terminated by ``\\n``) is on disk.  A truncated tail —
   a writer killed mid-append, a torn copy — is simply not indexed (and
@@ -29,11 +46,15 @@ Design points (all stdlib):
   mismatches is counted in :attr:`StoreStats.corrupt_records` and
   skipped.  Reads never raise on bad data: the caller recomputes, the
   store re-appends, and :meth:`compact` drops the damage for good.
-* **Eviction/compaction.** :meth:`compact` rewrites all live records
-  into a single fresh segment (newest-first retention when
-  ``max_entries`` bounds the store) and deletes the old segments.
-  Compaction is a maintenance operation: run it while no other process
-  is writing the same directory.
+* **Eviction/compaction.** :meth:`compact` rewrites the live records of
+  every shard into one fresh segment per shard (newest-first retention
+  when ``max_entries`` bounds the store) and deletes the old segments.
+  Plain compaction is a maintenance operation — run it while no other
+  process writes the directory.  ``grace_s > 0`` adds a *grace window*
+  for service-mode compaction next to live writers: segments whose
+  mtime falls inside the window are left untouched (their records stay
+  where they are), so a writer actively appending to a shard never has
+  a segment unlinked under it and no committed record is lost.
 
 The index is derived state: it is rebuilt by scanning the segments, so
 the segment files are the only source of truth and the store needs no
@@ -45,6 +66,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -52,20 +74,31 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from ..exceptions import StoreError
 
 __all__ = [
+    "DEFAULT_SHARD_PREFIX",
     "SCHEMA_VERSION",
     "STORE_FORMAT",
     "ResultStore",
     "StoreStats",
     "content_key",
+    "shard_of",
 ]
 
 #: Format tag written into ``store.json`` and refused when unknown.
 STORE_FORMAT = "repro-store-v1"
 #: Schema version of the record lines; bump on incompatible changes.
 SCHEMA_VERSION = 1
+#: Hex characters of the store key that name a record's shard
+#: (1 -> 16 shards, 2 -> 256).
+DEFAULT_SHARD_PREFIX = 1
 
 _META_NAME = "store.json"
-_SEGMENT_DIR = "segments"
+_SEGMENT_DIR = "segments"  # flat (pre-shard) layout
+_SHARD_DIR = "shards"
+_HEX = set("0123456789abcdef")
+#: Most writer segment handles kept open at once (one per touched
+#: shard); the oldest is closed beyond this and reopens as a new
+#: segment on the next put into that shard.
+_MAX_OPEN_WRITERS = 16
 
 
 def _canonical(payload: Any) -> str:
@@ -83,12 +116,26 @@ def _payload_sha(payload: Any) -> str:
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:16]
 
 
+def shard_of(key: str, prefix_len: int = DEFAULT_SHARD_PREFIX) -> str:
+    """The shard name of a store key: its first ``prefix_len`` hex chars.
+
+    Keys produced by :func:`content_key` / :func:`repro.api.store_key`
+    are sha256 hex, so their prefix is uniformly distributed.  An
+    arbitrary (non-hex) key is re-hashed so every key has a shard.
+    """
+    prefix = key[:prefix_len].lower()
+    if len(prefix) == prefix_len and all(c in _HEX for c in prefix):
+        return prefix
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:prefix_len]
+
+
 @dataclass
 class StoreStats:
     """Observable counters of one :class:`ResultStore` instance."""
 
     entries: int = 0
     segments: int = 0
+    shards: int = 0
     puts: int = 0
     put_dupes: int = 0
     corrupt_records: int = 0
@@ -125,6 +172,14 @@ class ResultStore:
         default: the flush-per-line default already bounds loss to the
         final record of a crashed process, which the corruption-tolerant
         reader treats as absent.
+    layout:
+        ``"sharded"`` (default for new stores) or ``"flat"`` (the
+        pre-shard layout, kept creatable for fixtures and byte-level
+        compatibility tests).  Opening an existing store always follows
+        the layout recorded in its meta file.
+    shard_prefix:
+        Shard-name length in hex characters for newly created sharded
+        stores (1 -> 16 shards, 2 -> 256).
     """
 
     def __init__(
@@ -132,23 +187,30 @@ class ResultStore:
         root: Union[str, Path],
         max_entries: Optional[int] = None,
         fsync: bool = False,
+        layout: Optional[str] = None,
+        shard_prefix: int = DEFAULT_SHARD_PREFIX,
     ) -> None:
+        if layout not in (None, "sharded", "flat"):
+            raise StoreError(f"unknown store layout {layout!r}")
         self.root = Path(root)
         self.max_entries = max_entries
         self.fsync = fsync
+        self.layout = layout or "sharded"
+        self.shard_prefix = shard_prefix
         self.stats = StoreStats()
         self._index: Dict[Tuple[str, str], _Entry] = {}
         #: Bytes of each segment already scanned into the index.
         self._scanned: Dict[Path, int] = {}
-        self._writer = None  # lazily opened own segment handle
+        #: Open writer segments, one per shard ("" = the flat layout's
+        #: single location), in open order (the eldest closes first).
+        self._writers: Dict[str, Tuple[Path, Any]] = {}
+        #: Path of the segment the most recent put() appended to.
         self._writer_path: Optional[Path] = None
-        self._segments_dir = self.root / _SEGMENT_DIR
         self._open()
 
     # -- lifecycle -----------------------------------------------------------
 
     def _open(self) -> None:
-        self._segments_dir.mkdir(parents=True, exist_ok=True)
         meta_path = self.root / _META_NAME
         if meta_path.exists():
             try:
@@ -168,23 +230,42 @@ class ResultStore:
                     f"than this library understands ({SCHEMA_VERSION}); "
                     "refusing to read it"
                 )
+            # The on-disk layout wins over constructor arguments: a
+            # pre-shard directory stays flat until migrate() is called,
+            # and a sharded one keeps its recorded geometry.
+            self.layout = meta.get("layout", "flat")
+            self.shard_prefix = meta.get("shard_prefix", DEFAULT_SHARD_PREFIX)
         else:
-            payload = _canonical(
-                {"format": STORE_FORMAT, "version": SCHEMA_VERSION}
-            )
-            tmp = meta_path.with_suffix(".tmp")
-            tmp.write_text(payload + "\n")
-            os.replace(tmp, meta_path)  # atomic: never a half-written meta
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._write_meta()
+        if self.layout == "flat":
+            (self.root / _SEGMENT_DIR).mkdir(parents=True, exist_ok=True)
+        else:
+            (self.root / _SHARD_DIR).mkdir(parents=True, exist_ok=True)
         self.refresh()
 
+    def _write_meta(self) -> None:
+        meta: Dict[str, Any] = {
+            "format": STORE_FORMAT, "version": SCHEMA_VERSION,
+        }
+        if self.layout == "sharded":
+            meta["layout"] = "sharded"
+            meta["shard_prefix"] = self.shard_prefix
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.root / _META_NAME
+        tmp = meta_path.with_suffix(".tmp")
+        tmp.write_text(_canonical(meta) + "\n")
+        os.replace(tmp, meta_path)  # atomic: never a half-written meta
+
     def close(self) -> None:
-        """Close the writer segment (further puts reopen a new one)."""
-        if self._writer is not None:
+        """Close the writer segments (further puts reopen new ones)."""
+        writers, self._writers = self._writers, {}
+        for _, (_, handle) in writers.items():
             try:
-                self._writer.close()
-            finally:
-                self._writer = None
-                self._writer_path = None
+                handle.close()
+            except OSError:
+                pass
+        self._writer_path = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -197,29 +278,96 @@ class ResultStore:
 
     def __repr__(self) -> str:
         return (
-            f"ResultStore({str(self.root)!r}, entries={len(self._index)}, "
-            f"segments={len(self._scanned)})"
+            f"ResultStore({str(self.root)!r}, layout={self.layout!r}, "
+            f"entries={len(self._index)}, segments={len(self._scanned)})"
         )
+
+    # -- shard geometry ------------------------------------------------------
+
+    def _shard_for_key(self, key: str) -> str:
+        """The shard a key's records belong in ("" in the flat layout)."""
+        if self.layout == "flat":
+            return ""
+        return shard_of(key, self.shard_prefix)
+
+    def _shard_dir(self, shard: str) -> Path:
+        if shard == "":
+            return self.root / _SEGMENT_DIR
+        return self.root / _SHARD_DIR / shard
+
+    def _segment_paths(self, key: Optional[str] = None) -> List[Path]:
+        """Existing segment files — all of them, or one key's shard only
+        (plus any flat pre-shard segments, which can hold every key)."""
+        paths: List[Path] = []
+        flat = self.root / _SEGMENT_DIR
+        if flat.is_dir():
+            paths.extend(sorted(flat.glob("*.jsonl")))
+        shards_root = self.root / _SHARD_DIR
+        if not shards_root.is_dir():
+            return paths
+        if key is not None and self.layout == "sharded":
+            shard_dir = shards_root / self._shard_for_key(key)
+            if shard_dir.is_dir():
+                paths.extend(sorted(shard_dir.glob("*.jsonl")))
+        else:
+            paths.extend(sorted(shards_root.glob("*/*.jsonl")))
+        return paths
+
+    def shard_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard entry/segment/byte counts of the indexed state.
+
+        The flat layout's single location reports as shard ``""``.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for (kind, key), entry in self._index.items():
+            shard = entry.path.parent.name
+            if entry.path.parent == self.root / _SEGMENT_DIR:
+                shard = ""
+            bucket = out.setdefault(
+                shard, {"entries": 0, "segments": 0, "bytes": 0}
+            )
+            bucket["entries"] += 1
+        for path in self._scanned:
+            shard = path.parent.name
+            if path.parent == self.root / _SEGMENT_DIR:
+                shard = ""
+            bucket = out.setdefault(
+                shard, {"entries": 0, "segments": 0, "bytes": 0}
+            )
+            bucket["segments"] += 1
+            try:
+                bucket["bytes"] += path.stat().st_size
+            except OSError:
+                pass
+        return dict(sorted(out.items()))
 
     # -- reading -------------------------------------------------------------
 
-    def refresh(self) -> int:
+    def refresh(self, key: Optional[str] = None) -> int:
         """Index records appended since the last scan; returns how many.
 
         Picks up both new bytes in known segments and whole new segments
         (other processes' writers).  Only complete, checksum-valid lines
         enter the index; an unterminated tail is left for a later
         refresh so a concurrently flushing writer is never mis-read.
+
+        With ``key`` given (on a sharded store), only that key's shard
+        directory is re-scanned — the point-lookup path stays O(shard),
+        not O(store).
         """
         self.stats.refreshes += 1
         added = 0
         try:
-            segment_paths = sorted(self._segments_dir.glob("*.jsonl"))
+            segment_paths = self._segment_paths(key)
         except OSError:
             return 0
         for path in segment_paths:
             added += self._scan_segment(path)
-        self.stats.segments = len(segment_paths)
+        if key is None:
+            self.stats.segments = len(segment_paths)
+            self.stats.shards = len(
+                {p.parent for p in segment_paths}
+            )
         self.stats.entries = len(self._index)
         return added
 
@@ -296,15 +444,16 @@ class ResultStore:
     ) -> Optional[Any]:
         """The stored payload for ``(kind, key)``, or ``None``.
 
-        On an index miss the store re-scans the segments first (other
-        processes may have appended since), unless ``refresh=False`` —
-        batch callers refresh once and then probe many keys cheaply.
-        A record that can no longer be read back (deleted segment,
-        bit rot under the checksum) degrades to a miss, never an error.
+        On an index miss the store re-scans the key's shard first
+        (other processes may have appended since), unless
+        ``refresh=False`` — batch callers refresh once and then probe
+        many keys cheaply.  A record that can no longer be read back
+        (deleted segment, bit rot under the checksum) degrades to a
+        miss, never an error.
         """
         entry = self._index.get((kind, key))
         if entry is None and refresh:
-            self.refresh()
+            self.refresh(key=key)
             entry = self._index.get((kind, key))
         if entry is None:
             return None
@@ -354,47 +503,66 @@ class ResultStore:
             "v": SCHEMA_VERSION,
         }
         line = (_canonical(record) + "\n").encode("utf-8")
-        writer = self._ensure_writer()
+        path, writer = self._ensure_writer(self._shard_for_key(key))
         offset = writer.tell()
         writer.write(line)
         writer.flush()
         if self.fsync:
             os.fsync(writer.fileno())
-        assert self._writer_path is not None
-        self._index[(kind, key)] = _Entry(
-            self._writer_path, offset, len(line)
-        )
-        self._scanned[self._writer_path] = offset + len(line)
+        self._writer_path = path
+        self._index[(kind, key)] = _Entry(path, offset, len(line))
+        self._scanned[path] = offset + len(line)
         self.stats.puts += 1
         self.stats.entries = len(self._index)
         return True
 
-    def _ensure_writer(self):
-        if self._writer is None:
+    def _ensure_writer(self, shard: str):
+        entry = self._writers.get(shard)
+        if entry is None:
+            while len(self._writers) >= _MAX_OPEN_WRITERS:
+                _, (_, stale) = self._writers.popitem()
+                try:
+                    stale.close()
+                except OSError:
+                    pass
+            directory = self._shard_dir(shard)
+            directory.mkdir(parents=True, exist_ok=True)
             suffix = os.urandom(4).hex()
-            self._writer_path = (
-                self._segments_dir / f"segment-{os.getpid()}-{suffix}.jsonl"
-            )
-            self._writer = open(self._writer_path, "ab")
-            self._scanned.setdefault(self._writer_path, 0)
-        return self._writer
+            path = directory / f"segment-{os.getpid()}-{suffix}.jsonl"
+            entry = (path, open(path, "ab"))
+            self._writers[shard] = entry
+            self._scanned.setdefault(path, 0)
+        return entry
 
     # -- maintenance ---------------------------------------------------------
 
-    def compact(self, max_entries: Optional[int] = None) -> int:
-        """Rewrite all live records into one segment; returns live count.
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        grace_s: float = 0.0,
+    ) -> int:
+        """Rewrite the live records per shard; returns the live count.
 
         Drops duplicate appends, corrupt bytes and truncated tails, and
         — when ``max_entries`` (or the store's own bound) is set — the
         oldest surplus records.  Age is approximated by segment
         modification time (a segment's mtime is its last append) and,
         within a segment, exact append order; segment *names* carry no
-        temporal meaning.  The new segment is published with an atomic
-        rename before the old segments are unlinked, so a reader never
-        observes an empty store.  Run while no other process writes
-        this directory — compaction unlinks live segments, and a
+        temporal meaning.  Each shard's new segment is published with an
+        atomic rename before the old segments are unlinked, so a reader
+        never observes an empty store.  Records living in flat
+        pre-shard segments are rewritten into their shard, so compacting
+        a migrated store finishes the migration.
+
+        With ``grace_s == 0`` (the default) run while no other process
+        writes this directory — compaction unlinks live segments, and a
         concurrent writer appending to an unlinked file would lose its
-        records.
+        records.  ``grace_s > 0`` is the service-mode variant: segments
+        modified within the last ``grace_s`` seconds are left exactly
+        where they are (not rewritten, not unlinked, exempt from
+        eviction), so a writer that keeps appending — its segment mtime
+        keeps moving — never loses a committed record to a concurrent
+        compaction.
         """
         self.refresh()
         self.close()
@@ -406,7 +574,13 @@ class ResultStore:
             except OSError:
                 return 0.0
 
-        mtimes = {path: _mtime(path) for path in self._scanned}
+        now = time.time()
+        all_segments = self._segment_paths()
+        mtimes = {path: _mtime(path) for path in all_segments}
+        protected = {
+            path for path in all_segments
+            if grace_s > 0 and now - mtimes.get(path, 0.0) < grace_s
+        }
         ordered = sorted(
             self._index.items(),
             key=lambda item: (
@@ -415,39 +589,49 @@ class ResultStore:
                 item[1].offset,
             ),
         )
-        if limit is not None and len(ordered) > limit:
-            ordered = ordered[len(ordered) - limit:]
-        survivors: List[Tuple[Tuple[str, str], Any]] = []
-        for index_key, _ in ordered:
-            kind, key = index_key
+        live = [item for item in ordered if item[1].path not in protected]
+        kept_in_place = len(ordered) - len(live)
+        if limit is not None:
+            budget = max(0, limit - kept_in_place)
+            if len(live) > budget:
+                live = live[len(live) - budget:]
+        by_shard: Dict[str, List[Tuple[str, str, Any]]] = {}
+        for (kind, key), _ in live:
             payload = self.get(key, kind=kind, refresh=False)
             if payload is not None:
-                survivors.append((index_key, payload))
-        old_segments = sorted(self._segments_dir.glob("*.jsonl"))
-        suffix = os.urandom(4).hex()
-        compacted = (
-            self._segments_dir / f"segment-compact-{os.getpid()}-{suffix}.jsonl"
-        )
-        tmp = compacted.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            for (kind, key), payload in survivors:
-                record = {
-                    "key": key,
-                    "kind": kind,
-                    "payload": payload,
-                    "sha": _payload_sha(payload),
-                    "v": SCHEMA_VERSION,
-                }
-                handle.write((_canonical(record) + "\n").encode("utf-8"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, compacted)
-        for path in old_segments:
-            if path != compacted:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                by_shard.setdefault(
+                    self._shard_for_key(key), []
+                ).append((kind, key, payload))
+        compacted_paths = set()
+        for shard, records in by_shard.items():
+            directory = self._shard_dir(shard)
+            directory.mkdir(parents=True, exist_ok=True)
+            suffix = os.urandom(4).hex()
+            compacted = (
+                directory / f"segment-compact-{os.getpid()}-{suffix}.jsonl"
+            )
+            tmp = compacted.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                for kind, key, payload in records:
+                    record = {
+                        "key": key,
+                        "kind": kind,
+                        "payload": payload,
+                        "sha": _payload_sha(payload),
+                        "v": SCHEMA_VERSION,
+                    }
+                    handle.write((_canonical(record) + "\n").encode("utf-8"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, compacted)
+            compacted_paths.add(compacted)
+        for path in all_segments:
+            if path in protected or path in compacted_paths:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
         self._index.clear()
         self._scanned.clear()
         self.stats.corrupt_records = 0
@@ -455,10 +639,32 @@ class ResultStore:
         self.refresh()
         return len(self._index)
 
+    def migrate(self, shard_prefix: Optional[int] = None) -> int:
+        """Rewrite a flat (pre-shard) store into the sharded layout.
+
+        Updates the meta file first (atomically), then compacts — which
+        rewrites every record, flat segments included, into its shard —
+        and removes the emptied flat segment directory.  Also usable on
+        an already-sharded store to change its shard geometry.  Returns
+        the live record count.  Single-writer: run while no other
+        process writes the directory, like :meth:`compact`.
+        """
+        self.layout = "sharded"
+        if shard_prefix is not None:
+            self.shard_prefix = shard_prefix
+        self._write_meta()
+        count = self.compact()
+        flat = self.root / _SEGMENT_DIR
+        try:
+            flat.rmdir()  # only when emptied; a non-empty dir survives
+        except OSError:
+            pass
+        return count
+
     def clear(self) -> None:
         """Delete every record (the segments); the store stays usable."""
         self.close()
-        for path in self._segments_dir.glob("*.jsonl"):
+        for path in self._segment_paths():
             try:
                 path.unlink()
             except OSError:
@@ -467,3 +673,4 @@ class ResultStore:
         self._scanned.clear()
         self.stats.entries = 0
         self.stats.segments = 0
+        self.stats.shards = 0

@@ -367,3 +367,50 @@ class TestAnalyzeValidate:
         assert data["validation"]["violations"] == 0
         assert data["validation"]["violation_details"] == []
         assert data["validation"]["bound_excess"] <= 1e-6
+
+
+class TestStoreCommand:
+    def _seed_flat_store(self, root, count=5):
+        """A PR-5 style flat store with a few records."""
+        from repro.store import ResultStore
+
+        store = ResultStore(root, layout="flat")
+        for i in range(count):
+            store.put(f"key-{i}", {"value": i}, kind="runresult")
+        store.close()
+
+    def test_stats_reports_layout_and_shards(self, tmp_path, capsys):
+        self._seed_flat_store(tmp_path / "store")
+        assert main([
+            "store", "stats", str(tmp_path / "store"), "--format", "json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["layout"] == "flat"
+        assert data["entries"] == 5
+
+    def test_migrate_rewrites_into_shards(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        root = tmp_path / "store"
+        self._seed_flat_store(root)
+        assert main(["store", "migrate", str(root)]) == 0
+        assert "migrated 5 records" in capsys.readouterr().out
+        with ResultStore(root) as store:
+            assert store.layout == "sharded"
+            assert store.get("key-3", refresh=False)["value"] == 3
+        # Idempotent: a second migrate is a no-op, not an error.
+        assert main(["store", "migrate", str(root)]) == 0
+        assert "already sharded" in capsys.readouterr().out
+
+    def test_compact_folds_segments(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        root = tmp_path / "store"
+        for _ in range(3):  # several writers -> several segments
+            with ResultStore(root) as store:
+                for i in range(4):
+                    store.put(f"key-{i}", {"value": i})
+        assert main([
+            "store", "compact", str(root), "--max-entries", "2",
+        ]) == 0
+        assert "compacted to 2 records" in capsys.readouterr().out

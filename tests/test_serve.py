@@ -1,0 +1,373 @@
+"""End-to-end tests of the evaluation service (ISSUE 6 tentpole).
+
+Three layers:
+
+* :class:`TestProtocol` / :class:`TestServiceInline` — addressing and
+  the service engine itself (``workers=0``: deterministic, no fork).
+* :class:`TestServiceHTTP` — a real in-process daemon (HTTP listener +
+  forked worker pool) driven by **two concurrent clients submitting
+  overlapping requests**: every result is bit-identical to a direct
+  :meth:`repro.api.Session.evaluate`, every duplicate is computed
+  exactly once (dedup/store counters asserted), and ``POST /shutdown``
+  drains cleanly.
+* :class:`TestServeSubprocessSigterm` (``slow``) — the real ``repro
+  serve`` process killed with SIGTERM mid-flight: in-flight work is
+  finished and persisted, exit code 0.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.session import Session
+from repro.conformance.campaign import (
+    CampaignSpec,
+    conformance_configuration,
+    run_campaign,
+)
+from repro.explore import SweepSpec, run_sweep
+from repro.io.serialize import (
+    config_to_dict,
+    run_result_to_dict,
+    system_to_dict,
+)
+from repro.serve import (
+    EvaluationService,
+    ServeClient,
+    ServerError,
+    evaluation_key,
+    seed_key,
+    serve,
+    system_fingerprint,
+)
+from repro.store import ResultStore
+from repro.synth.workload import WorkloadSpec, generate_workload
+
+
+def _system(seed=3, processes=6):
+    return generate_workload(
+        WorkloadSpec(nodes=2, processes_per_node=processes, seed=seed)
+    )
+
+
+def _configs(system, count):
+    """Distinct (but deterministic) configurations of one system."""
+    return [
+        conformance_configuration(system, rounds_per_period=4 + i)
+        for i in range(count)
+    ]
+
+
+class TestProtocol:
+    def test_evaluation_key_namespaces_by_system(self):
+        config = config_to_dict(_configs(_system(seed=1), 1)[0])
+        sys_a = system_to_dict(_system(seed=1))
+        sys_b = system_to_dict(_system(seed=2))
+        skey_a, serve_a = evaluation_key(
+            system_fingerprint(sys_a), "analysis", {}, config
+        )
+        skey_b, serve_b = evaluation_key(
+            system_fingerprint(sys_b), "analysis", {}, config
+        )
+        # Same classic session key (it has no system component), but
+        # distinct serve keys — the namespace the shared store needs.
+        assert skey_a == skey_b
+        assert serve_a != serve_b
+
+    def test_unstorable_options_yield_no_key(self):
+        system = _system(seed=1)
+        config = config_to_dict(_configs(system, 1)[0])
+        h = system_fingerprint(system_to_dict(system))
+        # A hashable non-scalar option (a tuple here; an execution
+        # callable in real use) has no canonical cross-process form.
+        skey, serve_key = evaluation_key(
+            h, "analysis", {"horizon": (1, 2)}, config
+        )
+        assert skey is None and serve_key is None
+
+    def test_seed_key_ignores_placement_fields(self):
+        spec = CampaignSpec(campaign=10, workers=1).to_dict()
+        rechunked = {**spec, "workers": 8, "campaign": 99, "seed0": 5}
+        assert seed_key(spec, 7) == seed_key(rechunked, 7)
+        assert seed_key(spec, 7) != seed_key(spec, 8)
+        other = {**spec, "processes_per_node": 4}
+        assert seed_key(spec, 7) != seed_key(other, 7)
+
+
+@pytest.fixture()
+def inline_service(tmp_path):
+    service = EvaluationService(tmp_path / "store", workers=0)
+    yield service
+    service.close()
+
+
+class TestServiceInline:
+    def test_store_hit_dedup_and_compute_paths(self, inline_service):
+        system = _system()
+        sd = system_to_dict(system)
+        cd = config_to_dict(_configs(system, 1)[0])
+        first = inline_service.submit_evaluation(sd, cd)
+        assert not first["deduplicated"] and not first["store_hit"]
+        job = inline_service.wait(first["id"], timeout=30)
+        assert job.status == "done"
+        again = inline_service.submit_evaluation(sd, cd)
+        assert again["store_hit"] and again["status"] == "done"
+        assert inline_service.counters["computed"] == 1
+        assert inline_service.counters["store_hits"] == 1
+
+    def test_result_matches_direct_session(self, inline_service):
+        system = _system()
+        config = _configs(system, 1)[0]
+        submitted = inline_service.submit_evaluation(
+            system_to_dict(system), config_to_dict(config)
+        )
+        job = inline_service.wait(submitted["id"], timeout=30)
+        direct = run_result_to_dict(
+            Session(system).evaluate(config, backend="analysis")
+        )
+        assert job.result == direct
+
+    def test_evaluation_error_is_reported_not_fatal(self, inline_service):
+        system = _system()
+        sd = system_to_dict(system)
+        cd = config_to_dict(_configs(system, 1)[0])
+        bad = inline_service.submit_evaluation(
+            sd, cd, options={"periods": "many"}
+        )
+        job = inline_service.wait(bad["id"], timeout=30)
+        assert job.status == "error"
+        # The service survives: the next request computes normally.
+        ok = inline_service.submit_evaluation(sd, cd)
+        assert inline_service.wait(ok["id"], timeout=30).status == "done"
+
+    def test_sweep_matches_local_engine_and_resumes(self, inline_service):
+        spec = SweepSpec(
+            name="serve-sweep",
+            workload={
+                "nodes": 2, "processes_per_node": 4, "seed": [0, 1, 2],
+            },
+            methods=("analysis",),
+        )
+        submitted = inline_service.submit_sweep(spec.to_dict())
+        job = inline_service.wait(submitted["id"], timeout=60)
+        assert job.status == "done"
+        local = run_sweep(spec, workers=1)
+        served = job.result["records"]
+        assert [
+            {k: v for k, v in r.items() if k != "wall_s"} for r in served
+        ] == [
+            {k: v for k, v in r.items() if k != "wall_s"}
+            for r in local.records
+        ]
+        # A re-submission is served wholly from the store.
+        again = inline_service.submit_sweep(spec.to_dict())
+        job2 = inline_service.wait(again["id"], timeout=60)
+        assert job2.result["store_hits"] == 3
+        assert job2.result["computed"] == 0
+
+    def test_campaign_matches_local_run(self, inline_service):
+        spec = CampaignSpec(
+            campaign=3, workers=1, nodes=2, processes_per_node=4,
+            shrink=False,
+        )
+        submitted = inline_service.submit_campaign(spec.to_dict())
+        job = inline_service.wait(submitted["id"], timeout=120)
+        assert job.status == "done"
+        local = run_campaign(spec)
+        assert [o["seed"] for o in job.result["outcomes"]] == [
+            o.seed for o in local.outcomes
+        ]
+        assert job.result["outcomes"] == [
+            o.to_dict() for o in local.outcomes
+        ]
+
+    def test_drain_rejects_new_work(self, inline_service):
+        from repro.exceptions import ReproError
+
+        inline_service.drain(timeout=5)
+        with pytest.raises(ReproError, match="draining"):
+            inline_service.submit_evaluation(
+                system_to_dict(_system()),
+                config_to_dict(_configs(_system(), 1)[0]),
+            )
+
+
+@pytest.fixture()
+def http_server(tmp_path):
+    """A real daemon: HTTP listener + forked 2-worker pool."""
+    service = EvaluationService(tmp_path / "store", workers=2)
+    ready = threading.Event()
+    announced = {}
+
+    def _run():
+        serve(
+            service, port=0, ready=ready,
+            announce=lambda msg: announced.setdefault("line", msg),
+        )
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10)
+    url = announced["line"].split("serving on ")[1]
+    yield service, url, thread
+    if thread.is_alive():
+        try:
+            ServeClient(url, timeout=5).shutdown()
+        except ServerError:
+            pass
+        thread.join(timeout=30)
+
+
+class TestServiceHTTP:
+    def test_concurrent_clients_dedup_and_bit_identity(self, http_server):
+        """The acceptance scenario: two clients race overlapping
+        requests; results are bit-identical to direct sessions and
+        every duplicate is computed exactly once."""
+        service, url, thread = http_server
+        system = _system(processes=8)
+        sd = system_to_dict(system)
+        configs = _configs(system, 4)
+        payloads = [config_to_dict(c) for c in configs]
+        # Client A evaluates configs 0..3, client B evaluates 0..3 too
+        # (fully overlapping), concurrently.
+        outcomes = {}
+
+        def client_body(name):
+            client = ServeClient(url, timeout=120)
+            submitted = [client.evaluate(sd, cd) for cd in payloads]
+            results = [
+                client.result(s["id"], timeout=120) for s in submitted
+            ]
+            outcomes[name] = (submitted, results)
+
+        threads = [
+            threading.Thread(target=client_body, args=(name,))
+            for name in ("A", "B")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        assert set(outcomes) == {"A", "B"}
+        direct = [
+            run_result_to_dict(
+                Session(system).evaluate(c, backend="analysis")
+            )
+            for c in configs
+        ]
+        for _submitted, results in outcomes.values():
+            assert [r["status"] for r in results] == ["done"] * 4
+            assert [r["result"] for r in results] == direct
+        # Exactly-once compute: 8 submissions, 4 unique configs.  The
+        # duplicate 4 were either coalesced in flight (dedup_hits) or
+        # served from the store if the first copy already finished —
+        # never computed again.
+        counters = service.counters
+        assert counters["submitted"] == 8
+        assert counters["computed"] == 4
+        assert counters["dedup_hits"] + counters["store_hits"] == 4
+        assert counters["errors"] == 0
+
+    def test_results_stream_and_stats_endpoint(self, http_server):
+        service, url, thread = http_server
+        system = _system()
+        sd = system_to_dict(system)
+        client = ServeClient(url, timeout=60)
+        submitted = [
+            client.evaluate(sd, config_to_dict(c))
+            for c in _configs(system, 3)
+        ]
+        ids = [s["id"] for s in submitted]
+        streamed = list(client.results(ids))
+        assert sorted(s["id"] for s in streamed) == sorted(ids)
+        assert all(s["status"] == "done" for s in streamed)
+        stats = client.stats()
+        assert stats["counters"]["computed"] >= 3
+        assert stats["workers"] == 2
+        assert "evals_per_s" in stats and "queue_depth" in stats
+        assert stats["store"]["shards"] >= 1
+
+    def test_shutdown_drains_and_persists(self, http_server, tmp_path):
+        service, url, thread = http_server
+        system = _system()
+        sd = system_to_dict(system)
+        client = ServeClient(url, timeout=60)
+        submitted = [
+            client.evaluate(sd, config_to_dict(c))
+            for c in _configs(system, 3)
+        ]
+        assert client.shutdown()["status"] == "draining"
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        # Every submitted job was finished and persisted before exit.
+        with ResultStore(tmp_path / "store") as store:
+            assert len(store) == 3
+        h = system_fingerprint(sd)
+        for s, config in zip(submitted, _configs(system, 3)):
+            _, serve_key = evaluation_key(
+                h, "analysis", {}, config_to_dict(config)
+            )
+            with ResultStore(tmp_path / "store") as store:
+                assert store.get(serve_key) is not None
+
+
+@pytest.mark.slow
+class TestServeSubprocessSigterm:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        store_dir = tmp_path / "store"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(store_dir), "--workers", "1", "--port", "0",
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving on " in line, line
+            url = line.strip().split("serving on ")[1]
+            client = ServeClient(url, timeout=60)
+            # Slow-ish work so the SIGTERM lands mid-flight: a sweep of
+            # SAS cells (~0.3 s each on one worker).
+            spec = SweepSpec(
+                name="drain-e2e",
+                workload={
+                    "nodes": 2, "processes_per_node": 8,
+                    "seed": list(range(6)),
+                },
+                methods=("SAS",),
+                options={"sa_iterations": 150},
+            )
+            submitted = client.submit_sweep(spec.to_dict())
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                status = client.status(submitted["id"])
+                if status["status"] == "running":
+                    break
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out and "drained" in out
+        # The drained work is durable: the sweep's cells are in the
+        # store, and a local resume run recomputes nothing.
+        with ResultStore(store_dir) as store:
+            assert len(store) >= 1
+        report = run_sweep(spec, store=store_dir, workers=1)
+        assert report.store_hits >= 1
+        assert report.store_hits + report.computed == 6

@@ -17,11 +17,15 @@ from helpers import two_node_config, two_node_system
 from repro.api import Session, config_hash, store_key
 from repro.exceptions import StoreError
 from repro.io import run_result_to_dict
-from repro.store import ResultStore, content_key
+from repro.store import ResultStore, content_key, shard_of
 
 
 def _segments(root):
-    return sorted(Path(root, "segments").glob("*.jsonl"))
+    """Every segment file, across both store layouts."""
+    root = Path(root)
+    return sorted(root.glob("segments/*.jsonl")) + sorted(
+        root.glob("shards/*/*.jsonl")
+    )
 
 
 class TestResultStore:
@@ -107,7 +111,10 @@ class TestResultStore:
         writer = ResultStore(root)
         writer.put("seed", {"v": 0})  # creates the writer segment
         reader = ResultStore(root)
-        record = {"key": "late", "kind": "runresult", "payload": {"v": 5}}
+        # The late record must belong to the same shard as the segment
+        # it is appended to, or the reader rightly never looks there.
+        late_key = shard_of("seed") * 64
+        record = {"key": late_key, "kind": "runresult", "payload": {"v": 5}}
         record["sha"] = content_key({"v": 5})[:16]
         line = json.dumps(record, sort_keys=True).encode()
         segment = writer._writer_path
@@ -115,9 +122,9 @@ class TestResultStore:
         with open(segment, "ab") as handle:
             handle.write(line[:10])
             handle.flush()
-            assert reader.get("late") is None  # incomplete: invisible
+            assert reader.get(late_key) is None  # incomplete: invisible
             handle.write(line[10:] + b"\n")
-        assert reader.get("late") == {"v": 5}
+        assert reader.get(late_key) == {"v": 5}
 
     def test_schema_version_guard(self, tmp_path):
         root = tmp_path / "s"
@@ -142,7 +149,9 @@ class TestResultStore:
         store = ResultStore(root)
         assert len(_segments(root)) == 3
         assert store.compact() == 3
-        assert len(_segments(root)) == 1
+        # Compaction folds down to one segment per occupied shard.
+        shards = {shard_of(f"k{i}") for i in range(3)}
+        assert len(_segments(root)) == len(shards)
         for i in range(3):
             assert store.get(f"k{i}") == {"v": i}
 
@@ -165,8 +174,9 @@ class TestResultStore:
         for i in range(8):
             store.put(f"k{i}", {"v": i})
         assert store.stats.compactions == 0
-        assert len(_segments(tmp_path / "s")) == 2  # both writers intact
+        # Both writers' appends are intact: nothing was unlinked.
         assert store.get("other") == {"v": "theirs"}
+        assert len(store) == 9
         other.close()
         store.compact()
         assert len(store) == 2  # the bound applies here, explicitly
@@ -313,12 +323,18 @@ class TestSessionStoreTier:
         seeder.evaluate(two_node_config())
         seeder.evaluate(two_node_config(capacity=16))
         seeder.store.close()
-        segment = _segments(root)[0]
-        data = segment.read_bytes()
-        lines = data.splitlines(keepends=True)
-        assert len(lines) == 2
-        # Cut the second record mid-line: a torn write / partial copy.
-        segment.write_bytes(lines[0] + lines[1][: len(lines[1]) // 2])
+        # Cut the capacity=16 record mid-line (a torn write / partial
+        # copy), wherever its shard put it, leaving the other intact.
+        marker = config_hash(two_node_config(capacity=16)).encode()
+        segment = next(
+            p for p in _segments(root) if marker in p.read_bytes()
+        )
+        lines = segment.read_bytes().splitlines(keepends=True)
+        target = next(line for line in lines if marker in line)
+        intact_lines = [line for line in lines if marker not in line]
+        segment.write_bytes(
+            b"".join(intact_lines) + target[: len(target) // 2]
+        )
 
         session = Session(two_node_system(), store=root)
         intact = session.evaluate(two_node_config())
