@@ -38,6 +38,17 @@ evaluations over HTTP at a fixed rate (~30% duplicates), and the record
 captures sustained evals/s, request throughput, dedup ratios and
 queue/compute timings.
 
+``BENCH_faults.json`` measures fault injection (``repro.faults``):
+
+* ``injection``   — replay overhead on the 160-process workload for a
+  null spec (machinery engaged, every fault process off), a modeled
+  fault process (CAN errors + degraded bus) and an unmodeled one
+  (execution jitter + babbling idiot), each against the fault-free
+  replay, with the null run asserted bit-identical;
+* ``degradation`` — a small ``faults``-axis sweep through
+  ``repro.explore`` recording the degradation curve (degree, bound
+  excess, injection counters) as severity climbs.
+
 The records are appended-safe: each invocation rewrites the files with
 fresh measurements plus a uniform ``host`` block (cores, Python
 version, timestamp), so committed snapshots form a trajectory across
@@ -46,13 +57,14 @@ PRs.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [kernel.json]
-    [sim.json] [explore.json] [serve.json]
+    [sim.json] [explore.json] [serve.json] [faults.json]
 
 Scale knobs: ``REPRO_BENCH_NODES`` (default 4), ``REPRO_BENCH_RTA_REPS``
 (default 10), ``REPRO_BENCH_SIM_REPS`` (default 20),
 ``REPRO_BENCH_CAMPAIGN`` (default 1000), ``REPRO_BENCH_SWEEP_SEEDS``
 (default 6), ``REPRO_BENCH_SERVE_SECONDS`` / ``_CLIENTS`` / ``_WORKERS``
-/ ``_RATE`` (defaults 6 / 4 / 2 / 25).
+/ ``_RATE`` (defaults 6 / 4 / 2 / 25), ``REPRO_BENCH_FAULT_REPS``
+(default 20).
 """
 
 import json
@@ -448,11 +460,145 @@ def bench_serve(output):
     print(f"\nwrote {output}")
 
 
+def bench_faults(output, system, nodes):
+    """Measure fault injection and write ``BENCH_faults.json``.
+
+    The injection series replays the compiled kernel on the 160-process
+    workload under a null spec (the fault machinery engaged with every
+    process off), a modeled fault process (seeded CAN errors plus a
+    derated bus) and an unmodeled one (execution jitter plus a babbling
+    idiot), each timed against the fault-free replay; the null run's
+    observation surfaces are asserted bit-identical to fault-free.  The
+    degradation series sweeps a ``faults`` axis of rising severity
+    through ``repro.explore`` and records the curve.
+    """
+    import shutil
+    import tempfile
+
+    from repro.conformance.campaign import conformance_configuration
+    from repro.explore import SweepSpec, run_sweep
+    from repro.faults import FaultSpec
+    from repro.sim.kernel import SimContext
+
+    reps = int(os.environ.get("REPRO_BENCH_FAULT_REPS", 20))
+    periods = 4
+
+    # -- injection overhead on the 160-process replay ------------------------
+    config = conformance_configuration(system, rounds_per_period=10)
+    result = multi_cluster_scheduling(
+        system, config.bus, config.priorities, tt_delays=config.tt_delays
+    )
+    config.offsets = result.offsets
+    context = SimContext(system, config, result.schedule)
+
+    modeled = FaultSpec(
+        seed=1, can_error_interval=25.0, can_error_overhead=0.5,
+        bus_slow=1.05,
+    )
+    unmodeled = FaultSpec(
+        seed=1, exec_jitter=0.2, babble_period=60.0, babble_size=4
+    )
+
+    clean_s, clean_traces = _timed(lambda: [
+        context.run(periods) for _ in range(reps)
+    ])
+    null_s, null_traces = _timed(lambda: [
+        context.run(periods, faults=FaultSpec()) for _ in range(reps)
+    ])
+    modeled_s, _ = _timed(lambda: [
+        context.run(periods, faults=modeled) for _ in range(reps)
+    ])
+    counters = {
+        name: context.last_replay[name]
+        for name in ("can_errors", "babble_frames")
+    }
+    unmodeled_s, _ = _timed(lambda: [
+        context.run(periods, faults=unmodeled) for _ in range(reps)
+    ])
+
+    def surface(trace):
+        return (trace.process_response, trace.graph_response,
+                trace.message_latency, trace.queue_peak,
+                trace.completed_instances)
+
+    assert surface(null_traces[0]) == surface(clean_traces[0])
+
+    # -- a small degradation curve via the sweep engine ----------------------
+    severities = [
+        None,
+        {"can_error_interval": 8.0, "can_error_overhead": 0.5},
+        {"can_error_interval": 3.0, "can_error_overhead": 0.5,
+         "bus_slow": 1.3},
+    ]
+    curve_spec = SweepSpec(
+        name="bench-degradation",
+        workload={
+            "nodes": 2, "processes_per_node": 20,
+            "gateway_messages": 8, "seed": 0,
+        },
+        methods=("simulation",),
+        options={"periods": 4, "faults": severities},
+    )
+    root = tempfile.mkdtemp(prefix="repro-bench-faults-")
+    try:
+        sweep_s, report = _timed(
+            run_sweep, curve_spec, store=os.path.join(root, "store")
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    assert not report.errored, report.errored
+    curve = [
+        {
+            "faults": rec["options"].get("faults"),
+            "schedulable": rec["metrics"]["schedulable"],
+            "degree": rec["metrics"]["degree"],
+            "bound_excess": rec["metrics"]["bound_excess"],
+            "fault_injection": rec["metrics"].get("fault_injection"),
+        }
+        for rec in report.records
+    ]
+
+    record = {
+        "benchmark": "faults",
+        "workload": {
+            "nodes": nodes,
+            "seed": 0,
+            "processes": system.app.process_count(),
+            "messages": system.app.message_count(),
+        },
+        "host": _host(),
+        "injection": {
+            "reps": reps,
+            "periods": periods,
+            "clean_s": clean_s,
+            "null_spec_s": null_s,
+            "modeled_s": modeled_s,
+            "unmodeled_s": unmodeled_s,
+            "null_overhead": null_s / max(clean_s, 1e-9),
+            "modeled_overhead": modeled_s / max(clean_s, 1e-9),
+            "unmodeled_overhead": unmodeled_s / max(clean_s, 1e-9),
+            "modeled_counters_per_replay": counters,
+            "null_bit_identical": True,  # asserted above
+        },
+        "degradation": {
+            "cells": len(report.records),
+            "wall_s": sweep_s,
+            "curve": curve,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {output}")
+
+
 def main(argv):
     output = argv[1] if len(argv) > 1 else "BENCH_kernel.json"
     sim_output = argv[2] if len(argv) > 2 else "BENCH_sim.json"
     explore_output = argv[3] if len(argv) > 3 else "BENCH_explore.json"
     serve_output = argv[4] if len(argv) > 4 else "BENCH_serve.json"
+    faults_output = argv[5] if len(argv) > 5 else "BENCH_faults.json"
     nodes = int(os.environ.get("REPRO_BENCH_NODES", 4))
     reps = int(os.environ.get("REPRO_BENCH_RTA_REPS", 10))
     spec = WorkloadSpec(nodes=nodes, seed=0)
@@ -552,6 +698,7 @@ def main(argv):
     bench_sim(sim_output, system, nodes)
     bench_explore(explore_output)
     bench_serve(serve_output)
+    bench_faults(faults_output, system, nodes)
     return 0
 
 

@@ -26,7 +26,7 @@ from ..model.configuration import PriorityAssignment
 from ..system import System
 from .fixed_point import Interferer, solve_busy_window
 
-__all__ = ["can_blocking", "can_queuing_delay"]
+__all__ = ["can_blocking", "can_error_term", "can_queuing_delay"]
 
 #: Tie-break epsilon: a higher-priority frame queued at the same instant
 #: (zero jitter, equal offset) wins arbitration, so it must count as one
@@ -104,12 +104,55 @@ def _relative_offset(
     return (offsets.get(of, 0.0) - offsets.get(against, 0.0)) % period
 
 
+def can_error_term(system: System, faults) -> Optional[Interferer]:
+    """The classical CAN retransmission term as one virtual interferer.
+
+    Tindell/Burns/Wellings model the error process as an extra demand
+
+        E(t) = (floor(t / T_err) + 1) * (O_err + max_k C_k)
+
+    added to every busy window: errors arrive at most once per
+    ``T_err``, each costs the error-signalling overhead plus one
+    retransmission of the largest corruptible frame.  Expressed in this
+    codebase's interference vocabulary that is exactly an unlocked
+    interferer with
+
+        period = T_err,  cost = O_err + max C,  jitter = max C
+
+    — the jitter turns ``ceil0`` arrivals into ``floor + 1`` and
+    stretches the window so errors corrupting the frame *under
+    analysis* (which completes up to ``C_m <= max C`` after its busy
+    window) are counted too.  Appending it to the interferer set keeps
+    the whole fixed-point machinery (and its divergence detection: an
+    error process denser than the bus can absorb simply diverges to
+    "unschedulable") untouched.
+
+    Returns None when ``faults`` carries no CAN error process or the
+    system has no CAN traffic.  ``faults`` only needs the
+    ``can_error_interval`` / ``can_error_overhead`` fields — any
+    modeled projection of a :class:`repro.faults.FaultSpec` works.
+    """
+    if faults is None or faults.can_error_interval is None:
+        return None
+    can_msgs = system.can_messages()
+    if not can_msgs:
+        return None
+    max_frame = max(system.can_frame_time(name) for name in can_msgs)
+    return Interferer(
+        jitter=max_frame,
+        rel_offset=0.0,
+        period=faults.can_error_interval,
+        cost=faults.can_error_overhead + max_frame,
+    )
+
+
 def can_queuing_delay(
     system: System,
     priorities: PriorityAssignment,
     msg: str,
     message_offsets: Mapping[str, float],
     message_jitters: Mapping[str, float],
+    faults=None,
 ) -> "tuple[float, bool]":
     """Worst-case CAN queueing delay ``w_m`` of one message.
 
@@ -123,6 +166,9 @@ def can_queuing_delay(
     DESIGN.md when iterating the whole system — use it for sound
     system-level bounds; this function is the building block and the
     equation-level reference.
+
+    ``faults`` (optional) folds the retransmission term of a modeled
+    CAN error process into the window (:func:`can_error_term`).
     """
     own = priorities.message_priority(msg)
     interferers = []
@@ -137,5 +183,8 @@ def can_queuing_delay(
                 cost=system.can_frame_time(other),
             )
         )
+    error_term = can_error_term(system, faults)
+    if error_term is not None:
+        interferers.append(error_term)
     base = can_blocking(system, priorities, msg, message_offsets)
     return solve_busy_window(base, interferers, epsilon=TIE_EPSILON)

@@ -51,7 +51,7 @@ from ..semantics import (
     fifo_drain_rounds,
 )
 from ..system import System
-from .can_analysis import TIE_EPSILON, can_blocking
+from .can_analysis import TIE_EPSILON, can_blocking, can_error_term
 from .timing import ActivityTiming, ResponseTimes
 
 __all__ = ["legacy_response_time_analysis", "response_time_analysis"]
@@ -66,6 +66,7 @@ def response_time_analysis(
     priorities: PriorityAssignment,
     bus: TTPBusConfig,
     kernel=None,
+    faults=None,
 ) -> ResponseTimes:
     """Run the holistic analysis; see module docstring.
 
@@ -76,15 +77,24 @@ def response_time_analysis(
     pre-kernel implementation is kept verbatim as
     :func:`legacy_response_time_analysis` and the parity suite asserts
     the two agree.
+
+    ``faults`` folds a modeled CAN error process into every bus window
+    (:func:`repro.analysis.can_analysis.can_error_term`).  Degradation
+    factors (slow node / slow bus) are *not* interpreted here: derate
+    the ``system`` first (``FaultSpec.derate_system``).
     """
     from .kernel import AnalysisContext
 
     if kernel is None:
-        kernel = AnalysisContext(system, priorities, bus)
+        kernel = AnalysisContext(system, priorities, bus, faults=faults)
     else:
         if kernel.system is not system:
             raise AnalysisError(
                 "analysis kernel was compiled for a different System"
+            )
+        if kernel.faults != faults:
+            raise AnalysisError(
+                "analysis kernel was compiled for a different FaultSpec"
             )
         kernel.update(priorities, bus)
     rho, _ = kernel.solve(offsets)
@@ -198,6 +208,7 @@ def legacy_response_time_analysis(
     offsets: OffsetTable,
     priorities: PriorityAssignment,
     bus: TTPBusConfig,
+    faults=None,
 ) -> ResponseTimes:
     """The pre-kernel reference implementation of the holistic analysis.
 
@@ -209,6 +220,11 @@ def legacy_response_time_analysis(
     Activities whose equations diverge (overload) are reported with
     ``converged=False`` and infinite response times; the caller decides
     how to penalize them (see :mod:`repro.analysis.degree`).
+
+    ``faults`` (modeled CAN error process) appends the retransmission
+    term to every CAN window as the sentinel interferer
+    ``__can_error__`` — same position (end of row) and constant jitter
+    as the kernel's virtual slot, so results stay bit-identical.
     """
     app = system.app
     arch = system.arch
@@ -239,6 +255,7 @@ def legacy_response_time_analysis(
     # -- compile the constant interference structure -------------------------
     # CAN bus: hp interferer arrays per message (the blocking term depends
     # on the evolving jitters and is recomputed inside the loop).
+    error_term = can_error_term(system, faults)
     can_int: Dict[str, tuple] = {}
     for m in can_msgs:
         own_prio = priorities.message_priority(m)
@@ -265,6 +282,13 @@ def legacy_response_time_analysis(
             costs.append(frame_time[j])
             locked_flags.append(locked)
             anc_flags.append(system.message_is_ancestor(j, m))
+        if error_term is not None:
+            names.append("__can_error__")
+            rels.append(0.0)
+            periods.append(error_term.period)
+            costs.append(error_term.cost)
+            locked_flags.append(False)
+            anc_flags.append(False)
         can_int[m] = (names, rels, periods, costs, locked_flags, anc_flags)
 
     # Gateway Out_TTP FIFO: byte-cost interferers per ET->TT message.
@@ -340,6 +364,10 @@ def legacy_response_time_analysis(
     proc_window: Dict[str, float] = {p: wcet[p] for p in et_procs}
     proc_resp: Dict[str, float] = {p: wcet[p] for p in et_procs}
     msg_jitter: Dict[str, float] = {m: 0.0 for m in can_msgs}
+    if error_term is not None:
+        # Constant jitter of the virtual error interferer; the step-1
+        # sweep only writes real message names, so it never changes.
+        msg_jitter["__can_error__"] = error_term.jitter
     msg_queue: Dict[str, float] = {m: 0.0 for m in can_msgs}
     msg_resp: Dict[str, float] = {m: frame_time[m] for m in can_msgs}
     ttp_jitter: Dict[str, float] = {m: 0.0 for m in ettt_msgs}

@@ -65,7 +65,7 @@ from ..semantics import (
     gateway_transfer_delay,
 )
 from ..system import System
-from .can_analysis import TIE_EPSILON
+from .can_analysis import TIE_EPSILON, can_error_term
 from .timing import ActivityTiming, ResponseTimes
 
 __all__ = ["AnalysisContext", "KernelStats", "SolveState"]
@@ -189,10 +189,22 @@ class AnalysisContext:
         system: System,
         priorities: PriorityAssignment,
         bus: TTPBusConfig,
+        faults=None,
     ) -> None:
         self.system = system
         self.stats = KernelStats()
         self._compile_static()
+        # Modeled CAN error process: one virtual unlocked interferer
+        # (see repro.analysis.can_analysis.can_error_term) appended to
+        # every CAN row.  Its id is the virtual slot len(can_msgs); its
+        # jitter is a constant held in the extra msg_jitter slot.
+        # Degradation factors (node_slow / bus_slow) are *not* handled
+        # here — callers derate the System before compiling a context.
+        self.faults = faults
+        self._can_error: Optional[Tuple[float, float, float]] = None
+        term = can_error_term(system, faults)
+        if term is not None:
+            self._can_error = (term.period, term.cost, term.jitter)
         self._compiled = False
         self._proc_prio: List[int] = []
         self._msg_prio: List[int] = []
@@ -326,12 +338,19 @@ class AnalysisContext:
         own = prio[i]
         period_i = self._msg_period[i]
         anc = self._msg_anc[i]
-        return [
+        row = [
             (j, 0.0, self._msg_period[j], self._frame_time[j],
              self._msg_period[j] == period_i, anc[j])
             for j in range(len(self.can_msgs))
             if j != i and prio[j] <= own
         ]
+        if self._can_error is not None:
+            # Error process interferes with every message regardless of
+            # priority; appended last so the legacy summation order
+            # (real interferers first, error term last) is preserved.
+            period, cost, _ = self._can_error
+            row.append((len(self.can_msgs), 0.0, period, cost, False, False))
+        return row
 
     def _build_can_blocking(self, i: int, prio: List[int]) -> tuple:
         """Blocking structure of CAN message ``i``.
@@ -661,6 +680,13 @@ class AnalysisContext:
             tj = [0.0] * n_ttp
             tq = [0.0] * n_ttp
             ta = [0.0] * n_ttp
+
+        if self._can_error is not None:
+            # Virtual error slot: constant jitter at index n_msg.  The
+            # step-1 jitter sweep only writes indices < n_msg, so the
+            # slot survives every outer iteration; slicing first makes
+            # warm states valid whichever shape they were saved with.
+            mj = mj[:n_msg] + [self._can_error[2]]
 
         can_rows = self._can_rows_z
         ttp_rows = self._ttp_rows_z

@@ -76,6 +76,7 @@ def multi_cluster_scheduling(
     max_iterations: int = 30,
     kernel: Optional[AnalysisContext] = None,
     warm_start: bool = False,
+    faults=None,
 ) -> MultiClusterResult:
     """Run the fixed-point loop of Fig. 5; see module docstring.
 
@@ -91,13 +92,22 @@ def multi_cluster_scheduling(
     each iteration's fixed point from the previous solution — a safe but
     potentially pessimistic accelerator (see module docstring); the
     default reproduces the pre-kernel results bit for bit.
+
+    ``faults`` adds a modeled CAN error process to every bus window;
+    slow-node/slow-bus degradation must already be derated into
+    ``system`` (the :class:`repro.api.backends.AnalysisBackend` does
+    both).
     """
     if kernel is None:
-        kernel = AnalysisContext(system, priorities, bus)
+        kernel = AnalysisContext(system, priorities, bus, faults=faults)
     else:
         if kernel.system is not system:
             raise AnalysisError(
                 "analysis kernel was compiled for a different System"
+            )
+        if kernel.faults != faults:
+            raise AnalysisError(
+                "analysis kernel was compiled for a different FaultSpec"
             )
         kernel.update(priorities, bus)
 

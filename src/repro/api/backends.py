@@ -36,6 +36,7 @@ from ..exceptions import (
     SchedulingError,
     SimulationError,
 )
+from ..faults import FaultSpec
 from ..model.configuration import SystemConfiguration
 from ..model.validation import validate_configuration
 from ..system import System
@@ -89,6 +90,7 @@ class AnalysisBackend(EvaluationBackend):
         config: SystemConfiguration,
         max_iterations: int = 30,
         kernel=None,
+        faults=None,
     ) -> RunResult:
         # No **options catch-all: a misspelled option should raise a
         # TypeError, not silently evaluate with defaults (and fragment
@@ -96,23 +98,48 @@ class AnalysisBackend(EvaluationBackend):
         # ``kernel`` is a compiled repro.analysis.kernel.AnalysisContext
         # (a Session passes its cached one); the multi-cluster loop
         # re-targets it incrementally instead of recompiling.
+        # ``faults`` (a FaultSpec, its dict, or its canonical JSON) adds
+        # the *modeled* fault processes to the analysis: slow nodes and
+        # a slow bus derate the system before the fixed point runs, a
+        # CAN error process adds the classical retransmission term to
+        # every bus busy window.  Unmodeled processes (execution
+        # jitter, babble) are outside the analysis contract and are
+        # stripped here via ``FaultSpec.analysis_spec``.
         try:
-            validate_configuration(system.app, system.arch, config)
+            fault_spec = FaultSpec.coerce(faults)
+            analysis_faults = None
+            run_system = system
+            if fault_spec is not None:
+                analysis_faults = fault_spec.analysis_spec()
+                if analysis_faults.is_null:
+                    analysis_faults = None
+                else:
+                    run_system = analysis_faults.derate_system(system)
+            if kernel is not None and (
+                kernel.system is not run_system
+                or kernel.faults != analysis_faults
+            ):
+                # The session's shared kernel is compiled for fault-free
+                # evaluation of the original system; a faulted run gets
+                # its own compile instead of a wrong (or refused) reuse.
+                kernel = None
+            validate_configuration(run_system.app, run_system.arch, config)
             result = multi_cluster_scheduling(
-                system,
+                run_system,
                 config.bus,
                 config.priorities,
                 tt_delays=config.tt_delays,
                 max_iterations=max_iterations,
                 kernel=kernel,
+                faults=analysis_faults,
             )
         except (SchedulingError, AnalysisError, ConfigurationError) as exc:
             return RunResult(
                 backend=self.name, config=config, error=str(exc)
             )
         config.offsets = result.offsets
-        report = degree_of_schedulability(system, result.rho)
-        buffers = buffer_bounds(system, config.priorities, result.rho)
+        report = degree_of_schedulability(run_system, result.rho)
+        buffers = buffer_bounds(run_system, config.priorities, result.rho)
         if not result.converged:
             # Non-converged outer loop: unschedulable with a large but
             # ordered penalty (section 4's termination conditions failed).
@@ -136,8 +163,16 @@ class AnalysisBackend(EvaluationBackend):
             analysis=result,
             # The true (unclamped) Fig. 5 iteration count, recorded so
             # memoized results stay honest about the work performed.
-            metadata={"multicluster_iterations": result.iterations},
+            metadata=self._metadata(result, fault_spec, run_system, system),
         )
+
+    @staticmethod
+    def _metadata(result, fault_spec, run_system, system):
+        metadata = {"multicluster_iterations": result.iterations}
+        if fault_spec is not None:
+            metadata["faults"] = fault_spec.to_dict()
+            metadata["fault_derated"] = run_system is not system
+        return metadata
 
 
 class SimulationBackend(EvaluationBackend):
@@ -173,17 +208,28 @@ class SimulationBackend(EvaluationBackend):
         analysis_run: RunResult = None,
         sim_context=None,
         engine: str = "kernel",
+        faults=None,
     ) -> RunResult:
         # ``sim_context`` is a compiled repro.sim.kernel.SimContext for
         # this (system, config, schedule) triple — a Session passes its
         # cached one so repeated simulations of a configuration skip the
         # compile.  ``engine`` selects the compiled kernel (default) or
         # the pre-kernel event-by-event engine ("legacy", kept for
-        # parity testing and A/B benchmarks).
+        # parity testing and A/B benchmarks).  ``faults`` injects the
+        # spec's seeded fault processes into the replay (and, through
+        # the analysis pass, its modeled subset into the bounds); a
+        # caller-supplied ``analysis_run`` must have been produced
+        # under the same fault spec (Session.simulate guarantees this).
         if engine not in ("kernel", "legacy"):
             raise ConfigurationError(
                 f"unknown simulation engine {engine!r} "
                 "(choose 'kernel' or 'legacy')"
+            )
+        try:
+            fault_spec = FaultSpec.coerce(faults)
+        except ConfigurationError as exc:
+            return RunResult(
+                backend=self.name, config=config, error=str(exc)
             )
         if analysis_run is not None and not analysis_run.feasible:
             # A known-infeasible analysis pass settles the outcome;
@@ -198,28 +244,34 @@ class SimulationBackend(EvaluationBackend):
             base = analysis_run
         else:
             base = AnalysisBackend().run(
-                system, config, max_iterations=max_iterations
+                system, config, max_iterations=max_iterations,
+                faults=faults,
             )
         if not base.feasible or base.analysis is None:
             return RunResult(
                 backend=self.name, config=config, error=base.error
             )
+        fault_counters = None
         try:
             if engine == "legacy":
-                from ..sim.engine import legacy_simulate
+                from ..sim.engine import LegacySimulator
 
                 started = time.perf_counter()
-                trace = legacy_simulate(
+                legacy = LegacySimulator(
                     system,
                     config,
                     base.analysis.schedule,
                     periods=periods,
                     execution=execution,
+                    faults=fault_spec,
                 )
+                trace = legacy.run()
                 sim_profile = {
                     "engine": "legacy",
                     "replay_s": time.perf_counter() - started,
                 }
+                if legacy.fault_runtime is not None:
+                    fault_counters = legacy.fault_runtime.summary()
             else:
                 from ..sim.kernel import SimContext
 
@@ -232,12 +284,17 @@ class SimulationBackend(EvaluationBackend):
                 # compiled it); replays of a reused template paid none.
                 first_use = sim_context.stats.replays == 0
                 trace = sim_context.run(
-                    periods=periods, execution=execution
+                    periods=periods, execution=execution, faults=fault_spec
                 )
                 sim_profile = sim_context.profile()
                 if not first_use:
                     sim_profile["compile_s"] = 0.0
-        except SimulationError as exc:
+                if fault_spec is not None:
+                    fault_counters = {
+                        key: sim_context.last_replay.get(key, 0)
+                        for key in ("can_errors", "babble_frames")
+                    }
+        except (SimulationError, ConfigurationError) as exc:
             return RunResult(
                 backend=self.name, config=config, error=str(exc)
             )
@@ -267,6 +324,15 @@ class SimulationBackend(EvaluationBackend):
             # conformance campaign's --profile report read this).
             "sim": sim_profile,
         }
+        if fault_spec is not None:
+            # The spec travels with the result so a counterexample can
+            # be replayed under the exact fault processes it saw, and
+            # the injection counters testify the processes actually
+            # fired (a degradation curve with zero injections is a
+            # sweep bug, not resilience).
+            metadata["faults"] = fault_spec.to_dict()
+            metadata["fault_injection"] = fault_counters or {}
+            metadata["faults_modeled_only"] = fault_spec.modeled_only
         return RunResult(
             backend=self.name,
             schedulable=base.schedulable,

@@ -151,6 +151,27 @@ def _accepts_option(resolved: "EvaluationBackend", option: str) -> bool:
     return cached
 
 
+def _normalize_fault_option(options: Dict[str, Any]) -> None:
+    """Canonicalize a ``faults`` option in place (session cache hygiene).
+
+    A :class:`repro.faults.FaultSpec` (or its dict / JSON forms) is
+    reduced to its canonical minimal JSON string — a plain storable
+    scalar, so faulted evaluations cache and store-key by *content*.  A
+    null spec is removed entirely: injecting no faults is the same
+    evaluation as passing no spec, and must hit the same cache entries
+    and store records (the null-fault bit-identity contract).
+    """
+    if "faults" not in options:
+        return
+    from ..faults import FaultSpec
+
+    spec = FaultSpec.coerce(options["faults"])
+    if spec is None:
+        del options["faults"]
+    else:
+        options["faults"] = spec.canonical()
+
+
 def _options_key(options: Dict[str, Any]) -> Tuple:
     """Hashable cache-key component for backend keyword options.
 
@@ -644,6 +665,7 @@ class Session:
         """
         backend = backend if backend is not None else self.default_backend
         self._check_kernel_option(options)
+        _normalize_fault_option(options)
         skey = None
         if memoize:
             key = self._key(config, backend, options)
@@ -706,6 +728,7 @@ class Session:
         """
         backend = backend if backend is not None else self.default_backend
         self._check_kernel_option(options)
+        _normalize_fault_option(options)
         configs = list(configs)
         results: List[Optional[RunResult]] = [None] * len(configs)
         pending: Dict[Tuple, List[int]] = {}
@@ -901,8 +924,27 @@ class Session:
         without a store.  (When the simulation result is *also* already
         cached or stored, nothing needs the rich payload and nothing is
         recomputed.)
+
+        A ``faults`` option (FaultSpec / dict / JSON) is split along the
+        modeled/unmodeled boundary: the analysis pass runs under the
+        spec's *modeled* subset (``FaultSpec.analysis_spec`` — derated
+        WCETs/bus plus the CAN error term), keyed separately from
+        fault-free analyses, while the simulation replays the full spec.
+        A null spec is dropped entirely, so cache and store keys are
+        bit-identical to a fault-free call.
         """
-        base = self.evaluate(config, backend="analysis", memoize=memoize)
+        from ..faults import FaultSpec
+
+        fault_spec = FaultSpec.coerce(options.pop("faults", None))
+        analysis_options: Dict[str, Any] = {}
+        if fault_spec is not None:
+            options["faults"] = fault_spec.canonical()
+            analysis_faults = fault_spec.analysis_spec()
+            if not analysis_faults.is_null:
+                analysis_options["faults"] = analysis_faults.canonical()
+        base = self.evaluate(
+            config, backend="analysis", memoize=memoize, **analysis_options
+        )
         if (
             memoize
             and base.feasible
@@ -910,10 +952,11 @@ class Session:
             and not self._simulation_available(config, periods, options)
         ):
             fresh = self.evaluate(
-                config, backend="analysis", memoize=False
+                config, backend="analysis", memoize=False,
+                **analysis_options,
             )
             if fresh.feasible and fresh.analysis is not None:
-                key = self._key(config, "analysis", {})
+                key = self._key(config, "analysis", analysis_options)
                 fresh.metadata.setdefault("config_hash", key[2])
                 self._remember(key, fresh)
                 base = fresh

@@ -69,7 +69,14 @@ Commands
     Inspect and maintain result stores: ``store stats DIR`` prints the
     shard layout, ``store migrate DIR`` rewrites a flat (pre-shard)
     store into the sharded layout, ``store compact DIR`` folds
-    segments.
+    segments, ``store verify DIR`` audits every record's checksum
+    without touching the store (exit 1 on damage).
+
+``analyze`` / ``simulate`` / ``conform`` accept ``--faults`` (JSON or
+``@file``): a declarative :class:`repro.faults.FaultSpec` of seeded
+fault processes — CAN error/retransmission, degraded node or bus
+speed, execution jitter, babbling-idiot traffic — injected into the
+run (and, for the modeled classes, folded into the analysis bounds).
 
 All commands are thin shells over :class:`repro.api.Session`; files are
 the JSON formats of :mod:`repro.io.serialize`.
@@ -98,6 +105,31 @@ __all__ = ["main"]
 def _load_config(path: str):
     with open(path) as handle:
         return config_from_dict(json.load(handle))
+
+
+def _parse_faults(value: Optional[str]) -> Optional[str]:
+    """A ``--faults`` argument: inline JSON or ``@file``, validated.
+
+    Returns the canonical spec string (``None`` for absent/null specs),
+    so every downstream key and record sees one spelling.
+    """
+    if value is None:
+        return None
+    if value.startswith("@"):
+        with open(value[1:]) as handle:
+            value = handle.read()
+    from .faults import FaultSpec
+
+    spec = FaultSpec.coerce(value)
+    return None if spec is None else spec.canonical()
+
+
+_FAULTS_HELP = (
+    "fault spec as JSON or @file (repro.faults.FaultSpec): seeded CAN "
+    "error/retransmission, degraded node/bus speed, execution jitter, "
+    "babbling-idiot traffic; e.g. "
+    '\'{"can_error_interval": 50, "can_error_overhead": 1}\''
+)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -157,7 +189,9 @@ def _print_sim_stats(sim: dict) -> None:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     session = Session.from_file(args.system, store=args.store)
     config = _load_config(args.config)
-    run = session.evaluate(config)
+    faults = _parse_faults(args.faults)
+    options = {} if faults is None else {"faults": faults}
+    run = session.evaluate(config, **options)
     validation = None
     if args.validate and not run.feasible:
         # Make the no-op explicit: an unanalysable configuration cannot
@@ -165,7 +199,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         # indistinguishable from --validate not having been passed.
         validation = {"skipped": f"analysis infeasible: {run.error}"}
     elif args.validate:
-        sim_run = session.simulate(config)
+        sim_run = session.simulate(config, **options)
         if sim_run.feasible:
             # The full causal violation records (producer finish time,
             # gateway transfer window, consumer dispatch slot) ride
@@ -301,6 +335,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         fixture_dir=args.out,
         engine=args.engine,
+        faults=_parse_faults(args.faults),
     )
     if args.server:
         from .serve import run_campaign_via_server
@@ -419,7 +454,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = _load_config(args.config)
     else:
         config = session.synthesize().config
-    run = session.simulate(config, periods=args.periods, engine=args.engine)
+    faults = _parse_faults(args.faults)
+    sim_options = {} if faults is None else {"faults": faults}
+    run = session.simulate(
+        config, periods=args.periods, engine=args.engine, **sim_options
+    )
     if args.format == "json":
         # The RunResult record already carries the engine counters in
         # metadata["sim"]; --stats adds the session's cache/kernel/store
@@ -442,6 +481,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     violations = run.metadata["violations"]
     print(f"simulated {args.periods} periods; "
           f"violations: {violations}")
+    injected = run.metadata.get("fault_injection")
+    if injected is not None:
+        print(f"  fault injection: {injected.get('can_errors', 0)} CAN "
+              f"errors, {injected.get('babble_frames', 0)} babble frames")
     observed_by_graph = run.metadata["observed_graph_response"]
     for graph_name in sorted(observed_by_graph):
         observed = observed_by_graph[graph_name]
@@ -632,6 +675,30 @@ def _cmd_store(args: argparse.Namespace) -> int:
               f"{store.stats.segments} segments")
         store.close()
         return 0
+    if args.store_command == "verify":
+        report = store.verify()
+        store.close()
+        if args.format == "json":
+            print(json.dumps(report, indent=2))
+            return 0 if report["clean"] else 1
+        print(f"{args.dir}: {report['entries']} entries "
+              f"({report['records']} records, {report['duplicates']} "
+              f"duplicate appends) in {report['segments']} segments, "
+              f"{report['bytes']} bytes")
+        for item in report["corrupt"]:
+            print(f"  corrupt: {item['path']} @{item['offset']} "
+                  f"({item['reason']})")
+        if report["corrupt_total"] > len(report["corrupt"]):
+            print(f"  ... {report['corrupt_total']} corrupt lines total")
+        for item in report["torn"]:
+            print(f"  torn tail: {item['path']} @{item['offset']} "
+                  f"({item['bytes']} bytes)")
+        if report["misplaced"]:
+            print(f"  misplaced records: {report['misplaced']}")
+        for item in report["unreadable"]:
+            print(f"  unreadable: {item['path']} ({item['error']})")
+        print("store integrity:", "CLEAN" if report["clean"] else "DAMAGED")
+        return 0 if report["clean"] else 1
     raise AssertionError(f"unknown store command {args.store_command!r}")
 
 
@@ -685,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
              "results computed here are shared with every session "
              "pointing at the same directory)",
     )
+    ana.add_argument("--faults", default=None, help=_FAULTS_HELP)
     ana.set_defaults(func=_cmd_analyze)
 
     conf = sub.add_parser(
@@ -737,6 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation-service URL: run the campaign through "
              "`repro serve` (no fixtures are produced server-side)",
     )
+    conf.add_argument(
+        "--faults", default=None,
+        help=_FAULTS_HELP + "; modeled-only specs keep the dominance "
+             "check (bounds must absorb the faults), unmodeled specs "
+             "switch each seed to a bit-exact determinism replay",
+    )
     conf.set_defaults(func=_cmd_conform)
 
     syn = sub.add_parser("synthesize", help="synthesize a configuration")
@@ -775,6 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result-store directory (second memo tier; "
              "see `analyze --store`)",
     )
+    sim.add_argument("--faults", default=None, help=_FAULTS_HELP)
     sim.set_defaults(func=_cmd_simulate)
 
     exp = sub.add_parser(
@@ -931,6 +1006,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict oldest records beyond this count",
     )
     sto_compact.set_defaults(func=_cmd_store)
+    sto_verify = sto_sub.add_parser(
+        "verify",
+        help="offline integrity audit: checksum every record, report "
+             "corrupt/torn lines and the segment census (read-only; "
+             "exit 1 on damage)",
+    )
+    sto_verify.add_argument("dir", help="store directory")
+    sto_verify.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    sto_verify.set_defaults(func=_cmd_store)
 
     sens = sub.add_parser(
         "sensitivity", help="robustness margins of a configuration"

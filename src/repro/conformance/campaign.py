@@ -44,9 +44,14 @@ from ..exceptions import ReproError
 from ..model.configuration import SystemConfiguration
 from ..optim.hopa import hopa_priorities
 from ..optim.slots import default_capacities
+from ..faults import FaultSpec
 from ..synth.workload import WorkloadSpec, generate_workload
 from ..system import System
-from .classify import ConformanceViolation, classify_run
+from .classify import (
+    ConformanceViolation,
+    classify_run,
+    determinism_violations,
+)
 
 __all__ = [
     "CampaignInterrupted",
@@ -88,6 +93,23 @@ class CampaignSpec:
     #: Simulation engine: the compiled kernel (default) or the
     #: pre-kernel event-by-event engine ("legacy", for A/B benchmarks).
     engine: str = "kernel"
+    #: Optional fault spec injected into every seed, normalized to the
+    #: canonical JSON string of :meth:`repro.faults.FaultSpec.canonical`
+    #: (``None`` = fault-free).  A *modeled-only* spec keeps the full
+    #: dominance classification (the analysis bounds absorb the modeled
+    #: faults, so dominance must still hold); a spec with unmodeled
+    #: processes switches the campaign to the determinism check.
+    faults: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        spec = FaultSpec.coerce(self.faults)
+        object.__setattr__(
+            self, "faults", None if spec is None else spec.canonical()
+        )
+
+    def fault_spec(self) -> Optional[FaultSpec]:
+        """The campaign's parsed fault spec (``None`` = fault-free)."""
+        return FaultSpec.coerce(self.faults)
 
     def workload_spec(self, seed: int) -> WorkloadSpec:
         """The deterministic workload recipe of one seed."""
@@ -117,6 +139,7 @@ class CampaignSpec:
             "shrink": self.shrink,
             "fixture_dir": self.fixture_dir,
             "engine": self.engine,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -294,6 +317,7 @@ def evaluate_workload(
     rounds_per_period: int = 10,
     config: Optional[SystemConfiguration] = None,
     engine: str = "kernel",
+    faults=None,
 ) -> Tuple[str, List[ConformanceViolation], Optional[str], Dict[str, float]]:
     """Analyse + simulate one workload and classify the outcome.
 
@@ -304,13 +328,33 @@ def evaluate_workload(
     production sweeps use — but with memoization off: every campaign
     seed is a fresh system evaluated exactly once, so paying for result
     snapshots would only cut throughput.
+
+    ``faults`` (FaultSpec / dict / canonical JSON) decides the
+    classification regime.  *Modeled-only* specs (CAN errors, slow
+    nodes, slow bus) stay inside the dominance contract: the analysis
+    runs under the same spec, so its bounds must still dominate the
+    faulted replay and :func:`classify_run` applies unchanged.  Specs
+    with *unmodeled* processes (execution jitter, babble) are outside
+    the contract's bound guarantees; the campaign then checks what the
+    contract still promises — seeded determinism — by replaying the
+    simulation and comparing observations bit for bit.
     """
     profile: Dict[str, float] = {}
     if config is None:
         config = conformance_configuration(system, rounds_per_period)
+    fault_spec = FaultSpec.coerce(faults)
+    analysis_options: Dict[str, str] = {}
+    sim_options: Dict[str, str] = {}
+    if fault_spec is not None:
+        sim_options["faults"] = fault_spec.canonical()
+        analysis_faults = fault_spec.analysis_spec()
+        if not analysis_faults.is_null:
+            analysis_options["faults"] = analysis_faults.canonical()
     session = Session(system)
     started = time.perf_counter()
-    analysis = session.evaluate(config, backend="analysis", memoize=False)
+    analysis = session.evaluate(
+        config, backend="analysis", memoize=False, **analysis_options
+    )
     profile["analyze_s"] = time.perf_counter() - started
     if not analysis.feasible:
         return "error", [], analysis.error, profile
@@ -322,7 +366,7 @@ def evaluate_workload(
     started = time.perf_counter()
     run = session.evaluate(
         config, backend="simulation", memoize=False, periods=periods,
-        analysis_run=analysis, engine=engine,
+        analysis_run=analysis, engine=engine, **sim_options,
     )
     profile["simulate_s"] = time.perf_counter() - started
     if not run.feasible:
@@ -331,7 +375,21 @@ def evaluate_workload(
     profile["sim_events"] = sim.get("events", 0)
     profile["sim_compile_s"] = sim.get("compile_s", 0.0)
     profile["sim_replay_s"] = sim.get("replay_s", 0.0)
-    violations = classify_run(run)
+    if fault_spec is None or fault_spec.modeled_only:
+        violations = classify_run(run)
+    else:
+        # Unmodeled faults: dominance is explicitly scoped out, so a
+        # bound excess is not a violation — but a second replay of the
+        # same seeded spec must reproduce the first bit for bit.
+        started = time.perf_counter()
+        second = session.evaluate(
+            config, backend="simulation", memoize=False, periods=periods,
+            analysis_run=analysis, engine=engine, **sim_options,
+        )
+        profile["determinism_s"] = time.perf_counter() - started
+        if not second.feasible:
+            return "error", [], second.error, profile
+        violations = determinism_violations(run, second)
     return ("violation" if violations else "ok"), violations, None, profile
 
 
@@ -355,6 +413,7 @@ def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
         periods=spec.periods,
         rounds_per_period=spec.rounds_per_period,
         engine=spec.engine,
+        faults=spec.faults,
     )
     profile["generate_s"] = generate_s
     outcome.status = status
@@ -395,26 +454,36 @@ def _pin_counterexample(
     if spec.shrink:
         # Shrink under the same engine the violation was observed on:
         # an engine-divergence counterexample (--engine legacy A/B runs)
-        # must not be re-validated on the other engine.
+        # must not be re-validated on the other engine.  The same goes
+        # for the fault spec — a fault-found violation must persist
+        # under the same seeded injection at every reduction step.
         system, violations = shrink_counterexample(
             system,
             violations,
             periods=spec.periods,
             rounds_per_period=spec.rounds_per_period,
             engine=spec.engine,
+            faults=spec.faults,
         )
     path = Path(spec.fixture_dir) / f"seed{seed}.json"
+    meta = {
+        "seed": seed,
+        "periods": spec.periods,
+        "rounds_per_period": spec.rounds_per_period,
+        "shrunk": spec.shrink,
+    }
+    fault_spec = spec.fault_spec()
+    if fault_spec is not None:
+        # The dict form rides in the fixture so replay_fixture can
+        # re-inject the exact seeded fault processes the violation
+        # was observed under.
+        meta["faults"] = fault_spec.to_dict()
     save_fixture(
         path,
         system,
         conformance_configuration(system, spec.rounds_per_period),
         violations,
-        meta={
-            "seed": seed,
-            "periods": spec.periods,
-            "rounds_per_period": spec.rounds_per_period,
-            "shrunk": spec.shrink,
-        },
+        meta=meta,
     )
     return str(path)
 

@@ -26,19 +26,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["ConformanceViolation", "classify_run", "TOLERANCE"]
+__all__ = [
+    "ConformanceViolation",
+    "classify_run",
+    "determinism_violations",
+    "TOLERANCE",
+]
 
 #: Slack applied to every observed-vs-bound comparison; mirrors the
 #: tolerance of the property-based dominance test.
 TOLERANCE = 1e-6
 
-#: Classification kinds, in reporting order.
+#: Classification kinds, in reporting order.  ``nondeterminism`` is the
+#: one kind not produced by :func:`classify_run`: it is emitted by the
+#: fault-aware campaign when two replays of one seeded *unmodeled*
+#: fault spec disagree — under unmodeled faults the dominance checks
+#: are scoped out of the contract, but determinism and replayability
+#: never are.
 KINDS = (
     "missing-message",
     "deadline",
     "response-bound",
     "jitter-bound",
     "queue-bound",
+    "nondeterminism",
 )
 
 
@@ -183,4 +194,44 @@ def classify_run(run) -> List[ConformanceViolation]:
                 )
 
     violations.sort(key=lambda v: (KINDS.index(v.kind), v.activity))
+    return violations
+
+
+#: Metadata fields two replays of one seeded run must agree on bit for
+#: bit — the observable surface of the determinism contract.
+_DETERMINISM_FIELDS = (
+    "observed_graph_response",
+    "observed_process_response",
+    "observed_message_latency",
+    "observed_queue_peak",
+    "violation_details",
+    "completed_instances",
+    "fault_injection",
+)
+
+def determinism_violations(first, second) -> List[ConformanceViolation]:
+    """Compare two independent replays of one seeded run bit for bit.
+
+    The fault-aware campaign's check for *unmodeled* fault specs
+    (execution jitter, babbling idiot): the dominance bounds are scoped
+    out of the contract there, but two runs of the same seed must still
+    observe identical responses, latencies, queue peaks and injection
+    counters — determinism is what makes a fault counterexample
+    replayable at all.  Returns one ``nondeterminism`` violation per
+    mismatched field (empty when the replays agree).
+    """
+    violations: List[ConformanceViolation] = []
+    for name in _DETERMINISM_FIELDS:
+        a = first.metadata.get(name)
+        b = second.metadata.get(name)
+        if a != b:
+            violations.append(
+                ConformanceViolation(
+                    kind="nondeterminism",
+                    activity=name,
+                    observed=0.0,
+                    bound=0.0,
+                    detail={"first": a, "second": b},
+                )
+            )
     return violations

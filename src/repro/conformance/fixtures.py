@@ -100,6 +100,10 @@ def replay_fixture(
     even be evaluated (analysis or simulation error): an infeasible
     replay exercised nothing, so returning the empty violation list a
     passing regression pin expects would be a silent false-clean.
+
+    A fixture captured under fault injection records the spec in
+    ``meta["faults"]``; the replay re-injects exactly those seeded fault
+    processes, so fault-found counterexamples reproduce bit for bit.
     """
     from ..api.session import Session
     from ..exceptions import ReproError
@@ -108,9 +112,30 @@ def replay_fixture(
     if periods is None:
         periods = int(fixture.meta.get("periods", 3))
     session = Session(fixture.system)
-    run = session.simulate(fixture.config, periods=periods)
+    faults = fixture.meta.get("faults")
+    run = session.simulate(fixture.config, periods=periods, faults=faults)
     if not run.feasible:
         raise ReproError(
             f"conformance fixture {path} no longer evaluates: {run.error}"
         )
+    from ..faults import FaultSpec
+
+    fault_spec = FaultSpec.coerce(faults)
+    if fault_spec is not None and not fault_spec.modeled_only:
+        # Unmodeled-fault fixture (a pinned nondeterminism scenario):
+        # re-check the same property the campaign checked — two
+        # replays of the seeded spec must agree bit for bit.  The
+        # second run bypasses the memo tiers, otherwise it would be
+        # the cached first run comparing equal to itself.
+        from .classify import determinism_violations
+
+        second = session.simulate(
+            fixture.config, periods=periods, faults=faults, memoize=False
+        )
+        if not second.feasible:
+            raise ReproError(
+                f"conformance fixture {path} no longer evaluates: "
+                f"{second.error}"
+            )
+        return fixture, run, determinism_violations(run, second)
     return fixture, run, classify_run(run)

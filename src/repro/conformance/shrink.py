@@ -75,7 +75,7 @@ def _without_process(graph: ProcessGraph, victim: str) -> Optional[ProcessGraph]
 
 def _still_violates(
     system: System, periods: int, rounds_per_period: int,
-    engine: str = "kernel",
+    engine: str = "kernel", faults=None,
 ) -> Optional[List[ConformanceViolation]]:
     """Violations of the reduced system, ``None`` when it became clean.
 
@@ -84,13 +84,15 @@ def _still_violates(
     ``engine`` must be the engine the campaign observed the violation
     on — shrinking an engine-divergence counterexample under the other
     engine would reject every reduction (or worse, keep the wrong one).
+    ``faults`` likewise: a fault-found violation is re-validated under
+    the same seeded injection at every step.
     """
     from .campaign import evaluate_workload
 
     try:
         status, violations, _error, _profile = evaluate_workload(
             system, periods=periods, rounds_per_period=rounds_per_period,
-            engine=engine,
+            engine=engine, faults=faults,
         )
     except ReproError:
         return None
@@ -103,6 +105,7 @@ def shrink_counterexample(
     periods: int = 3,
     rounds_per_period: int = 10,
     engine: str = "kernel",
+    faults=None,
 ) -> Tuple[System, List[ConformanceViolation]]:
     """Greedily minimize a violating workload (see module docstring).
 
@@ -125,7 +128,9 @@ def shrink_counterexample(
                 candidate = _rebuild(current, candidate_graphs)
             except ReproError:
                 continue
-            found = _still_violates(candidate, periods, rounds_per_period, engine)
+            found = _still_violates(
+                candidate, periods, rounds_per_period, engine, faults
+            )
             if found is not None:
                 current = candidate
                 best_violations = found
@@ -150,7 +155,7 @@ def shrink_counterexample(
                 except ReproError:
                     continue
                 found = _still_violates(
-                    candidate, periods, rounds_per_period, engine
+                    candidate, periods, rounds_per_period, engine, faults
                 )
                 if found is not None:
                     current = candidate

@@ -198,11 +198,13 @@ def _eval_analysis(state, cell: Cell) -> Dict[str, Any]:
 def _eval_simulation(state, cell: Cell) -> Dict[str, Any]:
     config = _canonical_config(state, cell)
     run = state["session"].simulate(
-        config, periods=_option(cell, "periods")
+        config,
+        periods=_option(cell, "periods"),
+        faults=_option(cell, "faults"),
     )
     if not run.feasible:
         raise ReproError(run.error or "simulation infeasible")
-    return {
+    metrics = {
         "schedulable": bool(run.schedulable),
         "degree": float(run.degree),
         "total_buffers": float(run.total_buffers),
@@ -211,6 +213,9 @@ def _eval_simulation(state, cell: Cell) -> Dict[str, Any]:
         "bound_excess": run.metadata["bound_excess"],
         "config_hash": run.metadata.get("config_hash"),
     }
+    if "fault_injection" in run.metadata:
+        metrics["fault_injection"] = run.metadata["fault_injection"]
+    return metrics
 
 
 def _eval_conform(state, cell: Cell) -> Dict[str, Any]:
@@ -223,6 +228,7 @@ def _eval_conform(state, cell: Cell) -> Dict[str, Any]:
         state["system"],
         periods=_option(cell, "periods"),
         rounds_per_period=_option(cell, "rounds_per_period"),
+        faults=_option(cell, "faults"),
     )
     if status == "error":
         raise ReproError(error or "conformance evaluation failed")

@@ -56,6 +56,11 @@ KNOWN_OPTIONS: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
     # Slot-capacity candidates explored by OS (and OR/SAR via their OS
     # seed): the paper's full search, trimmed for bounded sweeps.
     "max_capacity_candidates": (None, ("OS", "OR", "SAR")),
+    # Seeded fault processes injected into the validation paths: a
+    # repro.faults.FaultSpec in dict or canonical-string form (None =
+    # fault-free).  Sweeping this axis with increasing severity yields
+    # a degradation curve per workload.
+    "faults": (None, ("simulation", "conform")),
 }
 
 _WORKLOAD_FIELDS = {f.name for f in dataclasses.fields(WorkloadSpec)}
@@ -103,6 +108,17 @@ class Cell:
         for name, (default, methods) in KNOWN_OPTIONS.items():
             if self.method in methods:
                 options[name] = self.options.get(name, default)
+        # The faults option enters the key in its *minimal* normalized
+        # form and is omitted entirely when null: a fault-free cell has
+        # the exact key it had before fault injection existed, so every
+        # stored sweep result stays valid without a format bump.
+        faults = options.pop("faults", None)
+        if faults is not None:
+            from ..faults import FaultSpec
+
+            spec = FaultSpec.coerce(faults)
+            if spec is not None:
+                options["faults"] = spec.to_dict()
         return {
             "format": CELL_FORMAT,
             "method": self.method,

@@ -1,0 +1,57 @@
+"""Fault injection & degraded-mode evaluation.
+
+Public surface:
+
+* :class:`FaultSpec` — declarative, JSON-round-trippable description of
+  the fault processes of one run (see :mod:`repro.faults.spec` for the
+  modeled/unmodeled split and the dominance-contract scoping rule).
+* :class:`FaultRuntime` — the seeded per-run state both simulation
+  engines consume.
+* :func:`faulty_execution` — composes sub-WCET execution jitter and
+  slow-node factors onto an execution-time model.
+* :func:`stable_unit` — the process-stable uniform hash all fault
+  processes draw from.
+"""
+
+from .inject import FaultRuntime
+from .spec import FAULT_FORMAT, FaultSpec, stable_unit
+
+__all__ = [
+    "FAULT_FORMAT",
+    "FaultRuntime",
+    "FaultSpec",
+    "faulty_execution",
+    "stable_unit",
+]
+
+
+def faulty_execution(spec, system, execution):
+    """The composite execution-time model under ``spec``.
+
+    Wraps the caller's ``execution(name, instance)`` model (or the WCET
+    table when ``execution`` is None) with the sub-WCET jitter draw
+    ``base * (1 - exec_jitter * u)``.  Slow-node factors are *not*
+    applied here — they model a slow CPU, not a longer job, and the
+    engines multiply them into remaining execution demand at dispatch
+    so preemption accounting stays exact.
+
+    Returns ``execution`` unchanged when the spec draws no jitter, so a
+    null wrap costs nothing and perturbs no fault-free code path.
+    """
+    if spec is None or spec.exec_jitter == 0.0:
+        return execution
+    jitter = spec.exec_jitter
+    seed = spec.seed
+    app = system.app
+
+    if execution is None:
+        def model(name, instance):
+            return app.process(name).wcet * (
+                1.0 - jitter * stable_unit(seed, "exec", name, instance)
+            )
+    else:
+        def model(name, instance):
+            return execution(name, instance) * (
+                1.0 - jitter * stable_unit(seed, "exec", name, instance)
+            )
+    return model

@@ -21,7 +21,7 @@ import http.client
 import json
 import socket
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import quote, urlsplit
 
 from ..exceptions import ReproError
@@ -36,6 +36,22 @@ __all__ = [
 
 class ServerError(ReproError):
     """The server answered with an error envelope (or not at all)."""
+
+
+#: Transport failures worth retrying: the connection died before the
+#: response arrived (refused while the server restarts, reset/aborted
+#: by a crash-looping or overloaded peer, pipe broken mid-send, or the
+#: server hung up before sending a status line —
+#: ``http.client.RemoteDisconnected`` subclasses ``ConnectionResetError``).
+#: Retrying is safe because every service request is idempotent: the
+#: server dedups by content key, so a resubmitted evaluation attaches
+#: to the in-flight job or hits the store instead of recomputing.
+_RETRYABLE = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
 
 
 class _UnixHTTPConnection(http.client.HTTPConnection):
@@ -57,11 +73,32 @@ class ServeClient:
 
     Connections are per-request (the server is HTTP/1.0), so a client
     object is cheap, stateless and safe to share across threads.
+
+    The transport is hardened for long campaigns against a restarting
+    or briefly overloaded server: connection establishment gets its own
+    short ``connect_timeout`` (reads keep the long ``timeout``), and a
+    request whose connection is refused or reset before the response
+    arrives is retried up to ``retries`` times with bounded exponential
+    backoff (``backoff_s`` doubling per attempt, capped at
+    ``backoff_max_s``).  Retries are safe because the service dedups by
+    content key — see ``_RETRYABLE``.  ``retries=0`` disables retrying.
     """
 
-    def __init__(self, url: str, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 600.0,
+        connect_timeout: float = 10.0,
+        retries: int = 4,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> None:
         self.url = url
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
         if url.startswith("unix:"):
             self._unix_path: Optional[str] = url[len("unix:"):]
         else:
@@ -78,22 +115,67 @@ class ServeClient:
     # -- transport -----------------------------------------------------------
 
     def _connection(self) -> http.client.HTTPConnection:
+        # Establish under the short connect timeout; _open widens the
+        # socket to the long read timeout once connected.
         if self._unix_path is not None:
-            return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
+            return _UnixHTTPConnection(
+                self._unix_path, timeout=self.connect_timeout
+            )
         return http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            self._host, self._port, timeout=self.connect_timeout
         )
+
+    def _open(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[http.client.HTTPConnection, http.client.HTTPResponse]:
+        """Connect, send one request, return ``(conn, response)``.
+
+        Retries the whole connect-send-status round trip on the
+        transport failures of ``_RETRYABLE`` with bounded exponential
+        backoff; anything past the status line (a torn body) is not
+        retried here — the caller sees it as a ``ServerError``.
+        """
+        attempt = 0
+        while True:
+            conn = self._connection()
+            try:
+                conn.connect()
+                if conn.sock is not None:
+                    conn.sock.settimeout(self.timeout)
+                conn.request(method, path, body=payload, headers=headers or {})
+                return conn, conn.getresponse()
+            except _RETRYABLE as exc:
+                conn.close()
+                if attempt >= self.retries:
+                    raise ServerError(
+                        f"server {self.url} unreachable after "
+                        f"{attempt + 1} attempt(s) ({method} {path}: {exc})"
+                    ) from exc
+                time.sleep(
+                    min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+                )
+                attempt += 1
+            except BaseException:
+                conn.close()
+                raise
 
     def _request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
-        conn = self._connection()
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
         try:
-            payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
+            conn, response = self._open(method, path, payload, headers)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServerError(
+                f"server {self.url} unreachable ({method} {path}: {exc})"
+            ) from exc
+        try:
             try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
                 data = json.loads(response.read().decode("utf-8"))
             except (OSError, http.client.HTTPException,
                     json.JSONDecodeError) as exc:
@@ -166,15 +248,13 @@ class ServeClient:
         if not job_ids:
             return
         query = "&".join(f"id={quote(job_id)}" for job_id in job_ids)
-        conn = self._connection()
         try:
-            try:
-                conn.request("GET", f"/results?{query}")
-                response = conn.getresponse()
-            except (OSError, http.client.HTTPException) as exc:
-                raise ServerError(
-                    f"server {self.url} unreachable ({exc})"
-                ) from exc
+            conn, response = self._open("GET", f"/results?{query}")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServerError(
+                f"server {self.url} unreachable ({exc})"
+            ) from exc
+        try:
             if response.status >= 400:
                 data = json.loads(response.read().decode("utf-8"))
                 raise ServerError(

@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from ..api.session import _options_key, config_hash, store_key
+from ..api.session import (
+    _normalize_fault_option,
+    _options_key,
+    config_hash,
+    store_key,
+)
 from ..io.serialize import config_from_dict
 from ..store import content_key
 
@@ -49,6 +54,9 @@ SEED_KIND = "conformseed"
 #: (placement), ``campaign``/``seed0`` (range), ``fixture_dir`` and
 #: ``shrink`` (reporting) deliberately do not key — the same seed under
 #: the same semantics must hit the same record however it is batched.
+#: ``faults`` folds in only when set (see :func:`seed_key`), so every
+#: fault-free seed record keyed before fault injection existed stays
+#: addressable.
 _SEED_KEY_FIELDS = (
     "nodes",
     "processes_per_node",
@@ -80,7 +88,14 @@ def evaluation_key(
     options are not store-addressable (non-scalar values) — such a
     request is evaluated but neither coalesced nor persisted, mirroring
     the session's memory-only treatment.
+
+    A ``faults`` option is normalized exactly as the session would —
+    canonical string form, dropped entirely when null — before
+    addressing, so equivalent spellings coalesce and a null-fault
+    request hits the same record as a fault-free one.
     """
+    options = dict(options)
+    _normalize_fault_option(options)
     config = config_from_dict(config_dict)
     skey = store_key((backend, _options_key(options), config_hash(config)))
     if skey is None:
@@ -89,6 +104,14 @@ def evaluation_key(
 
 
 def seed_key(spec_dict: Dict[str, Any], seed: int) -> str:
-    """Store address of one conformance seed outcome."""
+    """Store address of one conformance seed outcome.
+
+    A campaign's fault spec (the canonical ``faults`` string of
+    :class:`repro.conformance.campaign.CampaignSpec`) joins the key
+    only when set: null specs key exactly like pre-fault campaigns.
+    """
     semantics = {name: spec_dict[name] for name in _SEED_KEY_FIELDS}
+    faults = spec_dict.get("faults")
+    if faults:
+        semantics["faults"] = faults
     return content_key(["conform-seed", semantics, seed])

@@ -74,6 +74,9 @@ class Simulator:
         Optional pre-compiled :class:`SimContext` for this
         ``(system, config, schedule)`` triple (a Session passes its
         cached one); compiled here when absent.
+    faults:
+        Optional :class:`repro.faults.FaultSpec` injected through the
+        kernel's dynamic path (see :meth:`SimContext.run`).
     """
 
     def __init__(
@@ -84,6 +87,7 @@ class Simulator:
         periods: int = 4,
         execution: Optional[ExecutionModel] = None,
         context: Optional[SimContext] = None,
+        faults=None,
     ) -> None:
         self.system = system
         self.config = config
@@ -95,11 +99,13 @@ class Simulator:
             else SimContext(system, config, schedule)
         )
         self._execution = execution
+        self._faults = faults
 
     def run(self) -> SimulationTrace:
         """Execute the simulation and return the trace."""
         return self.context.run(
-            periods=self.periods, execution=self._execution
+            periods=self.periods, execution=self._execution,
+            faults=self._faults,
         )
 
 
@@ -211,21 +217,35 @@ class _CanBus:
             return
         _prio, _seq, msg_name, instance, queue_name = heapq.heappop(self.pending)
         self.busy = True
-        # The frame moves from the software queue into the CAN controller
-        # as transmission starts — mirroring the queue-size semantics of
-        # the analysis (a message occupies Out_* only while *awaiting*
-        # transmission).
-        self.sim.adjust_queue(queue_name, -self.sim.msg_size[msg_name])
         events = self.sim.events
-        duration = self.sim.system.can_frame_time(msg_name)
+        runtime = self.sim.fault_runtime
+        if msg_name is None:
+            # Phantom babbling-idiot frame: occupies the bus (derated,
+            # error-prone wire time like any other frame) but was never
+            # in a software queue and will deliver nothing.
+            duration = runtime.can_span(
+                events.now, runtime.babble_frame_time
+            )
+        else:
+            # The frame moves from the software queue into the CAN
+            # controller as transmission starts — mirroring the
+            # queue-size semantics of the analysis (a message occupies
+            # Out_* only while *awaiting* transmission).
+            self.sim.adjust_queue(queue_name, -self.sim.msg_size[msg_name])
+            duration = self.sim.system.can_frame_time(msg_name)
+            if runtime is not None:
+                duration = runtime.can_span(
+                    events.now, duration * runtime.bus_factor
+                )
         events.schedule(
             events.now + duration,
             lambda: self._complete(msg_name, instance),
         )
 
-    def _complete(self, msg_name: str, instance: int) -> None:
+    def _complete(self, msg_name: Optional[str], instance: int) -> None:
         self.busy = False
-        self.sim.on_can_delivery(msg_name, instance)
+        if msg_name is not None:
+            self.sim.on_can_delivery(msg_name, instance)
         self.try_start()
 
 
@@ -251,6 +271,12 @@ class LegacySimulator:
     execution:
         Optional execution-time model ``(process, instance) -> time``;
         defaults to the WCET.  Values must not exceed the WCET.
+    faults:
+        Optional :class:`repro.faults.FaultSpec`.  The same seeded
+        fault processes as the compiled kernel's — CAN
+        error/retransmission, slow nodes, slow bus, execution jitter
+        and babbling-idiot frames — so fault traces stay
+        parity-testable across engines.
     """
 
     def __init__(
@@ -260,6 +286,7 @@ class LegacySimulator:
         schedule: StaticSchedule,
         periods: int = 4,
         execution: Optional[ExecutionModel] = None,
+        faults=None,
     ) -> None:
         self.system = system
         self.config = config
@@ -285,6 +312,12 @@ class LegacySimulator:
         self.msg_size: Dict[str, int] = {
             m.name: m.size for m in system.app.all_messages()
         }
+        self.fault_runtime = None
+        if faults is not None:
+            from ..faults import FaultRuntime, faulty_execution
+
+            self.fault_runtime = FaultRuntime(faults, system)
+            execution = faulty_execution(faults, system, execution)
         self._execution = execution
         self._queue_occupancy: Dict[str, float] = {}
         self._cpus: Dict[str, _EtCpu] = {
@@ -384,6 +417,32 @@ class LegacySimulator:
                         self._make_ttp_slot(slot.node, absolute_round),
                         order=ORDER_BUS,
                     )
+        # Babbling-idiot frames: seeded last so that on an exact tie a
+        # TDMA slot (seeded above, lower sequence number) fires first —
+        # matching the kernel, where static-timeline events win ties
+        # against heap events — while dynamically scheduled arbitration
+        # (higher sequence numbers) still loses to babble.
+        runtime = self.fault_runtime
+        if runtime is not None and runtime.spec.babble_period is not None:
+            priority = runtime.spec.babble_priority
+            horizon = (self.periods + 1) * self.hyper
+            for t in runtime.babble_times(horizon):
+                self.events.schedule(
+                    t, self._make_babble(priority), order=ORDER_BUS
+                )
+
+    def _make_babble(self, priority: int):
+        def babble() -> None:
+            self.fault_runtime.babble_frames += 1
+            can = self._can
+            can._seq += 1
+            # Phantom pending entry: ``msg_name``/``queue_name`` are
+            # None, so transmission start skips the queue bookkeeping
+            # and completion delivers nothing.
+            heapq.heappush(can.pending, (priority, can._seq, None, 0, None))
+            can.try_start()
+
+        return babble
 
     # -- TT cluster ------------------------------------------------------------
 
@@ -509,10 +568,16 @@ class LegacySimulator:
 
     def _activate_et(self, proc_name: str, instance: int, release: float) -> None:
         proc = self.system.app.process(proc_name)
+        remaining = self.exec_time(proc_name, instance)
+        runtime = self.fault_runtime
+        if runtime is not None and runtime.node_factor:
+            # Same single post-model multiply as the compiled kernel
+            # (and as the analysis-side WCET derating) — exact parity.
+            remaining = remaining * runtime.speed(proc.node)
         job = _Job(
             name=proc_name,
             instance=instance,
-            remaining=self.exec_time(proc_name, instance),
+            remaining=remaining,
             priority=self.config.priorities.process_priority(proc_name),
             release=release,
         )
@@ -630,11 +695,12 @@ def simulate(
     periods: int = 4,
     execution: Optional[ExecutionModel] = None,
     context: Optional[SimContext] = None,
+    faults=None,
 ) -> SimulationTrace:
     """Convenience wrapper around :class:`Simulator` (compiled kernel)."""
     return Simulator(
         system, config, schedule, periods=periods, execution=execution,
-        context=context,
+        context=context, faults=faults,
     ).run()
 
 
@@ -644,8 +710,10 @@ def legacy_simulate(
     schedule: StaticSchedule,
     periods: int = 4,
     execution: Optional[ExecutionModel] = None,
+    faults=None,
 ) -> SimulationTrace:
     """One run of the pre-kernel engine (the parity baseline)."""
     return LegacySimulator(
-        system, config, schedule, periods=periods, execution=execution
+        system, config, schedule, periods=periods, execution=execution,
+        faults=faults,
     ).run()

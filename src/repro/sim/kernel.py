@@ -88,6 +88,7 @@ _K_GW_DELIVER = 8
 _K_ET_COMPLETE = 9
 _K_TT_COMPLETE_DYN = 10  # completion under an execution-time model
 _K_TTP_DELIVER_GW = 11  # a TT->ET frame fully received at slot end
+_K_BABBLE = 12  # a babbling-idiot frame is queued on the CAN bus
 
 #: Input-message check modes on a TT dispatch.
 _CHK_STATIC = 0  # TT->TT frame with a compiled arrival instant
@@ -372,11 +373,23 @@ class SimContext:
 
     # -- replay --------------------------------------------------------------
 
-    def run(self, periods: int = 4, execution=None) -> SimulationTrace:
+    def run(
+        self, periods: int = 4, execution=None, faults=None
+    ) -> SimulationTrace:
         """Replay the compiled template for ``periods`` period instances.
 
         Equivalent to ``Simulator(system, config, schedule, periods,
         execution).run()`` on the legacy engine, trace for trace.
+
+        ``faults`` (a :class:`repro.faults.FaultSpec`) injects the
+        spec's seeded fault processes through the dynamic path: CAN
+        error/retransmission and bus derating stretch wire occupancy at
+        the two transmission-start sites, slow-node factors multiply
+        remaining execution demand at ET activation, exec jitter rides
+        the composite execution model, and babbling-idiot frames enter
+        arbitration as phantom queue entries (``mid < 0``) that occupy
+        the bus but are never delivered.  ``faults=None`` leaves every
+        fault-free code path untouched, instruction for instruction.
         """
         started = time.perf_counter()
         hyper = self.hyper
@@ -467,8 +480,62 @@ class SimContext:
                 seq += 1
                 heappush(heap, (t, order, seq, kind, a, k))
 
+        # -- fault processes --------------------------------------------------
+        # One FaultRuntime per run; its error-instant pointer advances
+        # with the (serial) bus, so sharing the class with the legacy
+        # engine yields bit-identical fault traces.  `runtime is None`
+        # keeps the fault-free hot path byte-for-byte intact.
+        runtime = None
+        speed: Optional[List[float]] = None
+        babble_prio = 0
+        if faults is not None:
+            from ..faults import FaultRuntime, faulty_execution
+
+            runtime = FaultRuntime(faults, self.system)
+            execution = faulty_execution(faults, self.system, execution)
+            if runtime.node_factor:
+                et_nodes = self.system.arch.et_node_names()
+                speed = [
+                    runtime.speed(et_nodes[self.proc_cpu[pid]])
+                    if self.proc_cpu[pid] >= 0 else 1.0
+                    for pid in range(n_procs)
+                ]
+            if faults.babble_period is not None:
+                babble_prio = faults.babble_priority
+                # Pre-seeded at _BUS order before any dynamic event is
+                # scheduled: babble wins same-instant ties against
+                # runtime CAN_TRY events (lower seq) but loses them to
+                # the static timeline, matching the legacy engine's
+                # post-static seeding position.
+                for t in runtime.babble_times(horizon):
+                    seq += 1
+                    heappush(heap, (t, _BUS, seq, _K_BABBLE, 0, 0))
+
         exec_model = execution
         now = 0.0
+
+        def faulted_start() -> None:
+            """Start the next pending frame under fault injection.
+
+            The faulted twin of the two inline transmission-start
+            blocks: applies bus derating and the error process to real
+            frames, and handles phantom babble entries (``mid < 0``)
+            that consume bus time without queue accounting or delivery.
+            """
+            nonlocal can_busy, seq
+            _prio, _cs, mid2, kk2, qi2 = heappop(can_pending)
+            can_busy = True
+            if mid2 < 0:
+                dur = runtime.can_span(now, runtime.babble_frame_time)
+            else:
+                qlevel[qi2] -= msg_size[mid2]
+                dur = runtime.can_span(
+                    now, frame_time[mid2] * runtime.bus_factor
+                )
+            seq += 1
+            heappush(
+                heap, (now + dur, _DELIVER, seq, _K_CAN_COMPLETE, mid2, kk2)
+            )
 
         def exec_time(pid: int, k: int) -> float:
             wcet = proc_wcet[pid]
@@ -484,9 +551,13 @@ class SimContext:
             """One ET activation: the legacy ``_EtCpu.activate``."""
             nonlocal seq
             jid = pid * periods + k
-            job_remaining[jid] = (
+            base = (
                 proc_wcet[pid] if exec_model is None else exec_time(pid, k)
             )
+            # Slow node: demand scales by the same single multiply the
+            # analysis derate applies to the WCET, so the WCET-regime
+            # bound and the simulated demand stay bit-comparable.
+            job_remaining[jid] = base if speed is None else base * speed[pid]
             cpu = proc_cpu[pid]
             running = cpu_running[cpu]
             prio = proc_prio[pid]
@@ -777,6 +848,9 @@ class SimContext:
 
             elif kind == _K_CAN_TRY:
                 if not can_busy and can_pending:
+                    if runtime is not None:
+                        faulted_start()
+                        continue
                     _prio, _cs, mid, kk, qi = heappop(can_pending)
                     can_busy = True
                     qlevel[qi] -= msg_size[mid]
@@ -797,6 +871,12 @@ class SimContext:
                 can_busy = False
                 mid = a
                 k = b
+                if mid < 0:
+                    # Phantom babble frame: occupied the bus, delivers
+                    # nothing.  Fall through to restart arbitration.
+                    if can_pending:
+                        faulted_start()
+                    continue
                 idx = mid * periods + k
                 if j_can[idx] is None:
                     j_can[idx] = now
@@ -830,6 +910,9 @@ class SimContext:
                             activate(dst, k)
                 # The freed bus starts the next pending frame at once.
                 if not can_busy and can_pending:
+                    if runtime is not None:
+                        faulted_start()
+                        continue
                     _prio, _cs, mid2, kk2, qi2 = heappop(can_pending)
                     can_busy = True
                     qlevel[qi2] -= msg_size[mid2]
@@ -898,6 +981,16 @@ class SimContext:
 
             elif kind == _K_ET_RELEASE:
                 activate(a, b)
+
+            elif kind == _K_BABBLE:
+                # The idiot queues a phantom frame and arbitration runs
+                # immediately (this event is already at _BUS order, the
+                # instant a legacy enqueue would defer its try to).
+                runtime.babble_frames += 1
+                can_seq += 1
+                heappush(can_pending, (babble_prio, can_seq, -1, 0, -1))
+                if not can_busy:
+                    faulted_start()
 
         # -- assemble the trace ---------------------------------------------
         trace = SimulationTrace()
@@ -979,6 +1072,8 @@ class SimContext:
             "static_events": static_count,
             "dynamic_events": dyn_count,
         }
+        if runtime is not None:
+            self.last_replay.update(runtime.summary())
         return trace
 
     def profile(self) -> Dict[str, float]:
@@ -1003,8 +1098,9 @@ def compiled_simulate(
     periods: int = 4,
     execution=None,
     context: Optional[SimContext] = None,
+    faults=None,
 ) -> SimulationTrace:
     """One compiled simulation run (compiling a context unless given)."""
     if context is None:
         context = SimContext(system, config, schedule)
-    return context.run(periods=periods, execution=execution)
+    return context.run(periods=periods, execution=execution, faults=faults)

@@ -18,6 +18,7 @@ Three layers:
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -371,3 +372,79 @@ class TestServeSubprocessSigterm:
         report = run_sweep(spec, store=store_dir, workers=1)
         assert report.store_hits >= 1
         assert report.store_hits + report.computed == 6
+
+
+class TestClientRetry:
+    """The hardened transport (ISSUE 7 satellite): connection resets
+    and refusals are retried with bounded backoff; retrying is safe
+    because the service dedups by content key."""
+
+    @staticmethod
+    def _flaky_listener(failures):
+        """A listener that RST-closes its first ``failures`` connections
+        and then serves one canned ``/healthz`` response."""
+        lsock = socket.socket()
+        lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        lsock.bind(("127.0.0.1", 0))
+        lsock.listen(8)
+        seen = {"resets": 0}
+
+        def body():
+            while True:
+                conn, _ = lsock.accept()
+                if seen["resets"] < failures:
+                    seen["resets"] += 1
+                    # SO_LINGER with zero timeout turns close() into a
+                    # hard RST — the "server crashed mid-request" case.
+                    conn.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                    )
+                    conn.close()
+                    continue
+                conn.recv(65536)
+                payload = json.dumps({"status": "ok"}).encode()
+                conn.sendall(
+                    b"HTTP/1.0 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                    + payload
+                )
+                conn.close()
+                lsock.close()
+                return
+
+        thread = threading.Thread(target=body, daemon=True)
+        thread.start()
+        return lsock.getsockname()[1], seen
+
+    def test_retries_through_connection_resets(self):
+        port, seen = self._flaky_listener(failures=2)
+        client = ServeClient(
+            f"http://127.0.0.1:{port}", timeout=10,
+            connect_timeout=2, retries=4, backoff_s=0.01,
+        )
+        assert client.healthy()
+        assert seen["resets"] == 2
+
+    def test_retries_exhausted_raises_server_error(self):
+        port, _ = self._flaky_listener(failures=100)
+        client = ServeClient(
+            f"http://127.0.0.1:{port}", timeout=5,
+            connect_timeout=1, retries=2, backoff_s=0.01,
+        )
+        with pytest.raises(ServerError, match="3 attempt"):
+            client.stats()
+
+    def test_zero_retries_fails_fast(self):
+        # A port nothing listens on: connection refused immediately.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServeClient(
+            f"http://127.0.0.1:{port}", timeout=2,
+            connect_timeout=0.5, retries=0,
+        )
+        with pytest.raises(ServerError, match="1 attempt"):
+            client.stats()

@@ -396,3 +396,89 @@ class TestSessionStoreTier:
         by_path.evaluate(two_node_config())
         by_instance.evaluate(two_node_config())
         assert by_instance.cache_info().store_hits == 1
+
+
+class TestStoreVerify:
+    """``repro store verify`` (ISSUE 7 satellite): a read-only audit
+    that reports damage without mutating the store."""
+
+    def test_clean_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i in range(5):
+            store.put(f"k{i}", {"v": i})
+        report = store.verify()
+        assert report["clean"]
+        assert report["records"] == 5 and report["entries"] == 5
+        assert report["corrupt_total"] == 0 and report["torn_total"] == 0
+
+    def test_damage_census(self, tmp_path):
+        root = tmp_path / "s"
+        store = ResultStore(root)
+        store.put("good", {"v": 1})
+        store.close()
+        segment = _segments(root)[0]
+        bad = {"key": "bad", "kind": "runresult", "payload": {"v": 9},
+               "sha": "0" * 16, "v": 1}
+        with open(segment, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write((json.dumps(bad) + "\n").encode())
+            handle.write(b'{"key": "torn')  # no newline: torn tail
+        before = segment.read_bytes()
+
+        report = ResultStore(root).verify()
+        assert not report["clean"]
+        assert report["corrupt_total"] == 2
+        reasons = {c["reason"] for c in report["corrupt"]}
+        assert reasons == {"unparsable", "checksum-mismatch"}
+        assert report["torn_total"] == 1
+        assert report["torn"][0]["path"].endswith(segment.name)
+        # Verification mutated nothing: same bytes, store still serves.
+        assert segment.read_bytes() == before
+        assert ResultStore(root).get("good") == {"v": 1}
+
+    def test_verify_covers_sharded_layout(self, tmp_path):
+        root = tmp_path / "s"
+        store = ResultStore(root, shard_prefix=1)
+        for i in range(8):
+            store.put(f"k{i}", {"v": i})
+        report = store.verify()
+        assert report["clean"]
+        assert report["layout"] == "sharded"
+        assert report["records"] == 8
+        assert report["shards"] >= 1
+
+    def test_misplaced_record_detected(self, tmp_path):
+        root = tmp_path / "s"
+        store = ResultStore(root, shard_prefix=1)
+        store.put("k-home", {"v": 1})
+        store.close()
+        # Re-home a valid record into a foreign shard directory.
+        segment = _segments(root)[0]
+        wrong = next(
+            d for d in "0123456789abcdef"
+            if d != segment.parent.name
+        )
+        foreign = root / "shards" / wrong
+        foreign.mkdir(parents=True, exist_ok=True)
+        (foreign / segment.name).write_bytes(segment.read_bytes())
+        report = ResultStore(root).verify()
+        assert not report["clean"]
+        assert report["misplaced"] == 1
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        root = tmp_path / "s"
+        store = ResultStore(root)
+        store.put("k", {"v": 1})
+        store.close()
+        assert cli_main(["store", "verify", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out
+        with open(_segments(root)[0], "ab") as handle:
+            handle.write(b"garbage line\n")
+        assert cli_main(
+            ["store", "verify", str(root), "--format", "json"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt_total"] == 1
