@@ -661,6 +661,29 @@ def main(argv):
         optimize_schedule, system, max_capacity_candidates=3
     )
 
+    # -- a 4-cluster topology datapoint --------------------------------------
+    # The general cluster graph takes the route-aware interpreted
+    # solver instead of the canonical compiled rows; this records its
+    # compile + solve costs (and the full Fig. 5 loop) so the trajectory
+    # captures the multihop path next to the canonical one.
+    from repro.conformance.campaign import conformance_configuration
+
+    topo_nodes = int(os.environ.get("REPRO_BENCH_TOPO_NODES", 6))
+    topo_spec = WorkloadSpec(nodes=topo_nodes, seed=0, clusters=4, gateways=4)
+    topo_system = generate_workload(topo_spec)
+    topo_config = conformance_configuration(topo_system, rounds_per_period=10)
+    topo_compile_s, topo_kernel = _timed(
+        AnalysisContext, topo_system, topo_config.priorities, topo_config.bus
+    )
+    topo_offsets = static_schedule(topo_system, topo_config.bus).offsets
+    topo_solve_s, _ = _timed(lambda: [
+        topo_kernel.solve(topo_offsets) for _ in range(reps)
+    ])
+    topo_mc_s, _ = _timed(
+        multi_cluster_scheduling, topo_system, topo_config.bus,
+        topo_config.priorities,
+    )
+
     record = {
         "benchmark": "kernel",
         "workload": {
@@ -687,6 +710,17 @@ def main(argv):
             "evaluations": osr.evaluations,
             "schedulable": osr.schedulable,
             "degree": osr.best.degree,
+        },
+        "topology": {
+            "clusters": 4,
+            "gateways": 4,
+            "nodes": topo_nodes,
+            "processes": topo_system.app.process_count(),
+            "can_messages": len(topo_system.can_messages()),
+            "reps": reps,
+            "compile_s": topo_compile_s,
+            "solve_s": topo_solve_s,
+            "multicluster_s": topo_mc_s,
         },
     }
     with open(output, "w") as handle:

@@ -62,18 +62,32 @@ def _priority_queue_bound(
     rho: ResponseTimes,
 ) -> float:
     """Worst-case size of one priority-ordered CAN queue."""
+    return _priority_queue_bound_timed(
+        system, priorities, [(m, rho.can[m]) for m in members]
+    )
+
+
+def _priority_queue_bound_timed(
+    system: System,
+    priorities: PriorityAssignment,
+    members,
+) -> float:
+    """Queue bound over explicit ``(message, leg timing)`` residents.
+
+    The general-topology entry point: a message's residency in a queue is
+    governed by the timing of the *leg* that goes through it, which for
+    multi-hop routes is not the ``rho.can`` record.
+    """
     worst = 0.0
     app = system.app
-    for m in members:
-        timing = rho.can[m]
+    for m, timing in members:
         if not timing.converged:
             return UNBOUNDED_PENALTY
         own_prio = priorities.message_priority(m)
         occupancy = float(app.message(m).size)
-        for j in members:
+        for j, other in members:
             if j == m or priorities.message_priority(j) > own_prio:
                 continue
-            other = rho.can[j]
             if not other.converged:
                 return UNBOUNDED_PENALTY
             period = app.period_of_message(j)
@@ -110,10 +124,34 @@ def _priority_queue_bound(
     return worst
 
 
+def _leg_timing(rho: ResponseTimes, msg: str, pos: int, n_legs: int):
+    """Timing record of leg ``pos`` of ``msg`` (multi-hop aware)."""
+    if n_legs > 1:
+        return rho.hops[msg][pos]
+    return rho.can[msg]
+
+
 def buffer_bounds(
-    system: System, priorities: PriorityAssignment, rho: ResponseTimes
+    system: System,
+    priorities: PriorityAssignment,
+    rho: ResponseTimes,
+    plan=None,
 ) -> BufferReport:
-    """Compute all queue bounds for an analysed configuration."""
+    """Compute all queue bounds for an analysed configuration.
+
+    ``plan`` (a :class:`repro.semantics.routing.RoutingPlan`) supplies the
+    queue membership on general topologies — one ``Out_CAN``/``Out_TTP``
+    pair per gateway, transit legs included; ``out_can``/``out_ttp`` then
+    report the *sum* over the per-gateway queues (distinct memories).
+    Canonical two-cluster systems take the original single-gateway path
+    unchanged.
+    """
+    if plan is None and system.multi_topology:
+        plan = system.default_routing()
+    if plan is not None and not system.multi_topology:
+        plan = None  # canonical routes are forced-default; classic path.
+    if plan is not None:
+        return _buffer_bounds_general(system, priorities, rho, plan)
     out_can = _priority_queue_bound(
         system, priorities, system.tt_to_et_messages(), rho
     )
@@ -137,12 +175,67 @@ def buffer_bounds(
     return BufferReport(out_can=out_can, out_ttp=out_ttp, out_node=out_node)
 
 
+def _buffer_bounds_general(
+    system: System,
+    priorities: PriorityAssignment,
+    rho: ResponseTimes,
+    plan,
+) -> BufferReport:
+    """Plan-aware queue bounds for arbitrary cluster graphs."""
+    app = system.app
+    gw_can: Dict[str, list] = {}
+    src_can: Dict[str, list] = {}
+    for m in sorted(plan.legs):
+        legs = plan.legs_of(m)
+        for pos, leg in enumerate(legs):
+            if leg.is_fifo:
+                continue
+            timing = _leg_timing(rho, m, pos, len(legs))
+            if leg.via is not None:
+                gw_can.setdefault(leg.via, []).append((m, timing))
+            else:
+                # Source-node queue: every frame leaving an ET node —
+                # ET->ET and the first leg of crossing messages alike —
+                # waits in that node's CAN controller queue, the same
+                # membership the canonical path takes from
+                # ``et_to_et_messages_from``.
+                src_can.setdefault(leg.sender, []).append((m, timing))
+    out_can = 0.0
+    for gateway in sorted(gw_can):
+        out_can += _priority_queue_bound_timed(
+            system, priorities, gw_can[gateway]
+        )
+    out_node: Dict[str, float] = {}
+    for node in system.arch.et_node_names():
+        members = src_can.get(node)
+        out_node[node] = (
+            _priority_queue_bound_timed(system, priorities, members)
+            if members
+            else 0.0
+        )
+    out_ttp = 0.0
+    for gateway in sorted(plan.fifo_users):
+        queue_worst = 0.0
+        for m in plan.fifo_users[gateway]:
+            timing = rho.ttp[m]
+            if not timing.converged:
+                queue_worst = UNBOUNDED_PENALTY
+                break
+            ahead = ttp_resident_bytes(
+                system, priorities, m, timing, rho, plan=plan
+            )
+            queue_worst = max(queue_worst, app.message(m).size + ahead)
+        out_ttp += queue_worst
+    return BufferReport(out_can=out_can, out_ttp=out_ttp, out_node=out_node)
+
+
 def ttp_resident_bytes(
     system: System,
     priorities: PriorityAssignment,
     msg: str,
     timing,
     rho: ResponseTimes,
+    plan=None,
 ) -> float:
     """``I_m`` evaluated at the final fixed point (bytes ahead of ``msg``).
 
@@ -154,7 +247,7 @@ def ttp_resident_bytes(
     del priorities  # FIFO ordering ignores CAN priorities.
     app = system.app
     total = 0.0
-    for j in fifo_competitors(system, msg):
+    for j in fifo_competitors(system, msg, plan=plan):
         other = rho.ttp[j]
         if not other.converged:
             return UNBOUNDED_PENALTY

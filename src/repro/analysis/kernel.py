@@ -190,10 +190,26 @@ class AnalysisContext:
         priorities: PriorityAssignment,
         bus: TTPBusConfig,
         faults=None,
+        routes=None,
     ) -> None:
         self.system = system
         self.stats = KernelStats()
-        self._compile_static()
+        # General topologies (or non-default route overrides) run the
+        # route-aware per-leg solver (repro.analysis.multihop) instead
+        # of the interned canonical rows: the canonical compile below
+        # stays byte-for-byte the pre-routing fast path, and multi-hop
+        # systems pay an interpreted solve per call (compiling per-leg
+        # rows for general graphs is tracked in ROADMAP.md).
+        self._multihop = system.multi_topology or bool(routes)
+        self._plan = None
+        if self._multihop:
+            self._plan = system.routing_for(routes)
+            self._route_overrides = dict(routes) if routes else {}
+            self._max_graph_period = max(
+                g.period for g in system.app.graphs.values()
+            )
+        else:
+            self._compile_static()
         # Modeled CAN error process: one virtual unlocked interferer
         # (see repro.analysis.can_analysis.can_error_term) appended to
         # every CAN row.  Its id is the virtual slot len(can_msgs); its
@@ -209,7 +225,7 @@ class AnalysisContext:
         self._proc_prio: List[int] = []
         self._msg_prio: List[int] = []
         self._bus: Optional[TTPBusConfig] = None
-        self.update(priorities, bus)
+        self.update(priorities, bus, routes=routes)
 
     # -- static (per-System) compile ----------------------------------------
 
@@ -423,9 +439,13 @@ class AnalysisContext:
         )
 
     def update(
-        self, priorities: PriorityAssignment, bus: TTPBusConfig
+        self,
+        priorities: PriorityAssignment,
+        bus: TTPBusConfig,
+        routes=None,
     ) -> str:
-        """Re-target the kernel at a new ``(π, β)``.
+        """Re-target the kernel at a new ``(π, β)`` (and, for general
+        topologies, a new route assignment).
 
         Returns ``"compiled"`` on the first (full) build,
         ``"incremental"`` when only the rows mentioning changed
@@ -434,6 +454,28 @@ class AnalysisContext:
         enters the analysis through the gateway slot scalars and the
         divergence horizon.
         """
+        if self._multihop:
+            # Route-aware solves re-read (π, β, routes) per call; the
+            # only state to refresh here is the plan (a route move from
+            # the optimizer) and the solve inputs.
+            if routes is not None and dict(routes) != getattr(
+                self, "_route_overrides", None
+            ):
+                self._plan = self.system.routing_for(routes)
+                self._route_overrides = dict(routes)
+            self._priorities = priorities
+            self._bus = bus
+            if not self._compiled:
+                self._compiled = True
+                self.stats.compiles += 1
+                return "compiled"
+            self.stats.updates += 1
+            return "incremental"
+        if routes:
+            raise AnalysisError(
+                "route overrides require a kernel created with routes= "
+                "(the canonical compiled rows are single-hop)"
+            )
         proc_prio = [
             priorities.process_priority(p) for p in self.et_procs
         ]
@@ -639,6 +681,21 @@ class AnalysisContext:
         :class:`ResponseTimes` and the raw :class:`SolveState` to pass
         back in next time.
         """
+        if self._multihop:
+            from .multihop import multihop_response_time_analysis
+
+            self.stats.solves += 1
+            rho = multihop_response_time_analysis(
+                self.system,
+                offsets,
+                self._priorities,
+                self._bus,
+                self._plan,
+                faults=self.faults,
+            )
+            # The interpreted path carries no warm-start vectors; the
+            # Fig. 5 loop treats a None state as a cold solve.
+            return rho, None
         self._refresh_offsets(offsets)
         self.stats.solves += 1
 

@@ -77,6 +77,7 @@ def multi_cluster_scheduling(
     kernel: Optional[AnalysisContext] = None,
     warm_start: bool = False,
     faults=None,
+    routes: Optional[Mapping[str, tuple]] = None,
 ) -> MultiClusterResult:
     """Run the fixed-point loop of Fig. 5; see module docstring.
 
@@ -99,7 +100,9 @@ def multi_cluster_scheduling(
     both).
     """
     if kernel is None:
-        kernel = AnalysisContext(system, priorities, bus, faults=faults)
+        kernel = AnalysisContext(
+            system, priorities, bus, faults=faults, routes=routes
+        )
     else:
         if kernel.system is not system:
             raise AnalysisError(
@@ -109,9 +112,12 @@ def multi_cluster_scheduling(
             raise AnalysisError(
                 "analysis kernel was compiled for a different FaultSpec"
             )
-        kernel.update(priorities, bus)
+        kernel.update(priorities, bus, routes=routes)
 
-    schedule = static_schedule(system, bus, rho=None, tt_delays=tt_delays)
+    routing = system.routing_for(routes) if system.multi_topology else None
+    schedule = static_schedule(
+        system, bus, rho=None, tt_delays=tt_delays, routing=routing
+    )
     offsets = schedule.offsets
     rho, state = kernel.solve(offsets)
     iterations = 1
@@ -125,6 +131,7 @@ def multi_cluster_scheduling(
             rho=rho,
             tt_delays=tt_delays,
             arrival_floors=floors,
+            routing=routing,
         )
         delta = new_schedule.offsets.max_abs_delta(offsets)
         if delta <= _OFFSET_TOLERANCE:

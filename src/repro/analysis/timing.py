@@ -75,6 +75,12 @@ class ResponseTimes:
         self.can: Dict[str, ActivityTiming] = {}
         self.ttp: Dict[str, ActivityTiming] = {}
         self.tt_arrival: Dict[str, float] = {}
+        # Per-leg records of multi-hop routes, in traversal order; only
+        # populated for messages with more than one leg (canonical
+        # two-cluster results never carry entries, keeping every legacy
+        # artefact byte-identical).  ``can``/``ttp`` keep their classic
+        # meaning: the delivering CAN leg and the unique FIFO leg.
+        self.hops: Dict[str, tuple] = {}
 
     def process_response(self, name: str) -> float:
         """Response time ``r_i`` of a process."""
@@ -139,6 +145,7 @@ class ResponseTimes:
         out.can = dict(self.can)
         out.ttp = dict(self.ttp)
         out.tt_arrival = dict(self.tt_arrival)
+        out.hops = dict(self.hops)
         return out
 
     def __repr__(self) -> str:

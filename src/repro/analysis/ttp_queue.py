@@ -128,13 +128,17 @@ def ttp_queue_delay(
     queue_instant: float,
     message_offsets: Mapping[str, float],
     queue_jitters: Mapping[str, float],
+    gateway: str = None,
 ) -> Tuple[float, float, bool]:
     """Worst-case ``(w_m^TTP, I_m, converged)`` for one ET->TT message.
 
     ``queue_instant`` is the absolute worst-case time the message enters
-    ``Out_TTP`` (``O_m + J_m`` with ``J_m = r_m^CAN + r_T``).
+    ``Out_TTP`` (``O_m + J_m`` with ``J_m = r_m^CAN + r_T``).  ``gateway``
+    selects which gateway's FIFO/slot on general topologies; the default
+    is the canonical topology's single gateway.
     """
-    gateway = system.arch.gateway
+    if gateway is None:
+        gateway = system.arch.gateway
     slot = bus.slot_of(gateway)
     own_size = float(system.app.message(msg).size)
     blocking = ttp_blocking(bus, gateway, queue_instant)

@@ -36,9 +36,10 @@ def node_utilization(system: System) -> Dict[str, float]:
         load[proc.node] += proc.wcet / period
     arch = system.arch
     if arch.gateway_transfer_period:
-        load[arch.gateway] += (
-            arch.gateway_transfer_wcet / arch.gateway_transfer_period
-        )
+        for gateway in arch.gateways():
+            load[gateway] += (
+                arch.transfer_wcet_of(gateway) / arch.gateway_transfer_period
+            )
     return load
 
 
@@ -59,11 +60,19 @@ def ttp_bus_demand(system: System) -> Dict[str, float]:
     the TTP load.
     """
     demand: Dict[str, float] = {n: 0.0 for n in system.arch.ttp_slot_owners()}
+    plan = system.default_routing() if system.multi_topology else None
     for msg in system.app.all_messages():
         route = system.route(msg.name)
         period = system.app.period_of_message(msg.name)
         if route in (MessageRoute.TT_TO_TT, MessageRoute.TT_TO_ET):
             demand[system.app.process(msg.src).node] += msg.size / period
+        elif plan is not None:
+            # The TDMA transmitter of a relayed message is the gateway
+            # holding its FIFO leg (if any; pure ET->ET routes never
+            # touch the TT bus).
+            leg = plan.fifo_leg(msg.name)
+            if leg is not None:
+                demand[leg.via] += msg.size / period
         elif route is MessageRoute.ET_TO_TT:
             demand[system.arch.gateway] += msg.size / period
     return demand

@@ -118,10 +118,13 @@ class AnalysisBackend(EvaluationBackend):
             if kernel is not None and (
                 kernel.system is not run_system
                 or kernel.faults != analysis_faults
+                or (config.routes and not getattr(kernel, "_multihop", False))
             ):
                 # The session's shared kernel is compiled for fault-free
-                # evaluation of the original system; a faulted run gets
-                # its own compile instead of a wrong (or refused) reuse.
+                # evaluation of the original system (and, on canonical
+                # topologies, for single-hop routes); a faulted or
+                # route-overridden run gets its own compile instead of a
+                # wrong (or refused) reuse.
                 kernel = None
             validate_configuration(run_system.app, run_system.arch, config)
             result = multi_cluster_scheduling(
@@ -132,6 +135,7 @@ class AnalysisBackend(EvaluationBackend):
                 max_iterations=max_iterations,
                 kernel=kernel,
                 faults=analysis_faults,
+                routes=config.routes or None,
             )
         except (SchedulingError, AnalysisError, ConfigurationError) as exc:
             return RunResult(
@@ -139,7 +143,14 @@ class AnalysisBackend(EvaluationBackend):
             )
         config.offsets = result.offsets
         report = degree_of_schedulability(run_system, result.rho)
-        buffers = buffer_bounds(run_system, config.priorities, result.rho)
+        plan = (
+            run_system.routing_for(config.routes or None)
+            if run_system.multi_topology
+            else None
+        )
+        buffers = buffer_bounds(
+            run_system, config.priorities, result.rho, plan=plan
+        )
         if not result.converged:
             # Non-converged outer loop: unschedulable with a large but
             # ordered penalty (section 4's termination conditions failed).

@@ -80,6 +80,15 @@ def config_hash(config: SystemConfiguration) -> str:
         "message_priorities": config.priorities.message_priorities,
         "tt_delays": config.tt_delays,
     }
+    routes = getattr(config, "routes", None)
+    if routes:
+        # Route overrides join the hash only when present: the empty
+        # dict is the canonical "all default routes" state, omitted so
+        # every pre-routing hash, store key and serve address is
+        # byte-identical (same pattern as the null FaultSpec).
+        payload["routes"] = {
+            name: list(hops) for name, hops in sorted(routes.items())
+        }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

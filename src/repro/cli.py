@@ -140,6 +140,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         target_utilization=args.utilization,
         wcet_distribution=args.distribution,
         seed=args.seed,
+        clusters=args.clusters,
+        gateways=args.gateways,
+        route_strategy=args.route_strategy,
     )
     session = Session.from_workload(spec)
     session.save(args.output)
@@ -149,6 +152,82 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"{system.app.message_count()} messages, "
         f"{len(system.arch.gateway_messages(system.app))} via the gateway"
     )
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from .io.serialize import load_system
+
+    system = load_system(args.system)
+    topo = system.arch.topology
+    plan = system.routing_for(None)
+    supported = True
+    support_error = None
+    try:
+        topo.check_engine_supported()
+    except Exception as exc:
+        supported = False
+        support_error = str(exc)
+    route_errors = []
+    if args.config:
+        config = _load_config(args.config)
+        for name, route in sorted(config.routes.items()):
+            try:
+                src, dst = system.clusters_of_message(name)
+                topo.validate_route(src, dst, tuple(route))
+            except Exception as exc:
+                route_errors.append({"message": name, "error": str(exc)})
+    crossing = {
+        name: list(plan.route_of(name))
+        for name in sorted(plan.routes)
+        if plan.legs_of(name)
+    }
+    payload = {
+        "canonical": topo.is_canonical,
+        "engine_supported": supported,
+        "clusters": [
+            {
+                "name": c.name,
+                "kind": c.kind,
+                "nodes": list(c.nodes),
+            }
+            for c in (topo.clusters[n] for n in sorted(topo.clusters))
+        ],
+        "gateways": [
+            {
+                "node": g.node,
+                "clusters": list(g.clusters),
+                "transfer_wcet": system.arch.transfer_wcet_of(g.node),
+            }
+            for g in (topo.gateways[n] for n in sorted(topo.gateways))
+        ],
+        "crossing_messages": crossing,
+    }
+    if support_error is not None:
+        payload["engine_support_error"] = support_error
+    if args.config:
+        payload["route_errors"] = route_errors
+    ok = supported and not route_errors
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        shape = "canonical 2-cluster" if topo.is_canonical else "general"
+        print(f"topology: {shape}, {len(topo.clusters)} clusters, "
+              f"{len(topo.gateways)} gateway(s)")
+        for c in payload["clusters"]:
+            print(f"  cluster {c['name']} ({c['kind']}): "
+                  f"{', '.join(c['nodes']) or '-'}")
+        for g in payload["gateways"]:
+            a, b = g["clusters"]
+            print(f"  gateway {g['node']}: {a} <-> {b} "
+                  f"(C_T={g['transfer_wcet']:g})")
+        print(f"  inter-cluster messages: {len(crossing)}")
+        if not supported:
+            print(f"  UNSUPPORTED: {support_error}")
+        for err in route_errors:
+            print(f"  BAD ROUTE {err['message']}: {err['error']}")
+    if args.validate:
+        return 0 if ok else 1
     return 0
 
 
@@ -336,6 +415,9 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         fixture_dir=args.out,
         engine=args.engine,
         faults=_parse_faults(args.faults),
+        clusters=args.clusters,
+        gateways=args.gateways,
+        route_strategy=args.route_strategy,
     )
     if args.server:
         from .serve import run_campaign_via_server
@@ -723,7 +805,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution", choices=["uniform", "exponential"], default="uniform"
     )
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--clusters", type=int, default=2,
+        help="cluster count (1 TT + N-1 ET; 2 = the canonical topology)",
+    )
+    gen.add_argument(
+        "--gateways", type=int, default=1,
+        help="gateway count (>= ET cluster count)",
+    )
+    gen.add_argument(
+        "--route-strategy",
+        choices=["default", "greedy", "random"],
+        default="default",
+        help="seeded route assignment for inter-cluster messages",
+    )
     gen.set_defaults(func=_cmd_generate)
+
+    topo = sub.add_parser(
+        "topo", help="show or validate a system's cluster topology"
+    )
+    topo.add_argument("system", help="system JSON file")
+    topo.add_argument(
+        "--config",
+        help="configuration JSON file whose route overrides to check",
+    )
+    topo.add_argument(
+        "--validate", action="store_true",
+        help="exit 1 when the topology is engine-unsupported or a "
+        "route override is invalid",
+    )
+    topo.add_argument("--format", choices=["text", "json"], default="text")
+    topo.set_defaults(func=_cmd_topo)
 
     ana = sub.add_parser("analyze", help="analyse a configuration")
     ana.add_argument("system", help="system JSON file")
@@ -771,6 +883,23 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--periods", type=int, default=3)
     conf.add_argument("--nodes", type=int, default=2)
     conf.add_argument("--processes-per-node", type=int, default=8)
+    conf.add_argument(
+        "--clusters", type=int, default=2,
+        help="cluster count of every generated workload (1 TT + N-1 ET; "
+             "default 2 = the paper's canonical shape)",
+    )
+    conf.add_argument(
+        "--gateways", type=int, default=1,
+        help="gateway count (>= ET cluster count; extras bridge "
+             "TT<->ET pairs round-robin and open routing freedom)",
+    )
+    conf.add_argument(
+        "--route-strategy", choices=["default", "greedy", "random"],
+        default="default", dest="route_strategy",
+        help="seeded route assignment for inter-cluster messages "
+             "(non-default strategies also grow TDMA slots to fit the "
+             "relayed payloads)",
+    )
     conf.add_argument(
         "--out", default=None,
         help="directory for shrunken counterexample fixtures "

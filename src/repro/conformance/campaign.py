@@ -100,6 +100,16 @@ class CampaignSpec:
     #: faults, so dominance must still hold); a spec with unmodeled
     #: processes switches the campaign to the determinism check.
     faults: Optional[str] = None
+    #: Topology axes (PR 8): cluster count, gateway count and the
+    #: seeded route strategy of every generated workload.  The defaults
+    #: are the canonical 2-cluster shape, so pre-topology campaigns are
+    #: byte-identical.  A non-default ``route_strategy`` seeds per-seed
+    #: route overrides and fits the TDMA slots to them, and the
+    #: dominance contract is then asserted per hop of every overridden
+    #: route (the analysis bounds each gateway's queues individually).
+    clusters: int = 2
+    gateways: int = 1
+    route_strategy: str = "default"
 
     def __post_init__(self) -> None:
         spec = FaultSpec.coerce(self.faults)
@@ -122,6 +132,9 @@ class CampaignSpec:
             ],
             graph_size_range=(3, max(4, self.processes_per_node)),
             seed=seed,
+            clusters=self.clusters,
+            gateways=self.gateways,
+            route_strategy=self.route_strategy,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -140,6 +153,9 @@ class CampaignSpec:
             "fixture_dir": self.fixture_dir,
             "engine": self.engine,
             "faults": self.faults,
+            "clusters": self.clusters,
+            "gateways": self.gateways,
+            "route_strategy": self.route_strategy,
         }
 
     @classmethod
@@ -311,6 +327,28 @@ def conformance_configuration(
     return SystemConfiguration(bus=bus, priorities=hopa_priorities(system))
 
 
+def _campaign_configuration(
+    spec: CampaignSpec, system: System, seed: int
+) -> Optional[SystemConfiguration]:
+    """The seed's configuration, or ``None`` for the canonical default.
+
+    Only a non-default ``route_strategy`` needs an explicit
+    configuration: seeded route overrides plus TDMA slots grown to
+    carry the relayed payloads (:func:`repro.optim.routing.
+    fit_bus_to_routes`).  Returning ``None`` otherwise keeps the
+    default-path campaign on the exact pre-topology code path.
+    """
+    if spec.route_strategy == "default":
+        return None
+    from ..optim.routing import fit_bus_to_routes
+    from ..synth.workload import seeded_routes
+
+    config = conformance_configuration(system, spec.rounds_per_period)
+    config.routes.update(seeded_routes(system, spec.workload_spec(seed)))
+    config.bus = fit_bus_to_routes(system, config.bus, config.routes)
+    return config
+
+
 def evaluate_workload(
     system: System,
     periods: int = 3,
@@ -399,6 +437,7 @@ def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
     started = time.perf_counter()
     try:
         system = generate_workload(spec.workload_spec(seed))
+        config = _campaign_configuration(spec, system, seed)
     except ReproError as exc:
         return SeedOutcome(seed=seed, status="error", error=str(exc))
     generate_s = time.perf_counter() - started
@@ -412,6 +451,7 @@ def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
         system,
         periods=spec.periods,
         rounds_per_period=spec.rounds_per_period,
+        config=config,
         engine=spec.engine,
         faults=spec.faults,
     )
@@ -421,7 +461,9 @@ def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
     outcome.error = error
     outcome.profile = profile
     if status == "violation" and spec.fixture_dir is not None:
-        outcome.fixture = _pin_counterexample(spec, seed, system, violations)
+        outcome.fixture = _pin_counterexample(
+            spec, seed, system, violations, config
+        )
     return outcome
 
 
@@ -446,12 +488,20 @@ def _pin_counterexample(
     seed: int,
     system: System,
     violations: List[ConformanceViolation],
+    config: Optional[SystemConfiguration] = None,
 ) -> str:
     """Shrink a violating workload and persist it as a fixture."""
     from .fixtures import save_fixture
     from .shrink import shrink_counterexample
 
-    if spec.shrink:
+    # A route-strategy campaign observed the violation under seeded
+    # route overrides; the shrinker rebuilds a default configuration at
+    # every reduction step, which would validate the candidate against
+    # the wrong routes.  Pin such counterexamples unshrunk — the fixture
+    # carries the exact config (routes and fitted bus), so replay is
+    # still bit-exact.
+    shrunk = spec.shrink and config is None
+    if shrunk:
         # Shrink under the same engine the violation was observed on:
         # an engine-divergence counterexample (--engine legacy A/B runs)
         # must not be re-validated on the other engine.  The same goes
@@ -470,7 +520,7 @@ def _pin_counterexample(
         "seed": seed,
         "periods": spec.periods,
         "rounds_per_period": spec.rounds_per_period,
-        "shrunk": spec.shrink,
+        "shrunk": shrunk,
     }
     fault_spec = spec.fault_spec()
     if fault_spec is not None:
@@ -481,7 +531,8 @@ def _pin_counterexample(
     save_fixture(
         path,
         system,
-        conformance_configuration(system, spec.rounds_per_period),
+        config if config is not None
+        else conformance_configuration(system, spec.rounds_per_period),
         violations,
         meta=meta,
     )

@@ -101,16 +101,18 @@ class ConformanceViolation:
 def _delivery_bound(timing: Dict[str, Dict[str, Any]], name: str) -> Optional[float]:
     """Analytic worst-case delivery latency of message ``name``.
 
-    An ET->TT message is delivered by its TTP leg, a CAN-borne one by its
-    CAN leg, a TT->TT one at its statically fixed arrival — checked in
-    that precedence (an ET->TT message has both a ``can`` and a ``ttp``
-    row; the consumer sees the later TTP leg).
+    A message with several timing rows (ET->TT has a source ``can`` and
+    a ``ttp`` row; a multi-hop transit message additionally ends on a
+    delivering ``can`` leg) is bounded by its *last* leg.  ``worst_end``
+    accumulates along the route, so the delivering leg is simply the
+    row with the largest ``worst_end`` — no per-shape precedence list.
     """
-    for kind in ("ttp", "can", "tt"):
-        row = timing.get(f"{kind}:{name}")
-        if row is not None:
-            return row["worst_end"]
-    return None
+    ends = [
+        timing[f"{kind}:{name}"]["worst_end"]
+        for kind in ("ttp", "can", "tt")
+        if f"{kind}:{name}" in timing
+    ]
+    return max(ends) if ends else None
 
 
 def classify_run(run) -> List[ConformanceViolation]:
@@ -176,13 +178,28 @@ def classify_run(run) -> List[ConformanceViolation]:
 
     if run.buffers is not None:
         peaks = meta.get("observed_queue_peak", {})
+        # Gateway queue bounds are *sums* over the per-gateway queues on
+        # multi-gateway topologies (BufferReport aggregates); compare
+        # against the matching sum of observed peaks — per-queue
+        # dominance implies the aggregate, so a sum violation is always
+        # a real one.  Single-gateway peaks use the bare queue name and
+        # aggregate to themselves.
+        def _gateway_peak(queue: str) -> float:
+            return sum(
+                peak for name, peak in peaks.items()
+                if name == queue or name.startswith(queue + "@")
+            )
+
         bounds = {"Out_CAN": run.buffers.out_can, "Out_TTP": run.buffers.out_ttp}
         bounds.update(
             (f"Out_{node}", bound)
             for node, bound in run.buffers.out_node.items()
         )
         for queue, bound in bounds.items():
-            observed = peaks.get(queue, 0.0)
+            if queue in ("Out_CAN", "Out_TTP"):
+                observed = _gateway_peak(queue)
+            else:
+                observed = peaks.get(queue, 0.0)
             if observed > bound + TOLERANCE:
                 violations.append(
                     ConformanceViolation(

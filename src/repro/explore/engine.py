@@ -113,6 +113,7 @@ def _metrics_from_evaluation(ev, evaluations: int) -> Dict[str, Any]:
 def _canonical_config(state, cell: Cell):
     """The canonical HOPA configuration with the cell's bus knobs."""
     from ..conformance.campaign import conformance_configuration
+    from ..synth.workload import seeded_routes
 
     config = conformance_configuration(
         state["system"], rounds_per_period=_option(cell, "rounds_per_period")
@@ -123,6 +124,14 @@ def _canonical_config(state, cell: Cell):
             Slot(s.node, s.capacity, s.duration * scale)
             for s in config.bus.slots
         ])
+    spec = cell.workload_spec()
+    if spec.route_strategy != "default":
+        from ..optim.routing import fit_bus_to_routes
+
+        config.routes.update(seeded_routes(state["system"], spec))
+        config.bus = fit_bus_to_routes(
+            state["system"], config.bus, config.routes
+        )
     return config
 
 
@@ -222,12 +231,33 @@ def _eval_conform(state, cell: Cell) -> Dict[str, Any]:
     # Conformance as one sweep kind: the dominance probe of
     # repro.conformance, per workload cell.  (Imported lazily — the
     # campaign module itself rides this package's runner.)
-    from ..conformance.campaign import evaluate_workload
+    from ..conformance.campaign import (
+        conformance_configuration,
+        evaluate_workload,
+    )
+    from ..synth.workload import seeded_routes
 
+    spec = cell.workload_spec()
+    config = None
+    if spec.route_strategy != "default":
+        # Non-default routing enters through an explicit configuration;
+        # the default path keeps passing config=None (evaluate_workload
+        # builds the identical canonical configuration itself).
+        from ..optim.routing import fit_bus_to_routes
+
+        config = conformance_configuration(
+            state["system"],
+            rounds_per_period=_option(cell, "rounds_per_period"),
+        )
+        config.routes.update(seeded_routes(state["system"], spec))
+        config.bus = fit_bus_to_routes(
+            state["system"], config.bus, config.routes
+        )
     status, violations, error, _profile = evaluate_workload(
         state["system"],
         periods=_option(cell, "periods"),
         rounds_per_period=_option(cell, "rounds_per_period"),
+        config=config,
         faults=_option(cell, "faults"),
     )
     if status == "error":

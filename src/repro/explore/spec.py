@@ -104,6 +104,15 @@ class Cell:
         full_workload = dataclasses.asdict(self.workload_spec())
         # Tuples (e.g. message_size_range) canonicalize as lists.
         full_workload = json.loads(json.dumps(full_workload))
+        # Topology parameters enter the key only off their canonical
+        # defaults: a canonical 2-cluster cell has the exact key it had
+        # before the topology generalization, so every stored sweep
+        # result stays valid without a format bump.
+        for name, default in (
+            ("clusters", 2), ("gateways", 1), ("route_strategy", "default"),
+        ):
+            if full_workload.get(name) == default:
+                del full_workload[name]
         options = {}
         for name, (default, methods) in KNOWN_OPTIONS.items():
             if self.method in methods:

@@ -89,6 +89,10 @@ class FaultSpec:
     #: Arbitration priority of babble frames (lower wins; -1 beats every
     #: legitimately assigned priority — the true babbling idiot).
     babble_priority: int = -1
+    #: ET cluster whose CAN bus the idiot babbles on (None = the first
+    #: ET cluster in sorted order, which on the canonical two-cluster
+    #: topology is *the* CAN bus — the pre-topology behaviour).
+    babble_bus: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.can_error_interval is not None:
@@ -123,6 +127,10 @@ class FaultSpec:
             raise ConfigurationError("babble_period must be positive")
         if self.babble_size < 1:
             raise ConfigurationError("babble_size must be >= 1 byte")
+        if self.babble_bus is not None and self.babble_period is None:
+            raise ConfigurationError(
+                "babble_bus without babble_period (no babble process)"
+            )
 
     # -- classification ------------------------------------------------------
 
@@ -167,6 +175,7 @@ class FaultSpec:
             self, exec_jitter=0.0, babble_period=None,
             babble_size=FaultSpec.babble_size,
             babble_priority=FaultSpec.babble_priority,
+            babble_bus=None,
         )
 
     # -- derating (the modeled analysis-side view) ---------------------------
@@ -213,8 +222,9 @@ class FaultSpec:
         if not self.node_slow:
             return
         et_nodes = set(system.arch.et_node_names())
+        gateways = set(system.arch.gateways())
         for node in self.node_slow:
-            if node not in et_nodes or node == system.arch.gateway:
+            if node not in et_nodes or node in gateways:
                 raise ConfigurationError(
                     f"node_slow names {node!r}, which is not a "
                     "non-gateway ET node (only event-triggered "
@@ -250,6 +260,8 @@ class FaultSpec:
                 out["babble_size"] = self.babble_size
             if self.babble_priority != -1:
                 out["babble_priority"] = self.babble_priority
+            if self.babble_bus is not None:
+                out["babble_bus"] = self.babble_bus
         return out
 
     def canonical(self) -> str:

@@ -15,6 +15,7 @@ from ..buses.can import CanBusSpec
 from ..buses.ttp import Slot, TTPBusConfig, TTPBusSpec
 from ..model.application import Application, Dependency, Message, Process, ProcessGraph
 from ..model.architecture import Architecture
+from ..model.topology import Cluster, Gateway, Topology
 from ..model.configuration import (
     OffsetTable,
     PriorityAssignment,
@@ -38,6 +39,44 @@ def system_to_dict(system: System) -> Dict[str, Any]:
     """Serialize a :class:`System` to a JSON-compatible dictionary."""
     app = system.app
     arch = system.arch
+    if arch.topology.is_canonical:
+        # The canonical two-cluster form keeps the original flat keys so
+        # every pre-topology artefact (and its hash) is byte-identical.
+        arch_data: Dict[str, Any] = {
+            "tt_nodes": arch.tt_node_names(),
+            "et_nodes": arch.et_node_names(),
+            "gateway": arch.gateway,
+            "gateway_transfer_wcet": arch.gateway_transfer_wcet,
+            "gateway_transfer_period": arch.gateway_transfer_period,
+        }
+    else:
+        topo = arch.topology
+        arch_data = {
+            "topology": {
+                "clusters": [
+                    {
+                        "name": c.name,
+                        "kind": c.kind,
+                        "nodes": list(c.nodes),
+                    }
+                    for c in (
+                        topo.clusters[n] for n in sorted(topo.clusters)
+                    )
+                ],
+                "gateways": [
+                    {
+                        "node": g.node,
+                        "clusters": list(g.clusters),
+                        "transfer_wcet": g.transfer_wcet,
+                    }
+                    for g in (
+                        topo.gateways[n] for n in sorted(topo.gateways)
+                    )
+                ],
+            },
+            "gateway_transfer_wcet": arch.gateway_transfer_wcet,
+            "gateway_transfer_period": arch.gateway_transfer_period,
+        }
     return {
         "format": "repro-system-v1",
         "application": {
@@ -71,13 +110,7 @@ def system_to_dict(system: System) -> Dict[str, Any]:
                 for g in app.graphs.values()
             ]
         },
-        "architecture": {
-            "tt_nodes": arch.tt_node_names(),
-            "et_nodes": arch.et_node_names(),
-            "gateway": arch.gateway,
-            "gateway_transfer_wcet": arch.gateway_transfer_wcet,
-            "gateway_transfer_period": arch.gateway_transfer_period,
-        },
+        "architecture": arch_data,
         "can_spec": {
             "bit_time": system.can_spec.bit_time,
             "fixed_frame_time": system.can_spec.fixed_frame_time,
@@ -124,13 +157,39 @@ def system_from_dict(data: Dict[str, Any]) -> System:
             )
         )
     arch_data = data["architecture"]
-    arch = Architecture(
-        tt_nodes=arch_data["tt_nodes"],
-        et_nodes=arch_data["et_nodes"],
-        gateway=arch_data["gateway"],
-        gateway_transfer_wcet=arch_data.get("gateway_transfer_wcet", 0.0),
-        gateway_transfer_period=arch_data.get("gateway_transfer_period"),
-    )
+    if "topology" in arch_data:
+        topo_data = arch_data["topology"]
+        topology = Topology(
+            clusters=[
+                Cluster(
+                    name=c["name"],
+                    kind=c["kind"],
+                    nodes=tuple(c.get("nodes", ())),
+                )
+                for c in topo_data["clusters"]
+            ],
+            gateways=[
+                Gateway(
+                    node=g["node"],
+                    clusters=tuple(g["clusters"]),
+                    transfer_wcet=g.get("transfer_wcet"),
+                )
+                for g in topo_data["gateways"]
+            ],
+        )
+        arch = Architecture.from_topology(
+            topology,
+            gateway_transfer_wcet=arch_data.get("gateway_transfer_wcet", 0.0),
+            gateway_transfer_period=arch_data.get("gateway_transfer_period"),
+        )
+    else:
+        arch = Architecture(
+            tt_nodes=arch_data["tt_nodes"],
+            et_nodes=arch_data["et_nodes"],
+            gateway=arch_data["gateway"],
+            gateway_transfer_wcet=arch_data.get("gateway_transfer_wcet", 0.0),
+            gateway_transfer_period=arch_data.get("gateway_transfer_period"),
+        )
     can = data.get("can_spec", {})
     ttp = data.get("ttp_spec", {})
     return System(
@@ -165,6 +224,13 @@ def config_to_dict(config: SystemConfiguration) -> Dict[str, Any]:
             "processes": dict(config.offsets.process_offsets),
             "messages": dict(config.offsets.message_offsets),
         }
+    # Route overrides are a first-class configuration dimension; the
+    # key is emitted only when non-empty so default-routed artefacts
+    # keep their pre-topology byte form.
+    if getattr(config, "routes", None):
+        out["routes"] = {
+            name: list(route) for name, route in sorted(config.routes.items())
+        }
     return out
 
 
@@ -191,6 +257,10 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfiguration:
         priorities=priorities,
         offsets=offsets,
         tt_delays=data.get("tt_delays", {}),
+        routes={
+            name: tuple(route)
+            for name, route in data.get("routes", {}).items()
+        },
     )
 
 

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..exceptions import MappingError, ModelError
 from .application import Application, Message
+from .topology import Cluster, Gateway, Topology
 
 __all__ = [
     "ClusterKind",
@@ -76,6 +77,9 @@ class Node:
     name: str
     cluster: ClusterKind
     is_gateway: bool = False
+    #: Owning cluster in the :class:`Topology` graph (``None`` for
+    #: gateways, which belong to two clusters at once).
+    cluster_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -116,18 +120,29 @@ class Architecture:
         gateway: str = "NG",
         gateway_transfer_wcet: float = 0.0,
         gateway_transfer_period: Optional[float] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
+        if topology is None:
+            topology = Topology.canonical(tt_nodes, et_nodes, gateway)
+        self.topology = topology
         self.nodes: Dict[str, Node] = {}
-        for name in tt_nodes:
-            self._add(Node(name, ClusterKind.TIME_TRIGGERED))
-        for name in et_nodes:
-            self._add(Node(name, ClusterKind.EVENT_TRIGGERED))
-        if gateway in self.nodes:
-            raise ModelError(f"gateway {gateway} duplicates a cluster node")
-        # The gateway CPU runs the priority-based kernel: the transfer
+        tt_cluster_names = topology.tt_clusters()
+        for cname in tt_cluster_names:
+            for name in topology.clusters[cname].nodes:
+                self._add(
+                    Node(name, ClusterKind.TIME_TRIGGERED, cluster_name=cname)
+                )
+        for cname in topology.et_clusters():
+            for name in topology.clusters[cname].nodes:
+                self._add(
+                    Node(name, ClusterKind.EVENT_TRIGGERED, cluster_name=cname)
+                )
+        # Gateway CPUs run the priority-based kernel: the transfer
         # process T is an event-triggered activity (section 2.3).
-        self._add(Node(gateway, ClusterKind.EVENT_TRIGGERED, is_gateway=True))
-        self.gateway = gateway
+        for name in topology.gateway_names():
+            self._add(
+                Node(name, ClusterKind.EVENT_TRIGGERED, is_gateway=True)
+            )
         if gateway_transfer_wcet < 0:
             raise ModelError("gateway transfer WCET must be non-negative")
         self.gateway_transfer_wcet = gateway_transfer_wcet
@@ -136,6 +151,73 @@ class Architecture:
             raise ModelError("architecture needs at least one TTC node")
         if not self.et_node_names():
             raise ModelError("architecture needs at least one ETC node")
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        gateway_transfer_wcet: float = 0.0,
+        gateway_transfer_period: Optional[float] = None,
+    ) -> "Architecture":
+        """Build an architecture over an arbitrary cluster graph.
+
+        The engines currently support exactly one TT cluster (one
+        static schedule / MEDL); :meth:`Topology.check_engine_supported`
+        enforces that here rather than deep inside a fixed point.
+        """
+        topology.check_engine_supported()
+        return cls(
+            tt_nodes=(),
+            et_nodes=(),
+            gateway_transfer_wcet=gateway_transfer_wcet,
+            gateway_transfer_period=gateway_transfer_period,
+            topology=topology,
+        )
+
+    @property
+    def gateway(self) -> str:
+        """The single gateway's name (single-gateway topologies only).
+
+        Multi-gateway code must iterate :meth:`gateways` instead; this
+        accessor keeps every existing two-cluster call site working and
+        turns a latent single-gateway assumption into a loud error.
+        """
+        names = self.topology.gateway_names()
+        if len(names) != 1:
+            raise ModelError(
+                f"architecture has {len(names)} gateways {names}; use "
+                "Architecture.gateways() / Topology accessors instead of "
+                "the single-gateway 'gateway' attribute"
+            )
+        return names[0]
+
+    def gateways(self) -> List[str]:
+        """All gateway node names, sorted."""
+        return self.topology.gateway_names()
+
+    def transfer_wcet_of(self, gateway: str) -> float:
+        """``C_T`` of one gateway's transfer process.
+
+        Per-gateway overrides from the topology win; otherwise the
+        architecture-wide default applies (the canonical topology never
+        overrides, so single-gateway timing is unchanged).
+        """
+        gw = self.topology.gateways.get(gateway)
+        if gw is None:
+            raise MappingError(f"unknown gateway {gateway}")
+        if gw.transfer_wcet is not None:
+            return gw.transfer_wcet
+        return self.gateway_transfer_wcet
+
+    def cluster_of_node(self, node_name: str) -> str:
+        """Owning cluster of an application node (see Topology)."""
+        node = self._node(node_name)
+        if node.is_gateway:
+            raise ModelError(
+                f"{node_name} is a gateway; it belongs to clusters "
+                f"{self.topology.gateways[node_name].clusters}"
+            )
+        return self.topology.cluster_of_node(node_name)
 
     def _add(self, node: Node) -> None:
         if node.name in self.nodes:
@@ -161,11 +243,17 @@ class Architecture:
         )
 
     def ttp_slot_owners(self) -> List[str]:
-        """Every node with a TTP controller: the TTC nodes plus the gateway.
+        """Every node with a TTP controller: the TTC nodes plus each
+        gateway attached to the TT cluster.
 
         Each of these owns exactly one TDMA slot per round (section 2.2).
         """
-        return self.tt_node_names() + [self.gateway]
+        topo = self.topology
+        tt_clusters = topo.tt_clusters()
+        if not tt_clusters:
+            return []
+        gateways = topo.gateways_on(tt_clusters[0])
+        return self.tt_node_names() + gateways
 
     def is_tt_node(self, node_name: str) -> bool:
         """True if processes on ``node_name`` are statically scheduled."""
@@ -238,7 +326,9 @@ class Architecture:
         return result
 
     def __repr__(self) -> str:
+        gateways = self.gateways()
+        label = repr(gateways[0]) if len(gateways) == 1 else repr(gateways)
         return (
             f"Architecture(TTC={self.tt_node_names()}, "
-            f"ETC={self.et_node_names()}, gateway={self.gateway!r})"
+            f"ETC={self.et_node_names()}, gateway={label})"
         )

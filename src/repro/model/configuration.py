@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..buses.ttp import TTPBusConfig
 from ..exceptions import ConfigurationError
@@ -205,6 +205,13 @@ class SystemConfiguration:
     priorities: PriorityAssignment
     offsets: Optional[OffsetTable] = None
     tt_delays: Dict[str, float] = field(default_factory=dict)
+    #: Per-message gateway routes (the fourth synthesis dimension):
+    #: message name -> tuple of gateway names crossed, in order.  An
+    #: absent entry means "the topology's default (shortest) route";
+    #: an **empty** routes dict is therefore the canonical state and is
+    #: omitted from config hashes so every pre-routing hash, store key
+    #: and serve address is byte-identical.
+    routes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
     def copy(self) -> "SystemConfiguration":
         """Deep copy, for neighborhood generation in the optimizers."""
@@ -213,4 +220,11 @@ class SystemConfiguration:
             priorities=self.priorities.copy(),
             offsets=self.offsets.copy() if self.offsets is not None else None,
             tt_delays=dict(self.tt_delays),
+            routes={name: tuple(hops) for name, hops in self.routes.items()},
         )
+
+    def route_overrides(self) -> Dict[str, Tuple[str, ...]]:
+        """The non-default route decisions, in canonical (sorted) form."""
+        return {
+            name: tuple(hops) for name, hops in sorted(self.routes.items())
+        }

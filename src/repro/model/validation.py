@@ -61,6 +61,60 @@ def validate_configuration(
         )
     config.priorities.validate(app, arch)
     _check_slot_capacities(app, arch, config)
+    _check_route_slot_capacities(app, arch, config)
+
+
+def _check_route_slot_capacities(
+    app: Application, arch: Architecture, config: SystemConfiguration
+) -> None:
+    """Route overrides may relay through a different gateway than the
+    default route — that gateway's slot must fit the message too (the
+    FIFO drain bound assumes every queued frame fits an empty slot)."""
+    if not config.routes:
+        return
+    topo = arch.topology
+    known = {m.name for m in app.all_messages()}
+    for msg_name, hops in sorted(config.routes.items()):
+        if msg_name not in known:
+            continue  # resolve_routes reports unknown messages properly.
+        msg = app.message(msg_name)
+        current = topo.cluster_of_node(app.process(msg.src).node)
+        for hop in hops:
+            gateway = topo.gateways.get(hop)
+            if gateway is None or not gateway.touches(current):
+                break  # resolve_routes reports invalid paths properly.
+            current = gateway.other(current)
+            if topo.clusters[current].kind != "TT":
+                continue
+            slot = config.bus.slot_of(hop)
+            if slot.capacity < msg.size:
+                raise ConfigurationError(
+                    f"route of {msg_name} relays through {hop}, whose "
+                    f"TTP slot ({slot.capacity} B) cannot carry the "
+                    f"{msg.size}-byte message"
+                )
+
+
+def _relaying_gateways(arch: Architecture, src_node: str, dst_node: str):
+    """Gateways whose TTP slot relays a message on its *default* route.
+
+    A gateway relays when its crossing enters a TT cluster (the frame is
+    forwarded in that gateway's TDMA slot).  Canonical topologies reduce
+    to the single gateway for ET->TT and to nothing otherwise; general
+    routes can also transit the TT cluster on an ET->ET path.
+    """
+    topo = arch.topology
+    src_cluster = topo.cluster_of_node(src_node)
+    dst_cluster = topo.cluster_of_node(dst_node)
+    if src_cluster == dst_cluster:
+        return []
+    relays = []
+    current = src_cluster
+    for hop in topo.default_route(src_cluster, dst_cluster):
+        current = topo.gateways[hop].other(current)
+        if topo.clusters[current].kind == "TT":
+            relays.append(hop)
+    return relays
 
 
 def _largest_payload_per_sender(app: Application, arch: Architecture):
@@ -71,13 +125,20 @@ def _largest_payload_per_sender(app: Application, arch: Architecture):
         if route in (MessageRoute.TT_TO_TT, MessageRoute.TT_TO_ET):
             # Sent over the TTP bus in the sender node's slot (for TT->ET
             # the first leg ends at the gateway MBI).
-            sender_node = app.process(msg.src).node
-        elif route is MessageRoute.ET_TO_TT:
-            # Relayed over the TTP bus by the gateway.
-            sender_node = arch.gateway
-        else:
+            senders = [app.process(msg.src).node]
+        elif route is MessageRoute.LOCAL:
             continue
-        largest[sender_node] = max(largest.get(sender_node, 0), msg.size)
+        else:
+            # ET-sourced: relayed over the TTP bus by every gateway whose
+            # crossing enters the TT cluster (the canonical ET->TT case is
+            # exactly the single gateway; ET->ET transit also qualifies).
+            senders = _relaying_gateways(
+                arch, app.process(msg.src).node, app.process(msg.dst).node
+            )
+        for sender_node in senders:
+            largest[sender_node] = max(
+                largest.get(sender_node, 0), msg.size
+            )
     return largest
 
 

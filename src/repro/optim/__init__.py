@@ -15,6 +15,13 @@ from .moves import (
 )
 from .optimize_resources import ORResult, optimize_resources
 from .optimize_schedule import OSResult, SeedPool, optimize_schedule
+from .routing import (
+    RerouteMessage,
+    fit_bus_to_routes,
+    greedy_routes,
+    route_candidates,
+    route_moves,
+)
 from .slots import (
     build_bus,
     default_capacities,
@@ -29,6 +36,7 @@ __all__ = [
     "Move",
     "ORResult",
     "OSResult",
+    "RerouteMessage",
     "ResizeSlot",
     "SAResult",
     "SeedPool",
@@ -39,7 +47,9 @@ __all__ = [
     "default_capacities",
     "evaluate",
     "evaluation_from_run",
+    "fit_bus_to_routes",
     "generate_neighbors",
+    "greedy_routes",
     "hopa_priorities",
     "local_deadlines",
     "messages_sent_over_ttp",
@@ -47,6 +57,8 @@ __all__ = [
     "optimize_schedule",
     "random_move",
     "recommended_capacities",
+    "route_candidates",
+    "route_moves",
     "run_straightforward",
     "sa_resources",
     "sa_schedule",

@@ -301,6 +301,8 @@ def generate_neighbors(
     with a reproducible random sample (the paper bounds the neighborhood
     the same way to keep iterations cheap).
     """
+    from .routing import route_moves
+
     targeted = _targeted_spread_moves(system, config, evaluation)
     if len(targeted) > limit:
         rng = rng or random.Random(0)
@@ -309,6 +311,7 @@ def generate_neighbors(
         _slot_moves(system, config)
         + _priority_moves(system, config)
         + _delay_moves(system, config, evaluation)
+        + route_moves(system, config)
     )
     budget = max(0, limit - len(targeted))
     if len(generic) > budget:
@@ -323,10 +326,19 @@ def random_move(
     rng: random.Random,
     evaluation: Optional[Evaluation] = None,
 ) -> Move:
-    """One uniformly random move (the annealers' neighbor function)."""
+    """One uniformly random move (the annealers' neighbor function).
+
+    Routing moves join the pool only on topologies with actual routing
+    freedom (:func:`repro.optim.routing.route_moves` is empty
+    otherwise), so canonical annealing runs draw the same sequence as
+    before the generalization.
+    """
+    from .routing import route_moves
+
     moves = (
         _slot_moves(system, config)
         + _priority_moves(system, config)
         + _delay_moves(system, config, evaluation)
+        + route_moves(system, config)
     )
     return rng.choice(moves)

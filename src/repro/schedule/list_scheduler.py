@@ -78,17 +78,50 @@ class _NodeTimeline:
         self._busy.sort()
 
 
+def _downstream_min_transit(
+    system: System, bus: TTPBusConfig, msg_name: str, legs
+) -> float:
+    """Earliest extra transit of every leg after the first.
+
+    Per additional leg the message pays the entry gateway's transfer
+    (the simulator charges exactly ``C_T``) plus the leg's minimal wire
+    time: a full CAN frame, or — for a FIFO leg — the carrying TDMA
+    slot's duration (delivery is at the slot's *end*; zero queue wait
+    is the earliest case).  Used as a sound earliest-arrival offset for
+    downstream consumers; the per-leg jitter chain of the analysis
+    covers everything later than this.
+    """
+    extra = 0.0
+    for leg in legs[1:]:
+        extra += system.arch.transfer_wcet_of(leg.via)
+        if leg.is_fifo:
+            extra += bus.slot_of(leg.sender).duration
+        else:
+            extra += system.can_frame_time(msg_name)
+    return extra
+
+
 def static_schedule(
     system: System,
     bus: TTPBusConfig,
     rho: Optional[ResponseTimes] = None,
     tt_delays: Optional[Mapping[str, float]] = None,
     arrival_floors: Optional[Mapping[str, float]] = None,
+    routing=None,
 ) -> StaticSchedule:
-    """Build schedule tables, the MEDL and the full offset table ``φ``."""
+    """Build schedule tables, the MEDL and the full offset table ``φ``.
+
+    ``routing`` (a :class:`repro.semantics.routing.RoutingPlan`) supplies
+    the leg list of every inter-cluster message on general topologies;
+    canonical two-cluster systems ignore it (their single-hop
+    conventions are hard-wired below, byte-identical to the paper
+    calibration).
+    """
     app = system.app
     arch = system.arch
     delays = dict(tt_delays or {})
+    if routing is None and system.multi_topology:
+        routing = system.default_routing()
 
     urgency: Dict[str, float] = {}
     for graph in app.graphs.values():
@@ -228,12 +261,21 @@ def static_schedule(
                     continue
                 route = system.route(msg_name)
                 if route is MessageRoute.TT_TO_ET:
-                    earliest = max(earliest, message_arrival[msg_name])
+                    arrival = message_arrival[msg_name]
                 else:  # ET_TO_ET: earliest send + earliest wire time.
                     sent = process_offsets.get(pred, 0.0) + app.process(pred).wcet
-                    earliest = max(
-                        earliest, sent + system.can_frame_time(msg_name)
-                    )
+                    arrival = sent + system.can_frame_time(msg_name)
+                if routing is not None:
+                    # Multi-hop routes: the canonical anchor above covers
+                    # the first leg only; add the minimal transit of every
+                    # further leg (still a lower bound on the true
+                    # arrival — the analysis jitter covers the rest).
+                    legs = routing.legs_of(msg_name)
+                    if legs is not None and len(legs) > 1:
+                        arrival += _downstream_min_transit(
+                            system, bus, msg_name, legs
+                        )
+                earliest = max(earliest, arrival)
             process_offsets[proc_name] = earliest
     for msg in app.all_messages():
         route = system.route(msg.name)

@@ -19,8 +19,20 @@ from .contract import (
     gateway_transfer_delay,
     ratchet_arrival_floors,
 )
+from .routing import (
+    Leg,
+    RoutingPlan,
+    out_can_queue,
+    out_ttp_queue,
+    resolve_routes,
+)
 
 __all__ = [
+    "Leg",
+    "RoutingPlan",
+    "out_can_queue",
+    "out_ttp_queue",
+    "resolve_routes",
     "DISPATCH_TOLERANCE",
     "dispatch_respects_arrival",
     "et_to_tt_constraint",

@@ -66,28 +66,53 @@ __all__ = [
 DISPATCH_TOLERANCE = 1e-9
 
 
-def gateway_transfer_delay(system: System) -> float:
+def gateway_transfer_delay(
+    system: System, gateway: Optional[str] = None
+) -> float:
     """Worst-case cost of one gateway hop (the transfer process ``C_T``).
 
-    Paid once per direction: MBI -> ``Out_CAN`` for TT->ET frames and CAN
-    controller -> ``Out_TTP`` for ET->TT frames.  The simulator delays the
-    frame by exactly this much; the analysis adds it to the message's
-    queueing jitter.
+    Paid once per crossing of ``gateway`` — a frame is copied from the
+    inbound controller (MBI or CAN) into the outbound queue (``Out_CAN``
+    or ``Out_TTP``) of *that* gateway.  The simulator delays the frame
+    by exactly this much; the analysis adds it to the message's queueing
+    jitter.  ``gateway=None`` (every pre-generalization call site) means
+    the architecture-wide default ``C_T``; per-gateway overrides come
+    from the :class:`repro.model.topology.Gateway` record.
     """
-    return system.arch.gateway_transfer_wcet
+    if gateway is None:
+        return system.arch.gateway_transfer_wcet
+    return system.arch.transfer_wcet_of(gateway)
 
 
-def fifo_competitors(system: System, msg: str) -> List[str]:
-    """Every other ET->TT message that can occupy ``Out_TTP`` ahead of
-    ``msg``.
+def fifo_competitors(
+    system: System, msg: str, plan=None, gateway: Optional[str] = None
+) -> List[str]:
+    """Every other message that can occupy a gateway ``Out_TTP`` FIFO
+    ahead of ``msg``.
 
     The FIFO is ordered by arrival, **not** by CAN priority, so the
-    competitor set is priority-blind: all other ET->TT messages compete
-    for the gateway slot's bytes.  This is the interference set every
-    byte-ahead bound of the FIFO (queue delay and buffer occupancy alike)
-    must charge.
+    competitor set is priority-blind: every other message routed through
+    the *same gateway's* FIFO competes for that gateway slot's bytes.
+    This is the interference set every byte-ahead bound of the FIFO
+    (queue delay and buffer occupancy alike) must charge.
+
+    Without a routing ``plan`` (every pre-generalization call site) the
+    competitors are all other ET->TT messages — exactly the single
+    FIFO of the canonical topology.  With a plan, the set is the other
+    users of ``gateway``'s FIFO (``gateway=None`` resolves to the FIFO
+    leg of ``msg`` itself), which includes ET->ET messages transiting
+    the TT cluster.
     """
-    return [other for other in system.et_to_tt_messages() if other != msg]
+    if plan is None:
+        return [other for other in system.et_to_tt_messages() if other != msg]
+    if gateway is None:
+        leg = plan.fifo_leg(msg)
+        if leg is None:
+            return []
+        gateway = leg.sender
+    return [
+        other for other in plan.fifo_users.get(gateway, []) if other != msg
+    ]
 
 
 def fifo_drain_rounds(

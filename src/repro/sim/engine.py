@@ -190,19 +190,26 @@ class _EtCpu:
 
 
 class _CanBus:
-    """The CAN bus: global priority arbitration, non-preemptive frames."""
+    """One CAN bus: global priority arbitration, non-preemptive frames.
+
+    General topologies instantiate one per ET cluster; the canonical
+    system's single instance behaves exactly as before.
+    """
 
     def __init__(self, sim: "LegacySimulator") -> None:
         self.sim = sim
-        self.pending: List[Tuple[int, int, str, int, str]] = []
+        self.pending: List[Tuple[int, int, str, int, str, int]] = []
         self.busy = False
         self._seq = 0
 
-    def enqueue(self, msg_name: str, instance: int, queue_name: str) -> None:
+    def enqueue(
+        self, msg_name: str, instance: int, queue_name: str, leg_pos: int = 0
+    ) -> None:
         self._seq += 1
         priority = self.sim.config.priorities.message_priority(msg_name)
         heapq.heappush(
-            self.pending, (priority, self._seq, msg_name, instance, queue_name)
+            self.pending,
+            (priority, self._seq, msg_name, instance, queue_name, leg_pos),
         )
         self.sim.adjust_queue(queue_name, +self.sim.msg_size[msg_name])
         # Defer arbitration to the bus phase of this timestamp so that all
@@ -215,7 +222,9 @@ class _CanBus:
     def try_start(self) -> None:
         if self.busy or not self.pending:
             return
-        _prio, _seq, msg_name, instance, queue_name = heapq.heappop(self.pending)
+        _prio, _seq, msg_name, instance, queue_name, leg_pos = heapq.heappop(
+            self.pending
+        )
         self.busy = True
         events = self.sim.events
         runtime = self.sim.fault_runtime
@@ -239,13 +248,15 @@ class _CanBus:
                 )
         events.schedule(
             events.now + duration,
-            lambda: self._complete(msg_name, instance),
+            lambda: self._complete(msg_name, instance, leg_pos),
         )
 
-    def _complete(self, msg_name: Optional[str], instance: int) -> None:
+    def _complete(
+        self, msg_name: Optional[str], instance: int, leg_pos: int
+    ) -> None:
         self.busy = False
         if msg_name is not None:
-            self.sim.on_can_delivery(msg_name, instance)
+            self.sim.on_can_delivery(msg_name, instance, leg_pos)
         self.try_start()
 
 
@@ -324,8 +335,22 @@ class LegacySimulator:
             node: _EtCpu(self, node)
             for node in system.arch.et_node_names()
         }
-        self._can = _CanBus(self)
-        self._out_ttp: List[Tuple[str, int]] = []
+        # Route-aware topology state: one CAN bus per ET cluster, one
+        # Out_TTP FIFO + transfer delay per gateway.  The canonical
+        # two-cluster system reduces to exactly one of each, and every
+        # event is scheduled in the same order as the pre-routing engine
+        # (trace byte-identity is regression-tested).
+        topo = system.topology
+        self._plan = system.routing_for(
+            getattr(config, "routes", None) or None
+        )
+        self._cans: Dict[str, _CanBus] = {
+            cluster: _CanBus(self) for cluster in topo.et_clusters()
+        }
+        self._gateway_set = set(system.arch.gateways())
+        self._out_ttp: Dict[str, List[Tuple[str, int]]] = {
+            g: [] for g in system.arch.gateways()
+        }
         # AND-join bookkeeping: per (process, instance), how many inputs
         # are still missing; when each message instance became available
         # (for the shared dispatch-eligibility check on the TT side).
@@ -335,7 +360,10 @@ class LegacySimulator:
         # (producer completion, CAN delivery, FIFO entry, gateway slot):
         # the context a ScheduleViolation is annotated with.
         self._journey: Dict[Tuple[str, int], Dict[str, float]] = {}
-        self._transfer_delay = gateway_transfer_delay(system)
+        self._transfer = {
+            g: gateway_transfer_delay(system, g)
+            for g in system.arch.gateways()
+        }
         self._completed: Set[Tuple[str, int]] = set()
         self._sink_left: Dict[Tuple[str, int], int] = {}
         self._sink_latest: Dict[Tuple[str, int], float] = {}
@@ -405,10 +433,10 @@ class LegacySimulator:
         for absolute_round in range(horizon_rounds):
             for slot in bus.slots:
                 start = bus.slot_start(slot.node, absolute_round)
-                if slot.node == arch.gateway:
+                if slot.node in self._gateway_set:
                     self.events.schedule(
                         start,
-                        self._make_gateway_slot(absolute_round),
+                        self._make_gateway_slot(slot.node, absolute_round),
                         order=ORDER_BUS,
                     )
                 else:
@@ -431,15 +459,31 @@ class LegacySimulator:
                     t, self._make_babble(priority), order=ORDER_BUS
                 )
 
+    def _babble_bus(self) -> _CanBus:
+        """The CAN bus a babbling idiot jams (a named bus on general
+        topologies, the single bus otherwise)."""
+        target = getattr(self.fault_runtime.spec, "babble_bus", None)
+        if target is None:
+            target = self.system.topology.et_clusters()[0]
+        try:
+            return self._cans[target]
+        except KeyError:
+            raise SimulationError(
+                f"babble_bus {target!r} names no ET cluster "
+                f"(known: {sorted(self._cans)})"
+            ) from None
+
     def _make_babble(self, priority: int):
         def babble() -> None:
             self.fault_runtime.babble_frames += 1
-            can = self._can
+            can = self._babble_bus()
             can._seq += 1
             # Phantom pending entry: ``msg_name``/``queue_name`` are
             # None, so transmission start skips the queue bookkeeping
             # and completion delivers nothing.
-            heapq.heappush(can.pending, (priority, can._seq, None, 0, None))
+            heapq.heappush(
+                can.pending, (priority, can._seq, None, 0, None, 0)
+            )
             can.try_start()
 
         return babble
@@ -511,11 +555,13 @@ class LegacySimulator:
                     msg_name, now - instance * self.hyper
                 )
             elif route is MessageRoute.TT_TO_ET:
-                # Arrived in the gateway MBI; T copies it to Out_CAN
-                # after the shared gateway transfer delay (C_T).
+                # Arrived in the first gateway's MBI; its transfer
+                # process T copies the frame into Out_CAN after C_T.
+                leg = self._plan.legs_of(msg_name)[0]
+                bus = self._cans[leg.cluster]
                 self.events.schedule(
-                    now + self._transfer_delay,
-                    lambda: self._can.enqueue(msg_name, instance, "Out_CAN"),
+                    now + self._transfer[leg.via],
+                    lambda: bus.enqueue(msg_name, instance, leg.queue, 0),
                 )
             else:  # pragma: no cover - MEDL only carries TT-sent messages
                 raise SimulationError(
@@ -524,22 +570,23 @@ class LegacySimulator:
 
         return deliver
 
-    def _make_gateway_slot(self, absolute_round: int):
+    def _make_gateway_slot(self, gateway: str, absolute_round: int):
         def drain() -> None:
             bus = self.config.bus
-            gateway = self.system.arch.gateway
             slot = bus.slot_of(gateway)
             end = bus.slot_end(gateway, absolute_round)
             budget = slot.capacity
+            fifo = self._out_ttp[gateway]
+            queue_name = self._fifo_queue_name(gateway)
             sent: List[Tuple[str, int]] = []
-            while self._out_ttp:
-                msg_name, instance = self._out_ttp[0]
+            while fifo:
+                msg_name, instance = fifo[0]
                 if self.msg_size[msg_name] > budget:
                     break
                 budget -= self.msg_size[msg_name]
-                sent.append(self._out_ttp.pop(0))
+                sent.append(fifo.pop(0))
                 # Packed into the controller's frame: leaves the FIFO now.
-                self.adjust_queue("Out_TTP", -self.msg_size[msg_name])
+                self.adjust_queue(queue_name, -self.msg_size[msg_name])
             for msg_name, instance in sent:
                 log = self._journey.setdefault((msg_name, instance), {})
                 log.setdefault("gateway_slot_start", self.events.now)
@@ -550,13 +597,53 @@ class LegacySimulator:
 
         return drain
 
+    def _fifo_queue_name(self, gateway: str) -> str:
+        for m in self._plan.fifo_users.get(gateway, ()):
+            leg = self._plan.fifo_leg(m)
+            if leg is not None:
+                return leg.queue
+        return "Out_TTP" if len(self._out_ttp) == 1 else f"Out_TTP@{gateway}"
+
     def _make_gateway_delivery(self, msg_name: str, instance: int):
         def deliver() -> None:
             now = self.events.now
-            self._msg_arrival.setdefault((msg_name, instance), now)
-            self.trace.note_message(msg_name, now - instance * self.hyper)
+            legs = self._plan.legs_of(msg_name)
+            pos = next(
+                i for i, leg in enumerate(legs) if leg.is_fifo
+            )
+            if pos == len(legs) - 1:
+                # Delivered to the TT destination at the slot's end.
+                self._msg_arrival.setdefault((msg_name, instance), now)
+                self.trace.note_message(
+                    msg_name, now - instance * self.hyper
+                )
+            else:
+                # Transit: every TTP controller heard the frame; the next
+                # gateway's transfer process relays it onward after C_T.
+                self._advance_leg(msg_name, instance, pos + 1)
 
         return deliver
+
+    def _advance_leg(self, msg_name: str, instance: int, pos: int) -> None:
+        """Hand a message instance to leg ``pos`` of its route (paying
+        the entry gateway's transfer delay first)."""
+        leg = self._plan.legs_of(msg_name)[pos]
+        now = self.events.now
+        if leg.is_fifo:
+            gateway = leg.sender
+
+            def into_fifo() -> None:
+                self._note_journey(msg_name, instance, "fifo_entry")
+                self._out_ttp[gateway].append((msg_name, instance))
+                self.adjust_queue(leg.queue, +self.msg_size[msg_name])
+
+            self.events.schedule(now + self._transfer[leg.via], into_fifo)
+        else:
+            bus = self._cans[leg.cluster]
+            self.events.schedule(
+                now + self._transfer[leg.via],
+                lambda: bus.enqueue(msg_name, instance, leg.queue, pos),
+            )
 
     # -- ET cluster ------------------------------------------------------------
 
@@ -594,28 +681,27 @@ class LegacySimulator:
             if msg_name is None:
                 self._input_arrived(succ, job.instance)
             else:
-                node = self.system.app.process(job.name).node
                 self._note_journey(msg_name, job.instance, "producer_finish")
-                self._can.enqueue(msg_name, job.instance, f"Out_{node}")
+                leg = self._plan.legs_of(msg_name)[0]
+                self._cans[leg.cluster].enqueue(
+                    msg_name, job.instance, leg.queue, 0
+                )
 
-    def on_can_delivery(self, msg_name: str, instance: int) -> None:
+    def on_can_delivery(
+        self, msg_name: str, instance: int, leg_pos: int = 0
+    ) -> None:
         now = self.events.now
-        route = self.system.route(msg_name)
         msg = self.system.app.message(msg_name)
-        if route is MessageRoute.ET_TO_TT:
-            # Arrived at the gateway CAN controller; T moves it to
-            # Out_TTP after the shared gateway transfer delay (C_T).
-            self._note_journey(msg_name, instance, "can_delivery")
-
-            def into_fifo() -> None:
-                self._note_journey(msg_name, instance, "fifo_entry")
-                self._out_ttp.append((msg_name, instance))
-                self.adjust_queue("Out_TTP", +self.msg_size[msg_name])
-
-            self.events.schedule(now + self._transfer_delay, into_fifo)
-            return
-        # ET->ET or TT->ET: delivered to the receiving ET process.
+        legs = self._plan.legs_of(msg_name)
         self._note_journey(msg_name, instance, "can_delivery")
+        if leg_pos < len(legs) - 1:
+            # More legs to go: received by the next gateway's controller;
+            # its transfer process T relays the frame onward after C_T
+            # (into a FIFO for a TT crossing, the canonical ET->TT case,
+            # or the next cluster's Out_CAN queue).
+            self._advance_leg(msg_name, instance, leg_pos + 1)
+            return
+        # Final leg: delivered to the receiving ET process.
         self._msg_arrival.setdefault((msg_name, instance), now)
         self.trace.note_message(msg_name, now - instance * self.hyper)
         self._input_arrived(msg.dst, instance)

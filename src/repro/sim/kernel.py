@@ -187,12 +187,47 @@ class SimContext:
                 self.msg_prio[mid] = priorities.message_priority(name)
                 self.msg_frame_time[mid] = system.can_frame_time(name)
 
-        # Queues: Out_CAN, Out_TTP, then Out_<node> per ET node.
+        # Topology state: one CAN bus per ET cluster, one gateway
+        # Out_CAN/Out_TTP pair per gateway, and per-message *leg
+        # programs* compiled from the routing plan.  The canonical
+        # two-cluster system reduces to one bus, one gateway and
+        # single-leg programs whose replay is event-for-event the
+        # pre-routing kernel (only payload encodings differ, which
+        # never affect ordering — seq does).
+        topo = system.topology
+        plan = system.routing_for(getattr(config, "routes", None) or None)
+        self.plan = plan
+        et_clusters = topo.et_clusters()
+        bus_of_cluster = {c: i for i, c in enumerate(et_clusters)}
+        self.bus_of_cluster = bus_of_cluster
+        self.n_buses = len(et_clusters)
+        gateways = arch.gateways()
+        gw_of = {g: i for i, g in enumerate(gateways)}
+        self.n_gw = len(gateways)
+
+        # Queues: Out_CAN/Out_TTP (per gateway), then Out_<node> per ET
+        # node.  Names come from the routing plan's conventions (bare on
+        # single-gateway topologies) so traces and reports agree.
         et_nodes = arch.et_node_names()
-        self.queue_names = ["Out_CAN", "Out_TTP"] + [
-            f"Out_{node}" for node in et_nodes
-        ]
-        queue_of_node = {node: 2 + i for i, node in enumerate(et_nodes)}
+        self.queue_names = []
+        self.can_q = []
+        self.fifo_q = []
+        if self.n_gw == 1:
+            self.queue_names = ["Out_CAN", "Out_TTP"]
+            self.can_q = [0]
+            self.fifo_q = [1]
+        else:
+            for g in gateways:
+                self.can_q.append(len(self.queue_names))
+                self.queue_names.append(f"Out_CAN@{g}")
+                self.fifo_q.append(len(self.queue_names))
+                self.queue_names.append(f"Out_TTP@{g}")
+        node_queue_base = len(self.queue_names)
+        self.queue_names += [f"Out_{node}" for node in et_nodes]
+        queue_of_node = {
+            node: node_queue_base + i for i, node in enumerate(et_nodes)
+        }
+        queue_id = {name: i for i, name in enumerate(self.queue_names)}
         cpu_of_node = {node: i for i, node in enumerate(et_nodes)}
         self.n_cpus = len(et_nodes)
 
@@ -233,7 +268,71 @@ class SimContext:
                     for succ, m in graph.successors(proc_name)
                 )
 
-        self.transfer_delay = gateway_transfer_delay(system)
+        self.transfer_delay = [
+            gateway_transfer_delay(system, g) for g in gateways
+        ]
+        self.gw_capacity = [bus.slot_of(g).capacity for g in gateways]
+        self.gw_duration = [bus.slot_of(g).duration for g in gateways]
+
+        # -- leg programs ------------------------------------------------------
+        # Each CAN leg of each message gets a dense *leg id* (lid); the
+        # hot path advances a frame from leg to leg through flat arrays
+        # instead of consulting the routing plan.  ``lid_next`` encodes
+        # the continuation: ``-1`` = final delivery, ``<= -2`` = enter
+        # gateway ``-2 - lid_next``'s Out_TTP FIFO, else the next CAN
+        # leg's lid.  The (unique) FIFO leg's continuation lives in
+        # ``fifo_next_lid``/``fifo_next_transfer``.  On canonical
+        # topologies every program is a single step, reproducing the
+        # pre-routing kernel's behaviour exactly.
+        self.lid_mid: List[int] = []
+        self.lid_bus: List[int] = []
+        self.lid_queue: List[int] = []
+        self.lid_next: List[int] = []
+        self.lid_next_transfer: List[float] = []
+        self.msg_first_lid = [-1] * n_msgs
+        self.msg_mbi_transfer = [0.0] * n_msgs  # C_T after a MEDL frame
+        self.fifo_gw = [-1] * n_msgs  # gateway of the message's FIFO leg
+        self.fifo_next_lid = [-1] * n_msgs
+        self.fifo_next_transfer = [0.0] * n_msgs
+        for mid, name in enumerate(self.msg_names):
+            legs = plan.legs_of(name)
+            if not legs:
+                continue  # TT->TT: compiled away entirely.
+            lids = {}
+            for pos, leg in enumerate(legs):
+                if leg.is_fifo:
+                    continue
+                lids[pos] = len(self.lid_mid)
+                self.lid_mid.append(mid)
+                self.lid_bus.append(bus_of_cluster[leg.cluster])
+                self.lid_queue.append(queue_id[leg.queue])
+                self.lid_next.append(-1)
+                self.lid_next_transfer.append(0.0)
+            self.msg_first_lid[mid] = lids.get(0, -1)
+            if 0 in lids and legs[0].via is not None:
+                # TT-sourced: the MEDL frame ends at the entry gateway,
+                # whose C_T precedes the first CAN leg.
+                self.msg_mbi_transfer[mid] = self.transfer_delay[
+                    gw_of[legs[0].via]
+                ]
+            for pos, leg in enumerate(legs):
+                nxt = legs[pos + 1] if pos + 1 < len(legs) else None
+                if leg.is_fifo:
+                    self.fifo_gw[mid] = gw_of[leg.sender]
+                    if nxt is not None:
+                        self.fifo_next_lid[mid] = lids[pos + 1]
+                        self.fifo_next_transfer[mid] = self.transfer_delay[
+                            gw_of[nxt.via]
+                        ]
+                elif nxt is not None:
+                    lid = lids[pos]
+                    if nxt.is_fifo:
+                        self.lid_next[lid] = -2 - gw_of[nxt.sender]
+                    else:
+                        self.lid_next[lid] = lids[pos + 1]
+                    self.lid_next_transfer[lid] = self.transfer_delay[
+                        gw_of[nxt.via]
+                    ]
 
         # -- the static timeline ---------------------------------------------
         # TT->TT frames compile to per-period arrival templates;
@@ -281,15 +380,13 @@ class SimContext:
                         system.release_of(proc_name), 0.0, 0.0,
                         _DISPATCH, _K_ET_RELEASE, pid,
                     )
-        gateway = arch.gateway
-        self.gw_capacity = bus.slot_of(gateway).capacity
-        self.gw_duration = bus.slot_of(gateway).duration
         for base_round in range(self.rounds_per_period):
             for slot in bus.slots:
                 offset = bus.slot_offset(slot.node)
-                if slot.node == gateway:
+                gi = gw_of.get(slot.node)
+                if gi is not None:
                     round_event(
-                        base_round, offset, 0.0, 0.0, _BUS, _K_GW_SLOT, 0
+                        base_round, offset, 0.0, 0.0, _BUS, _K_GW_SLOT, gi
                     )
                     continue
                 frame = schedule.medl.get((slot.node, base_round))
@@ -437,18 +534,19 @@ class SimContext:
             [] for _ in range(self.n_cpus)
         ]
         cpu_seq = [0] * self.n_cpus
-        can_pending: List[Tuple[int, int, int, int, int]] = []
-        can_busy = False
-        can_seq = 0
-        fifo: List[Tuple[int, int]] = []
-        fifo_head = 0
+        can_pending: List[List[Tuple[int, int, int, int]]] = [
+            [] for _ in range(self.n_buses)
+        ]
+        can_busy = [False] * self.n_buses
+        can_seq = [0] * self.n_buses
+        fifo: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_gw)]
+        fifo_head = [0] * self.n_gw
         tentative: List[Tuple[int, int, float, int, int, float]] = []
         completed_instances = 0
 
         # Local bindings for the hot loop.
         proc_wcet = self.proc_wcet
         proc_prio = self.proc_prio
-        proc_queue = self.proc_queue
         proc_cpu = self.proc_cpu
         proc_graph = self.proc_graph
         proc_is_tt = self.proc_is_tt
@@ -462,7 +560,17 @@ class SimContext:
         tt_entries = self.tt_entries
         gw_capacity = self.gw_capacity
         gw_duration = self.gw_duration
-        transfer_delay = self.transfer_delay
+        fifo_q = self.fifo_q
+        lid_mid = self.lid_mid
+        lid_bus = self.lid_bus
+        lid_queue = self.lid_queue
+        lid_next = self.lid_next
+        lid_next_transfer = self.lid_next_transfer
+        msg_first_lid = self.msg_first_lid
+        mbi_transfer = self.msg_mbi_transfer
+        fifo_gw = self.fifo_gw
+        fifo_next_lid = self.fifo_next_lid
+        fifo_next_transfer = self.fifo_next_transfer
         proc_names = self.proc_names
         s_period = self.static_period
         s_round = self.static_round
@@ -488,6 +596,7 @@ class SimContext:
         runtime = None
         speed: Optional[List[float]] = None
         babble_prio = 0
+        babble_bi = 0
         if faults is not None:
             from ..faults import FaultRuntime, faulty_execution
 
@@ -502,6 +611,15 @@ class SimContext:
                 ]
             if faults.babble_period is not None:
                 babble_prio = faults.babble_priority
+                target = getattr(faults, "babble_bus", None)
+                if target is not None:
+                    if target not in self.bus_of_cluster:
+                        raise SimulationError(
+                            f"babble_bus names unknown ET cluster "
+                            f"{target!r}; known: "
+                            f"{sorted(self.bus_of_cluster)}"
+                        )
+                    babble_bi = self.bus_of_cluster[target]
                 # Pre-seeded at _BUS order before any dynamic event is
                 # scheduled: babble wins same-instant ties against
                 # runtime CAN_TRY events (lower seq) but loses them to
@@ -514,27 +632,29 @@ class SimContext:
         exec_model = execution
         now = 0.0
 
-        def faulted_start() -> None:
-            """Start the next pending frame under fault injection.
+        def faulted_start(bi: int) -> None:
+            """Start the next pending frame on bus ``bi`` under faults.
 
             The faulted twin of the two inline transmission-start
             blocks: applies bus derating and the error process to real
-            frames, and handles phantom babble entries (``mid < 0``)
-            that consume bus time without queue accounting or delivery.
+            frames, and handles phantom babble entries (``lid < 0``,
+            encoding the bus as ``-1 - bi``) that consume bus time
+            without queue accounting or delivery.
             """
-            nonlocal can_busy, seq
-            _prio, _cs, mid2, kk2, qi2 = heappop(can_pending)
-            can_busy = True
-            if mid2 < 0:
+            nonlocal seq
+            _prio, _cs, lid2, kk2 = heappop(can_pending[bi])
+            can_busy[bi] = True
+            if lid2 < 0:
                 dur = runtime.can_span(now, runtime.babble_frame_time)
             else:
-                qlevel[qi2] -= msg_size[mid2]
+                mid2 = lid_mid[lid2]
+                qlevel[lid_queue[lid2]] -= msg_size[mid2]
                 dur = runtime.can_span(
                     now, frame_time[mid2] * runtime.bus_factor
                 )
             seq += 1
             heappush(
-                heap, (now + dur, _DELIVER, seq, _K_CAN_COMPLETE, mid2, kk2)
+                heap, (now + dur, _DELIVER, seq, _K_CAN_COMPLETE, lid2, kk2)
             )
 
         def exec_time(pid: int, k: int) -> float:
@@ -735,18 +855,20 @@ class SimContext:
                         idx = mid * periods + k
                         if j_producer[idx] is None:
                             j_producer[idx] = now
-                        qi = proc_queue[pid]
-                        can_seq += 1
+                        lid = msg_first_lid[mid]
+                        bi = lid_bus[lid]
+                        can_seq[bi] += 1
                         heappush(
-                            can_pending,
-                            (msg_prio[mid], can_seq, mid, k, qi),
+                            can_pending[bi],
+                            (msg_prio[mid], can_seq[bi], lid, k),
                         )
+                        qi = lid_queue[lid]
                         level = qlevel[qi] + msg_size[mid]
                         qlevel[qi] = level
                         if level > qpeak[qi]:
                             qpeak[qi] = level
                         seq += 1
-                        heappush(heap, (now, _BUS, seq, _K_CAN_TRY, 0, 0))
+                        heappush(heap, (now, _BUS, seq, _K_CAN_TRY, bi, 0))
                 ready = cpu_ready[cpu]
                 if cpu_running[cpu] < 0 and ready:
                     _p, _s, jid2 = heappop(ready)
@@ -824,16 +946,20 @@ class SimContext:
                 # schedule table already sequences them.
 
             elif kind == _K_GW_SLOT:
-                end = now + gw_duration
-                budget = gw_capacity
-                while fifo_head < len(fifo):
-                    mid, kk = fifo[fifo_head]
+                g = a
+                end = now + gw_duration[g]
+                budget = gw_capacity[g]
+                fl = fifo[g]
+                head = fifo_head[g]
+                fq = fifo_q[g]
+                while head < len(fl):
+                    mid, kk = fl[head]
                     size = msg_size[mid]
                     if size > budget:
                         break
                     budget -= size
-                    fifo_head += 1
-                    qlevel[1] -= size
+                    head += 1
+                    qlevel[fq] -= size
                     idx = mid * periods + kk
                     if j_gw_start[idx] is None:
                         j_gw_start[idx] = now
@@ -842,18 +968,21 @@ class SimContext:
                     heappush(
                         heap, (end, _DELIVER, seq, _K_GW_DELIVER, mid, kk)
                     )
-                if fifo_head and fifo_head == len(fifo):
-                    del fifo[:]
-                    fifo_head = 0
+                if head and head == len(fl):
+                    del fl[:]
+                    head = 0
+                fifo_head[g] = head
 
             elif kind == _K_CAN_TRY:
-                if not can_busy and can_pending:
+                bi = a
+                if not can_busy[bi] and can_pending[bi]:
                     if runtime is not None:
-                        faulted_start()
+                        faulted_start(bi)
                         continue
-                    _prio, _cs, mid, kk, qi = heappop(can_pending)
-                    can_busy = True
-                    qlevel[qi] -= msg_size[mid]
+                    _prio, _cs, lid, kk = heappop(can_pending[bi])
+                    can_busy[bi] = True
+                    mid = lid_mid[lid]
+                    qlevel[lid_queue[lid]] -= msg_size[mid]
                     seq += 1
                     heappush(
                         heap,
@@ -862,36 +991,59 @@ class SimContext:
                             _DELIVER,
                             seq,
                             _K_CAN_COMPLETE,
-                            mid,
+                            lid,
                             kk,
                         ),
                     )
 
             elif kind == _K_CAN_COMPLETE:
-                can_busy = False
-                mid = a
+                lid = a
                 k = b
-                if mid < 0:
-                    # Phantom babble frame: occupied the bus, delivers
-                    # nothing.  Fall through to restart arbitration.
-                    if can_pending:
-                        faulted_start()
+                if lid < 0:
+                    # Phantom babble frame (bus encoded as -1 - bi):
+                    # occupied the bus, delivers nothing.  Restart
+                    # arbitration.
+                    bi = -1 - lid
+                    can_busy[bi] = False
+                    if can_pending[bi]:
+                        faulted_start(bi)
                     continue
+                bi = lid_bus[lid]
+                can_busy[bi] = False
+                mid = lid_mid[lid]
                 idx = mid * periods + k
                 if j_can[idx] is None:
                     j_can[idx] = now
-                if msg_route[mid] == _R_ET_TT:
-                    # To the gateway CAN controller; T copies the frame
-                    # into Out_TTP after the transfer delay.
+                nxt = lid_next[lid]
+                if nxt <= -2:
+                    # To gateway (-2 - nxt)'s CAN controller; T copies
+                    # the frame into its Out_TTP after that gateway's
+                    # transfer delay.
                     seq += 1
                     heappush(
                         heap,
                         (
-                            now + transfer_delay,
+                            now + lid_next_transfer[lid],
                             _DELIVER,
                             seq,
                             _K_FIFO_ENTRY,
                             mid,
+                            k,
+                        ),
+                    )
+                elif nxt >= 0:
+                    # Relay onto the next CAN leg after the relaying
+                    # gateway's transfer delay (ET->ET via an ET-ET
+                    # gateway).
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + lid_next_transfer[lid],
+                            _DELIVER,
+                            seq,
+                            _K_CAN_ENQ_GW,
+                            nxt,
                             k,
                         ),
                     )
@@ -909,13 +1061,14 @@ class SimContext:
                         if left == 0:
                             activate(dst, k)
                 # The freed bus starts the next pending frame at once.
-                if not can_busy and can_pending:
+                if not can_busy[bi] and can_pending[bi]:
                     if runtime is not None:
-                        faulted_start()
+                        faulted_start(bi)
                         continue
-                    _prio, _cs, mid2, kk2, qi2 = heappop(can_pending)
-                    can_busy = True
-                    qlevel[qi2] -= msg_size[mid2]
+                    _prio, _cs, lid2, kk2 = heappop(can_pending[bi])
+                    can_busy[bi] = True
+                    mid2 = lid_mid[lid2]
+                    qlevel[lid_queue[lid2]] -= msg_size[mid2]
                     seq += 1
                     heappush(
                         heap,
@@ -924,7 +1077,7 @@ class SimContext:
                             _DELIVER,
                             seq,
                             _K_CAN_COMPLETE,
-                            mid2,
+                            lid2,
                             kk2,
                         ),
                     )
@@ -934,50 +1087,76 @@ class SimContext:
                 idx = mid * periods + b
                 if j_fifo[idx] is None:
                     j_fifo[idx] = now
-                fifo.append((mid, b))
-                level = qlevel[1] + msg_size[mid]
-                qlevel[1] = level
-                if level > qpeak[1]:
-                    qpeak[1] = level
+                g = fifo_gw[mid]
+                fifo[g].append((mid, b))
+                fq = fifo_q[g]
+                level = qlevel[fq] + msg_size[mid]
+                qlevel[fq] = level
+                if level > qpeak[fq]:
+                    qpeak[fq] = level
 
             elif kind == _K_GW_DELIVER:
                 mid = a
                 k = b
-                idx = mid * periods + k
-                if arrival[idx] is None:
-                    arrival[idx] = now
-                lat = now - k * hyper
-                if lat > msg_latency[mid]:
-                    msg_latency[mid] = lat
+                nlid = fifo_next_lid[mid]
+                if nlid >= 0:
+                    # ET->ET transit through the TT cluster: the exit
+                    # gateway heard the broadcast at slot end and copies
+                    # the frame onward after its transfer delay.
+                    seq += 1
+                    heappush(
+                        heap,
+                        (
+                            now + fifo_next_transfer[mid],
+                            _DELIVER,
+                            seq,
+                            _K_CAN_ENQ_GW,
+                            nlid,
+                            k,
+                        ),
+                    )
+                else:
+                    idx = mid * periods + k
+                    if arrival[idx] is None:
+                        arrival[idx] = now
+                    lat = now - k * hyper
+                    if lat > msg_latency[mid]:
+                        msg_latency[mid] = lat
 
             elif kind == _K_TTP_DELIVER_GW:
-                # Frame fully received at the gateway; the transfer
-                # process T copies it into Out_CAN after C_T.  Scheduled
-                # through the heap so the enqueue's insertion order on
-                # exact-time ties matches the legacy engine's chain.
+                # Frame fully received at the entry gateway; the
+                # transfer process T copies it into Out_CAN after that
+                # gateway's C_T.  Scheduled through the heap so the
+                # enqueue's insertion order on exact-time ties matches
+                # the legacy engine's chain.
                 seq += 1
                 heappush(
                     heap,
                     (
-                        now + transfer_delay,
+                        now + mbi_transfer[a],
                         _DELIVER,
                         seq,
                         _K_CAN_ENQ_GW,
-                        a,
+                        msg_first_lid[a],
                         b,
                     ),
                 )
 
             elif kind == _K_CAN_ENQ_GW:
-                mid = a
-                can_seq += 1
-                heappush(can_pending, (msg_prio[mid], can_seq, mid, b, 0))
-                level = qlevel[0] + msg_size[mid]
-                qlevel[0] = level
-                if level > qpeak[0]:
-                    qpeak[0] = level
+                lid = a
+                mid = lid_mid[lid]
+                bi = lid_bus[lid]
+                can_seq[bi] += 1
+                heappush(
+                    can_pending[bi], (msg_prio[mid], can_seq[bi], lid, b)
+                )
+                qi = lid_queue[lid]
+                level = qlevel[qi] + msg_size[mid]
+                qlevel[qi] = level
+                if level > qpeak[qi]:
+                    qpeak[qi] = level
                 seq += 1
-                heappush(heap, (now, _BUS, seq, _K_CAN_TRY, 0, 0))
+                heappush(heap, (now, _BUS, seq, _K_CAN_TRY, bi, 0))
 
             elif kind == _K_ET_RELEASE:
                 activate(a, b)
@@ -987,10 +1166,13 @@ class SimContext:
                 # immediately (this event is already at _BUS order, the
                 # instant a legacy enqueue would defer its try to).
                 runtime.babble_frames += 1
-                can_seq += 1
-                heappush(can_pending, (babble_prio, can_seq, -1, 0, -1))
-                if not can_busy:
-                    faulted_start()
+                can_seq[babble_bi] += 1
+                heappush(
+                    can_pending[babble_bi],
+                    (babble_prio, can_seq[babble_bi], -1 - babble_bi, 0),
+                )
+                if not can_busy[babble_bi]:
+                    faulted_start(babble_bi)
 
         # -- assemble the trace ---------------------------------------------
         trace = SimulationTrace()

@@ -3,7 +3,7 @@
 from .cruise import CRUISE_DEADLINE, CRUISE_PERIOD, cruise_controller_system
 from .graphgen import GraphShape, random_graph_structure, realize_graph
 from .paper_example import FIG4_DEADLINE, fig4_configuration, fig4_system
-from .workload import WorkloadSpec, generate_workload
+from .workload import WorkloadSpec, generate_workload, seeded_routes
 
 __all__ = [
     "CRUISE_DEADLINE",
@@ -17,4 +17,5 @@ __all__ = [
     "generate_workload",
     "random_graph_structure",
     "realize_graph",
+    "seeded_routes",
 ]

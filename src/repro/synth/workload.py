@@ -32,12 +32,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..buses.can import CanBusSpec
 from ..buses.ttp import TTPBusSpec
+from ..exceptions import ConfigurationError
 from ..model.application import Application, ProcessGraph
 from ..model.architecture import Architecture
+from ..model.topology import Cluster, Gateway, Topology
 from ..system import System
 from .graphgen import GraphShape, random_graph_structure, realize_graph
 
-__all__ = ["WorkloadSpec", "generate_workload"]
+__all__ = ["WorkloadSpec", "generate_workload", "seeded_routes"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,18 @@ class WorkloadSpec:
     gateway_messages: Optional[int] = None
     gateway_transfer_wcet: float = 0.1
     seed: int = 0
+    #: Cluster count: one TT cluster plus ``clusters - 1`` ET clusters
+    #: (ET nodes dealt round-robin).  2 is the paper's canonical shape.
+    clusters: int = 2
+    #: Gateway count.  The first ``clusters - 1`` bridge the TT cluster
+    #: to each ET cluster (connectivity); extras add parallel bridges
+    #: round-robin, which is what makes routing a real decision.
+    gateways: int = 1
+    #: Route assignment for the generated system's evaluations:
+    #: ``default`` (topology-shortest), ``greedy``
+    #: (:func:`repro.optim.routing.greedy_routes`) or ``random``
+    #: (seeded per-message pick via ``stable_unit``).
+    route_strategy: str = "default"
 
     def total_processes(self) -> int:
         """Application size, e.g. 4 nodes * 40 = 160 processes."""
@@ -73,12 +87,52 @@ class WorkloadSpec:
 
 
 def _make_architecture(spec: WorkloadSpec) -> Architecture:
+    if spec.clusters < 2:
+        raise ConfigurationError("clusters must be >= 2 (one TT + ET)")
+    if spec.route_strategy not in ("default", "greedy", "random"):
+        raise ConfigurationError(
+            f"unknown route_strategy {spec.route_strategy!r} "
+            "(known: default, greedy, random)"
+        )
     n_tt = max(1, spec.nodes // 2)
     n_et = max(1, spec.nodes - n_tt)
-    return Architecture(
-        tt_nodes=[f"TT{i}" for i in range(1, n_tt + 1)],
-        et_nodes=[f"ET{i}" for i in range(1, n_et + 1)],
-        gateway="NG",
+    if spec.clusters == 2 and spec.gateways == 1:
+        # The canonical construction, untouched: same node names, same
+        # default topology, same architecture object graph — generated
+        # systems (and everything keyed off them) are bit-identical to
+        # the pre-topology generator.
+        return Architecture(
+            tt_nodes=[f"TT{i}" for i in range(1, n_tt + 1)],
+            et_nodes=[f"ET{i}" for i in range(1, n_et + 1)],
+            gateway="NG",
+            gateway_transfer_wcet=spec.gateway_transfer_wcet,
+        )
+    et_clusters = spec.clusters - 1
+    if spec.gateways < et_clusters:
+        raise ConfigurationError(
+            f"{spec.clusters} clusters need at least {et_clusters} "
+            f"gateways to stay connected (got {spec.gateways})"
+        )
+    if n_et < et_clusters:
+        raise ConfigurationError(
+            f"{et_clusters} ET clusters need at least {et_clusters} ET "
+            f"nodes; {spec.nodes} nodes yield only {n_et}"
+        )
+    tt_nodes = [f"TT{i}" for i in range(1, n_tt + 1)]
+    et_nodes = [f"ET{i}" for i in range(1, n_et + 1)]
+    buckets: List[List[str]] = [[] for _ in range(et_clusters)]
+    for i, node in enumerate(et_nodes):
+        buckets[i % et_clusters].append(node)
+    clusters = [Cluster("TTC", "TT", tuple(tt_nodes))] + [
+        Cluster(f"ETC{j + 1}", "ET", tuple(bucket))
+        for j, bucket in enumerate(buckets)
+    ]
+    gws = [
+        Gateway(f"NG{i + 1}", ("TTC", f"ETC{(i % et_clusters) + 1}"))
+        for i in range(spec.gateways)
+    ]
+    return Architecture.from_topology(
+        Topology(clusters, gws),
         gateway_transfer_wcet=spec.gateway_transfer_wcet,
     )
 
@@ -295,3 +349,40 @@ def generate_workload(spec: WorkloadSpec) -> System:
     can_spec = CanBusSpec(bit_time=0.002)  # 500 kbit/s in ms
     ttp_spec = TTPBusSpec(byte_time=0.02, slot_overhead=0.1)
     return System(app, arch, can_spec=can_spec, ttp_spec=ttp_spec)
+
+
+def seeded_routes(system: System, spec: WorkloadSpec):
+    """Route overrides for a generated system per ``route_strategy``.
+
+    ``default`` returns ``{}`` (canonical configs stay canonical);
+    ``greedy`` delegates to :func:`repro.optim.routing.greedy_routes`;
+    ``random`` picks per message among its candidate routes with a
+    :func:`repro.faults.stable_unit` draw keyed by the workload seed —
+    process-stable, so both engines, every worker and every replay see
+    the same assignment.  Only non-default decisions are returned.
+    """
+    if spec.route_strategy == "default":
+        return {}
+    from ..optim.routing import greedy_routes, route_candidates
+
+    if spec.route_strategy == "greedy":
+        return greedy_routes(system)
+    if spec.route_strategy != "random":
+        raise ConfigurationError(
+            f"unknown route_strategy {spec.route_strategy!r}"
+        )
+    from ..faults.spec import stable_unit
+
+    topo = system.arch.topology
+    overrides: Dict[str, Tuple[str, ...]] = {}
+    for msg in system.app.all_messages():
+        src, dst = system.clusters_of_message(msg.name)
+        if src == dst:
+            continue
+        candidates = route_candidates(system, msg.name)
+        pick = candidates[
+            int(stable_unit(spec.seed, "route", msg.name) * len(candidates))
+        ]
+        if pick != topo.default_route(src, dst):
+            overrides[msg.name] = pick
+    return overrides

@@ -131,6 +131,72 @@ class System:
                 # Ancestors of a message: everything upstream of its sender
                 # (including the messages that deliver into the sender).
                 self._msg_ancestors[msg_name] = frozenset(msg_anc[msg.src])
+        # Endpoint clusters per message (the routing layer's vocabulary;
+        # gateways host no application processes, so both endpoints have
+        # a unique home cluster).
+        self._msg_clusters: Dict[str, Tuple[str, str]] = {}
+        topo = arch.topology
+        for msg in app.all_messages():
+            src = topo.cluster_of_node(app.process(msg.src).node)
+            dst = topo.cluster_of_node(app.process(msg.dst).node)
+            self._msg_clusters[msg.name] = (src, dst)
+        self._default_routing = None
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def topology(self):
+        """The architecture's cluster/gateway graph."""
+        return self.arch.topology
+
+    @property
+    def multi_topology(self) -> bool:
+        """True off the canonical one-TTC/one-ETC/one-gateway shape.
+
+        Canonical systems take the exact pre-generalization code paths
+        (bit-for-bit); only multi-cluster/multi-gateway systems pay for
+        the per-leg machinery.
+        """
+        return not self.arch.topology.is_canonical
+
+    def clusters_of_message(self, msg_name: str) -> Tuple[str, str]:
+        """(source cluster, destination cluster) of a message."""
+        try:
+            return self._msg_clusters[msg_name]
+        except KeyError:
+            raise ModelError(f"unknown message {msg_name}") from None
+
+    def is_intercluster(self, msg_name: str) -> bool:
+        """True when the message's endpoints live on different clusters."""
+        src, dst = self.clusters_of_message(msg_name)
+        return src != dst
+
+    def default_route(self, msg_name: str) -> Tuple[str, ...]:
+        """Topology-default (shortest) gateway route of a message."""
+        src, dst = self.clusters_of_message(msg_name)
+        if src == dst:
+            return ()
+        return self.arch.topology.default_route(src, dst)
+
+    def default_routing(self):
+        """The cached all-defaults :class:`~repro.semantics.routing.RoutingPlan`."""
+        if self._default_routing is None:
+            from .semantics.routing import RoutingPlan
+
+            self._default_routing = RoutingPlan(self)
+        return self._default_routing
+
+    def routing_for(self, overrides=None):
+        """A routing plan for a configuration's ``routes`` overrides.
+
+        Falls back to the cached default plan when there are no
+        overrides, which is every canonical evaluation.
+        """
+        if not overrides:
+            return self.default_routing()
+        from .semantics.routing import RoutingPlan
+
+        return RoutingPlan(self, overrides)
 
     # -- routing ------------------------------------------------------------
 

@@ -37,6 +37,68 @@ class TestGenerate:
         assert "6 via the gateway" in capsys.readouterr().out
 
 
+class TestTopo:
+    @pytest.fixture()
+    def multi_system_file(self, tmp_path):
+        out = tmp_path / "multi.json"
+        code = main([
+            "generate", str(out),
+            "--clusters", "3", "--gateways", "3", "--seed", "7",
+        ])
+        assert code == 0
+        return out
+
+    def test_show_canonical(self, system_file, capsys):
+        code = main(["topo", str(system_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canonical 2-cluster" in out
+        assert "gateway NG" in out
+
+    def test_show_multi_cluster(self, multi_system_file, capsys):
+        code = main(["topo", str(multi_system_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "general, 3 clusters, 3 gateway(s)" in out
+        assert "NG3" in out
+
+    def test_json_format(self, multi_system_file, capsys):
+        code = main(["topo", str(multi_system_file), "--format", "json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["canonical"] is False
+        assert data["engine_supported"] is True
+        assert len(data["clusters"]) == 3
+        assert len(data["gateways"]) == 3
+        assert data["crossing_messages"]
+
+    def test_validate_clean_exits_zero(self, multi_system_file):
+        assert main(["topo", str(multi_system_file), "--validate"]) == 0
+
+    def test_validate_bad_route_exits_one(
+        self, multi_system_file, tmp_path, capsys
+    ):
+        from repro.io.serialize import load_system
+        from repro.conformance import conformance_configuration
+
+        system = load_system(multi_system_file)
+        config = conformance_configuration(system, 10)
+        msg = next(
+            m.name for m in system.app.all_messages()
+            if system.clusters_of_message(m.name)[0]
+            != system.clusters_of_message(m.name)[1]
+        )
+        config.routes[msg] = ("NG2", "NG1")  # wrong clusters / not simple
+        bad = tmp_path / "bad_config.json"
+        bad.write_text(json.dumps(config_to_dict(config)))
+        code = main([
+            "topo", str(multi_system_file),
+            "--config", str(bad), "--validate",
+        ])
+        assert code == 1
+        assert "BAD ROUTE" in capsys.readouterr().out
+
+
 class TestAnalyze:
     def test_schedulable_config_returns_zero(self, system_file, config_file, capsys):
         code = main(["analyze", str(system_file), str(config_file)])

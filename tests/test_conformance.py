@@ -250,23 +250,30 @@ class TestClassify:
         assert violation.bound == 60.0
         assert violation.detail["gateway_slot_start"] == 50.0
 
-    def test_latency_over_ttp_bound_is_jitter_kind(self):
-        run = self._run(
-            metadata={
-                "violation_details": [],
-                "observed_graph_response": {},
-                "observed_process_response": {},
-                "observed_message_latency": {"m1": 80.0},
-                "observed_queue_peak": {},
-            },
-            timing={
-                "ttp:m1": {"worst_end": 60.0},
-                "can:m1": {"worst_end": 90.0},
-            },
-        )
-        (violation,) = classify_run(run)
+    def test_latency_over_delivery_bound_is_jitter_kind(self):
+        # The delivering leg is the row with the largest cumulative
+        # worst_end (a multi-hop transit message ends on a CAN leg
+        # *after* its TTP leg); anything past it is a violation,
+        # anything between an intermediate leg and the delivery is not.
+        def run_with(observed):
+            return self._run(
+                metadata={
+                    "violation_details": [],
+                    "observed_graph_response": {},
+                    "observed_process_response": {},
+                    "observed_message_latency": {"m1": observed},
+                    "observed_queue_peak": {},
+                },
+                timing={
+                    "ttp:m1": {"worst_end": 60.0},
+                    "can:m1": {"worst_end": 90.0},
+                },
+            )
+
+        assert classify_run(run_with(80.0)) == []
+        (violation,) = classify_run(run_with(95.0))
         assert violation.kind == "jitter-bound"
-        assert violation.bound == 60.0  # TTP leg wins the precedence
+        assert violation.bound == 90.0  # the delivering leg's end
 
     def test_violation_roundtrip(self):
         violation = ConformanceViolation(
