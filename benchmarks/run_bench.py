@@ -326,6 +326,119 @@ def bench_explore(output):
     print(f"\nwrote {output}")
 
 
+def _bench_serve_fleet(local=0, remote=0, kill_one=False):
+    """One distributed-fleet datapoint for ``BENCH_serve.json``.
+
+    Runs a conformance campaign through an HTTP daemon backed by the
+    requested fleet; with ``kill_one`` a local worker is frozen before
+    dispatch (so it is guaranteed to be holding units) and SIGKILLed
+    mid-campaign — the datapoint then measures the supervised
+    re-dispatch path, not the happy path.  Exactly-once is asserted
+    either way: ``computed`` equals the seed count, ``errors`` zero.
+    """
+    import shutil
+    import signal
+    import tempfile
+    import threading
+
+    from repro.conformance.campaign import CampaignSpec
+    from repro.serve import (
+        EvaluationService, ServeClient, run_campaign_via_server, serve,
+    )
+    from repro.serve.supervisor import SupervisorConfig
+    from repro.serve.workers import run_worker
+
+    seeds = int(os.environ.get("REPRO_BENCH_SERVE_FLEET_SEEDS", 50))
+    root = tempfile.mkdtemp(prefix="repro-bench-serve-fleet-")
+    service = EvaluationService(
+        os.path.join(root, "store"), workers=local,
+        supervisor=SupervisorConfig(lease_s=2.0, tick_s=0.02),
+    )
+    ready = threading.Event()
+    announced = {}
+    server_thread = threading.Thread(
+        target=lambda: serve(
+            service, port=0, ready=ready,
+            announce=lambda msg: announced.setdefault("line", msg),
+        ),
+        daemon=True,
+    )
+    server_thread.start()
+    assert ready.wait(timeout=10)
+    url = announced["line"].split("serving on ")[1]
+
+    stop = threading.Event()
+    worker_threads = [
+        threading.Thread(
+            target=run_worker, args=(url,),
+            kwargs=dict(
+                label=f"bench-{i}", stop=stop, announce=lambda msg: None
+            ),
+            daemon=True,
+        )
+        for i in range(remote)
+    ]
+    for thread in worker_threads:
+        thread.start()
+    if remote:
+        deadline = time.perf_counter() + 10
+        while time.perf_counter() < deadline:
+            fleet = service.supervisor.fleet()
+            if sum(1 for w in fleet if w["transport"] == "remote") == remote:
+                break
+            time.sleep(0.02)
+
+    victim = None
+    if kill_one:
+        victim = next(
+            w["pid"] for w in service.supervisor.fleet()
+            if w["transport"] == "local" and w["alive"]
+        )
+        os.kill(victim, signal.SIGSTOP)
+
+    spec = CampaignSpec(
+        campaign=seeds, workers=1, nodes=2, processes_per_node=4,
+        shrink=False, fixture_dir=None,
+    )
+
+    killer = None
+    if kill_one:
+        def _kill():
+            time.sleep(0.05)
+            os.kill(victim, signal.SIGKILL)
+        killer = threading.Thread(target=_kill, daemon=True)
+        killer.start()
+
+    started = time.perf_counter()
+    report = run_campaign_via_server(spec, url, timeout=600)
+    elapsed = time.perf_counter() - started
+    if killer is not None:
+        killer.join(timeout=10)
+
+    stats = service.stats()
+    counters = stats["counters"]
+    assert counters["computed"] == seeds, counters
+    assert counters["errors"] == 0, counters
+    assert len(report.outcomes) == seeds
+
+    stop.set()
+    ServeClient(url, timeout=30).shutdown()
+    server_thread.join(timeout=60)
+    for thread in worker_threads:
+        thread.join(timeout=10)
+    shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "local_workers": local,
+        "remote_workers": remote,
+        "worker_killed": bool(kill_one),
+        "campaign_seeds": seeds,
+        "wall_s": elapsed,
+        "seeds_per_s": seeds / max(elapsed, 1e-9),
+        "supervisor": stats["supervisor"],
+    }
+
+
 def bench_serve(output):
     """Measure the evaluation service and write ``BENCH_serve.json``.
 
@@ -336,7 +449,9 @@ def bench_serve(output):
     latency, not as a lower offered rate.  About 30% of submissions
     repeat an earlier configuration, exercising the dedup/store path
     the service exists for.  Records sustained evals/s, request
-    throughput, dedup ratios and queue/compute timings.
+    throughput, dedup ratios and queue/compute timings, plus two
+    distributed-fleet datapoints (remote-only fleet; one local worker
+    SIGKILLed mid-campaign) from ``_bench_serve_fleet``.
     """
     import shutil
     import tempfile
@@ -451,6 +566,12 @@ def bench_serve(output):
             "unit_compute_s_avg": stats["timings"]["unit_compute_s_avg"],
             "store_entries": stats["store"]["entries"],
             "store_shards": stats["store"]["shards"],
+        },
+        "fleet": {
+            "remote_workers": _bench_serve_fleet(remote=2),
+            "one_worker_killed": _bench_serve_fleet(
+                local=2, kill_one=True
+            ),
         },
     }
     with open(output, "w") as handle:

@@ -57,13 +57,24 @@ Commands
     Run the evaluation service (:mod:`repro.serve`): a long-running
     daemon that accepts evaluations, sweeps and conformance campaigns
     over HTTP (or a unix socket), coalesces duplicate requests by
-    config hash, batches compatible work onto a warm worker pool and
-    persists everything in one sharded result store.  SIGTERM drains
-    gracefully: in-flight work finishes and is checkpointed.
+    config hash, batches compatible work onto a supervised worker
+    fleet (local forks and/or remote ``repro worker`` processes, with
+    leases, retries, straggler hedging and a crash-safe pending-unit
+    journal) and persists everything in one sharded result store.
+    SIGTERM drains gracefully: in-flight work finishes and is
+    checkpointed; a bounded drain abandons leftovers *visibly* (they
+    stay journaled and re-dispatch on the next start).
+
+``worker``
+    Join a ``serve`` daemon as a remote worker: register, long-poll
+    for dispatch units, heartbeat while computing, post results back.
+    Workers never touch the store — any host with the codebase and a
+    URL can contribute compute.
 
 ``submit`` / ``status``
     Client side of ``serve``: submit one evaluation (system + config
-    JSON files) to a server and poll job status / service metrics.
+    JSON files) to a server and poll job status / service metrics
+    (including the fleet census and supervision counters).
 
 ``store``
     Inspect and maintain result stores: ``store stats DIR`` prints the
@@ -612,25 +623,72 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import EvaluationService, serve
+    from .serve.server import parse_listen
+    from .serve.supervisor import SupervisorConfig
     from .store import ResultStore
 
+    host, port = args.host, args.port
+    if args.listen:
+        host, port = parse_listen(args.listen)
     store = ResultStore(args.store, layout="sharded")
     if store.layout == "flat":
         # An existing pre-shard store: meta wins over the constructor
         # argument, so shard it explicitly before taking traffic.
         migrated = store.migrate()
         print(f"migrated {migrated} records from the flat store layout")
+    policy = SupervisorConfig()
+    if args.lease is not None:
+        policy.lease_s = args.lease
+        policy.worker_timeout_s = 2 * args.lease
+    if args.hedge_after is not None:
+        policy.hedge_after_s = args.hedge_after
+    if args.unit_retries is not None:
+        policy.unit_retries = args.unit_retries
     service = EvaluationService(
         store,
         workers=args.workers,
         batch_window_s=args.batch_window,
+        max_pending=args.max_pending,
+        journal=not args.no_journal,
+        supervisor=policy,
     )
+    if service.recovered_units:
+        print(
+            f"recovered {service.recovered_units} journaled unit(s) "
+            "from the previous run; re-dispatching",
+            flush=True,
+        )
     return serve(
         service,
-        host=args.host,
-        port=args.port,
+        host=host,
+        port=port,
         socket_path=args.socket,
         verbose=args.verbose,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import contextlib
+    import signal
+    import threading
+
+    from .serve.workers import run_worker
+
+    stop = threading.Event()
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API shape
+        stop.set()
+
+    with contextlib.suppress(ValueError):  # not the main thread (tests)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, _handler)
+    return run_worker(
+        args.connect,
+        label=args.label,
+        stop=stop,
+        poll_s=args.poll,
+        reconnect_s=args.reconnect,
     )
 
 
@@ -699,6 +757,32 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"  store: {store['entries']} entries in "
               f"{store['segments']} segments across "
               f"{store['shards']} shards")
+        fleet = stats.get("fleet") or []
+        if fleet:
+            print(f"  fleet: {len(fleet)} worker(s)")
+            for worker in fleet:
+                name = worker.get("label") or worker["id"]
+                state = "alive" if worker["alive"] else "lost"
+                print(f"    {name} [{worker['transport']}]: {state}, "
+                      f"{worker['in_flight']} in flight, "
+                      f"{worker['completed']} completed, "
+                      f"{worker['failed']} failed")
+        supervisor = stats.get("supervisor") or {}
+        if supervisor:
+            print(f"  supervision: {supervisor['retries']} retries, "
+                  f"{supervisor['hedges']} hedges "
+                  f"({supervisor['hedge_wins']} won), "
+                  f"{supervisor['worker_failures']} worker failures, "
+                  f"{supervisor['expired_leases']} expired leases")
+        recovered = stats.get("recovered_units", 0)
+        if recovered:
+            print(f"  recovered: {recovered} journaled unit(s) "
+                  "re-dispatched at startup")
+        abandoned = stats.get("abandoned") or []
+        if abandoned:
+            print(f"  ABANDONED: {len(abandoned)} unit(s) dropped by a "
+                  "timed-out drain (journaled): "
+                  + ", ".join(entry["id"] for entry in abandoned))
         return 0
     payloads = [client.status(job_id) for job_id in args.id]
     if args.format == "json":
@@ -1055,10 +1139,72 @@ def build_parser() -> argparse.ArgumentParser:
              "cutting dispatch units (default 0.02)",
     )
     srv.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="bind address as one flag (overrides --host/--port; "
+             ":PORT binds 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="bound on queued + in-flight dispatch units; submissions "
+             "beyond it answer 429 with Retry-After (default 1024)",
+    )
+    srv.add_argument(
+        "--lease", type=float, default=None, metavar="SECONDS",
+        help="per-unit lease: a remote worker must heartbeat within "
+             "this window or the unit is re-dispatched (default 15; "
+             "also sets the worker silence timeout to twice it)",
+    )
+    srv.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="speculatively duplicate a unit still running after this "
+             "many seconds (default: adaptive, 4x the observed latency "
+             "of its kind)",
+    )
+    srv.add_argument(
+        "--unit-retries", type=int, default=None,
+        help="worker failures tolerated per unit before it resolves "
+             "as an error (default 3)",
+    )
+    srv.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the crash-safe pending-unit journal (a killed "
+             "server then loses in-flight work)",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="bound the shutdown drain; work still pending after it is "
+             "abandoned visibly (journaled and listed in the exit "
+             "message) instead of waited on forever",
+    )
+    srv.add_argument(
         "--verbose", action="store_true",
         help="log every request to stderr",
     )
     srv.set_defaults(func=_cmd_serve)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="join a `repro serve` daemon as a remote worker "
+             "(register, long-poll for units, heartbeat, post results)",
+    )
+    wrk.add_argument(
+        "--connect", required=True, metavar="URL",
+        help="service URL (http://host:port or unix:/path)",
+    )
+    wrk.add_argument(
+        "--label", default=None,
+        help="human-readable name shown in the server's fleet census",
+    )
+    wrk.add_argument(
+        "--poll", type=float, default=None, metavar="SECONDS",
+        help="long-poll window (default: the server's advertised one)",
+    )
+    wrk.add_argument(
+        "--reconnect", type=float, default=2.0, metavar="SECONDS",
+        help="wait between reconnection attempts when the server is "
+             "unreachable (default 2)",
+    )
+    wrk.set_defaults(func=_cmd_worker)
 
     sbm = sub.add_parser(
         "submit", help="submit one evaluation to a `repro serve` daemon"

@@ -168,28 +168,56 @@ class ServeClient:
     ) -> Dict[str, Any]:
         payload = None if body is None else json.dumps(body)
         headers = {"Content-Type": "application/json"} if payload else {}
-        try:
-            conn, response = self._open(method, path, payload, headers)
-        except (OSError, http.client.HTTPException) as exc:
-            raise ServerError(
-                f"server {self.url} unreachable ({method} {path}: {exc})"
-            ) from exc
-        try:
+        attempt = 0
+        while True:
             try:
-                data = json.loads(response.read().decode("utf-8"))
-            except (OSError, http.client.HTTPException,
-                    json.JSONDecodeError) as exc:
+                conn, response = self._open(method, path, payload, headers)
+            except (OSError, http.client.HTTPException) as exc:
                 raise ServerError(
-                    f"server {self.url} unreachable or spoke garbage "
-                    f"({method} {path}: {exc})"
+                    f"server {self.url} unreachable ({method} {path}: {exc})"
                 ) from exc
-            if response.status >= 400:
-                raise ServerError(
-                    data.get("error", f"HTTP {response.status}")
-                )
-            return data
-        finally:
-            conn.close()
+            try:
+                try:
+                    data = json.loads(response.read().decode("utf-8"))
+                except (OSError, http.client.HTTPException,
+                        json.JSONDecodeError) as exc:
+                    raise ServerError(
+                        f"server {self.url} unreachable or spoke garbage "
+                        f"({method} {path}: {exc})"
+                    ) from exc
+                if response.status == 429:
+                    # Backpressure: the server shed this submission.
+                    # Honor its Retry-After and resubmit — safe for the
+                    # same idempotency reason as the transport retries.
+                    if attempt >= self.retries:
+                        raise ServerError(
+                            data.get("error", "server overloaded (HTTP 429)")
+                        )
+                    delay = self._retry_after(response, data, attempt)
+                elif response.status >= 400:
+                    raise ServerError(
+                        data.get("error", f"HTTP {response.status}")
+                    )
+                else:
+                    return data
+            finally:
+                conn.close()
+            time.sleep(delay)
+            attempt += 1
+
+    def _retry_after(self, response, data: Dict[str, Any],
+                     attempt: int) -> float:
+        """The server's advertised backoff, else the client's own."""
+        header = response.getheader("Retry-After")
+        if header is not None:
+            try:
+                return max(0.0, float(header))
+            except ValueError:
+                pass
+        advertised = data.get("retry_after_s")
+        if isinstance(advertised, (int, float)):
+            return max(0.0, float(advertised))
+        return min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
 
     # -- endpoints -----------------------------------------------------------
 
@@ -199,23 +227,47 @@ class ServeClient:
         config: Dict[str, Any],
         backend: str = "analysis",
         options: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Submit one evaluation; returns the submission envelope."""
+        """Submit one evaluation; returns the submission envelope.
+
+        ``deadline_s`` propagates to the server: the supervisor stops
+        retrying the work past it and the job resolves as an error —
+        a client with a budget never leaves orphan compute behind.
+        """
         return self._request("POST", "/evaluate", {
             "system": system,
             "config": config,
             "backend": backend,
             "options": options or {},
+            "deadline_s": deadline_s,
         })
 
-    def submit_sweep(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-        return self._request("POST", "/sweep", {"spec": spec_dict})
+    def submit_sweep(
+        self, spec_dict: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/sweep",
+            {"spec": spec_dict, "deadline_s": deadline_s},
+        )
 
-    def submit_campaign(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-        return self._request("POST", "/conform", {"spec": spec_dict})
+    def submit_campaign(
+        self, spec_dict: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/conform",
+            {"spec": spec_dict, "deadline_s": deadline_s},
+        )
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/status?id={quote(job_id)}")
+
+    def census(self) -> Dict[str, Any]:
+        """The service census (``GET /status`` without an id): fleet,
+        queue depth, abandoned and recovered work."""
+        return self._request("GET", "/status")
 
     def result(
         self, job_id: str, wait: bool = True, timeout: Optional[float] = None
@@ -304,7 +356,7 @@ def run_sweep_via_server(spec, url: str, timeout: float = 3600.0):
 
     started = time.perf_counter()
     client = ServeClient(url, timeout=timeout)
-    submitted = client.submit_sweep(spec.to_dict())
+    submitted = client.submit_sweep(spec.to_dict(), deadline_s=timeout)
     payload = client.result(submitted["id"], timeout=timeout)
     result = _unwrap(payload)
     return ExploreReport(
@@ -327,7 +379,7 @@ def run_campaign_via_server(spec, url: str, timeout: float = 3600.0):
 
     started = time.perf_counter()
     client = ServeClient(url, timeout=timeout)
-    submitted = client.submit_campaign(spec.to_dict())
+    submitted = client.submit_campaign(spec.to_dict(), deadline_s=timeout)
     payload = client.result(submitted["id"], timeout=timeout)
     result = _unwrap(payload)
     outcomes = [

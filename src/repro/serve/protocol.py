@@ -35,6 +35,8 @@ __all__ = [
     "PROTOCOL_FORMAT",
     "RESULT_KIND",
     "SEED_KIND",
+    "UNIT_KINDS",
+    "WORKER_PROTOCOL",
     "evaluation_key",
     "seed_key",
     "system_fingerprint",
@@ -42,6 +44,14 @@ __all__ = [
 
 #: Format tag stamped into every HTTP response envelope.
 PROTOCOL_FORMAT = "repro-serve-v1"
+#: Format tag of the remote-worker dialect (the ``/worker/*``
+#: endpoints: register → long-poll → heartbeat → result).  Stamped into
+#: registration responses so a worker from a different codebase vintage
+#: fails loudly at register time instead of computing garbage.
+WORKER_PROTOCOL = "repro-worker-v1"
+#: Dispatch-unit kinds every transport understands (the complete
+#: vocabulary of :func:`repro.serve.workers.run_unit`).
+UNIT_KINDS = ("eval", "cells", "seeds")
 #: Store kind of served evaluation results.  The payload is exactly a
 #: :meth:`repro.api.result.RunResult.to_dict` record — the same bytes a
 #: direct session would produce — only the key carries the extra

@@ -7,22 +7,30 @@ local socket deployments) whose handler translates JSON requests into
 
 ================  ======  ============================================
 ``/evaluate``     POST    one evaluation ``{system, config, backend,
-                          options}`` → submission envelope
+                          options, deadline_s}`` → submission envelope
 ``/sweep``        POST    a :class:`repro.explore.spec.SweepSpec` dict
 ``/conform``      POST    a :class:`CampaignSpec` dict
-``/status``       GET     ``?id=`` → job status (poll)
+``/status``       GET     ``?id=`` → job status; without ``id`` → the
+                          service census (fleet, queue, abandoned)
 ``/result``       GET     ``?id=`` → blocks briefly, then result/status
 ``/results``      GET     ``?id=a&id=b…`` → JSONL stream, one line per
                           job *as each completes* (arrival order)
 ``/stats``        GET     service metrics (queue, dedup, throughput)
 ``/healthz``      GET     liveness probe
 ``/shutdown``     POST    remote drain (tests and supervised setups)
+``/worker/…``     POST    the remote-worker dialect: ``register`` →
+                          ``poll`` (long) → ``heartbeat`` → ``result``
+                          (see :mod:`repro.serve.supervisor`)
 ================  ======  ============================================
 
 Responses are JSON envelopes stamped with the protocol format tag.  The
 server speaks HTTP/1.0 with ``Connection: close`` — the ``/results``
 stream writes a line per completed job and signals the end by closing,
 so no chunked-encoding machinery is needed on either side.
+
+Backpressure: a submission beyond the service's pending bound answers
+``429`` with a ``Retry-After`` header (seconds); clients back off and
+retry instead of the server growing without bound.
 
 Graceful shutdown: SIGTERM/SIGINT stop the listener, then the service
 drains — in-flight units finish, results are persisted to the sharded
@@ -43,8 +51,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import ReproError
-from .protocol import PROTOCOL_FORMAT
-from .service import EvaluationService
+from .protocol import PROTOCOL_FORMAT, WORKER_PROTOCOL
+from .service import EvaluationService, ServiceOverloaded
 
 __all__ = ["UnixHTTPServer", "make_server", "parse_listen", "serve"]
 
@@ -80,13 +88,20 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> EvaluationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_json(self, payload: Dict[str, Any], code: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, Any],
+        code: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(
             {"format": PROTOCOL_FORMAT, **payload}
         ).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -118,6 +133,10 @@ class _Handler(BaseHTTPRequestHandler):
             "/sweep": self._post_sweep,
             "/conform": self._post_conform,
             "/shutdown": self._post_shutdown,
+            "/worker/register": self._post_worker_register,
+            "/worker/poll": self._post_worker_poll,
+            "/worker/heartbeat": self._post_worker_heartbeat,
+            "/worker/result": self._post_worker_result,
         }.get(route)
         if handler is None:
             self._error(f"no such endpoint: POST {route}", code=404)
@@ -127,6 +146,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             handler(body)
+        except ServiceOverloaded as exc:
+            self._send_json(
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                code=429,
+                headers={"Retry-After": str(int(exc.retry_after_s + 0.5))},
+            )
         except ReproError as exc:
             self._error(str(exc), code=409 if "draining" in str(exc) else 400)
         except (KeyError, TypeError, ValueError) as exc:
@@ -148,19 +173,59 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints -----------------------------------------------------------
 
+    @staticmethod
+    def _deadline(body: Dict[str, Any]) -> Optional[float]:
+        deadline_s = body.get("deadline_s")
+        return None if deadline_s is None else float(deadline_s)
+
     def _post_evaluate(self, body: Dict[str, Any]) -> None:
         self._send_json(self.service.submit_evaluation(
             system=body["system"],
             config=body["config"],
             backend=body.get("backend", "analysis"),
             options=body.get("options"),
+            deadline_s=self._deadline(body),
         ))
 
     def _post_sweep(self, body: Dict[str, Any]) -> None:
-        self._send_json(self.service.submit_sweep(body["spec"]))
+        self._send_json(self.service.submit_sweep(
+            body["spec"], deadline_s=self._deadline(body)
+        ))
 
     def _post_conform(self, body: Dict[str, Any]) -> None:
-        self._send_json(self.service.submit_campaign(body["spec"]))
+        self._send_json(self.service.submit_campaign(
+            body["spec"], deadline_s=self._deadline(body)
+        ))
+
+    # -- the remote-worker dialect (see repro.serve.supervisor) --------------
+
+    def _post_worker_register(self, body: Dict[str, Any]) -> None:
+        registration = self.service.supervisor.register_worker(
+            label=body.get("label")
+        )
+        self._send_json({"worker_format": WORKER_PROTOCOL, **registration})
+
+    def _post_worker_poll(self, body: Dict[str, Any]) -> None:
+        # Long-poll: the handler thread parks on the supervisor's
+        # condition until a unit (or retirement) shows up.  HTTP/1.0
+        # with threading handlers makes this safe — each poll owns its
+        # connection and thread.
+        self._send_json(self.service.supervisor.poll(
+            str(body["worker"]), float(body.get("wait_s", 10.0))
+        ))
+
+    def _post_worker_heartbeat(self, body: Dict[str, Any]) -> None:
+        self._send_json(self.service.supervisor.heartbeat(
+            str(body["worker"]), str(body.get("unit"))
+        ))
+
+    def _post_worker_result(self, body: Dict[str, Any]) -> None:
+        self._send_json(self.service.supervisor.submit_result(
+            str(body["worker"]),
+            str(body["unit"]),
+            str(body.get("status", "error")),
+            body.get("result"),
+        ))
 
     def _post_shutdown(self, body: Dict[str, Any]) -> None:
         self._send_json({"status": "draining"})
@@ -175,6 +240,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_status(self) -> None:
         job_id = (self._query().get("id") or [""])[0]
+        if not job_id:
+            # No id: the service census — fleet, queue, liveness,
+            # recovered and abandoned work.
+            self._send_json(self.service.census())
+            return
         job = self.service.job(job_id)
         if job is None:
             self._error(f"unknown job id {job_id!r}", code=404)
@@ -294,6 +364,7 @@ def serve(
     verbose: bool = False,
     ready: Optional[threading.Event] = None,
     announce=_announce,
+    drain_timeout: Optional[float] = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT or ``POST /shutdown``.
 
@@ -328,8 +399,19 @@ def serve(
         announce("draining: finishing in-flight work...")
         server.shutdown()
         listener.join(timeout=10)
-        clean = service.drain()
-        announce("drained" if clean else "drain timed out")
+        clean = service.drain(timeout=drain_timeout)
+        if clean:
+            announce("drained")
+        elif service.abandoned:
+            # The satellite contract: abandoned work is *visible* — in
+            # the exit message and journaled for the next start.
+            announce(
+                f"drain timed out; abandoned {len(service.abandoned)} "
+                "unit(s) (journaled; they re-dispatch on the next start): "
+                + ", ".join(entry["id"] for entry in service.abandoned)
+            )
+        else:
+            announce("drain timed out")
         return 0 if clean else 1
     finally:
         server.server_close()

@@ -1,4 +1,4 @@
-"""The evaluation service core: queue, dedup, batching, worker pool.
+"""The evaluation service core: queue, dedup, batching, supervision.
 
 :class:`EvaluationService` is the transport-independent engine behind
 ``repro serve`` (the HTTP layer in :mod:`repro.serve.server` is a thin
@@ -16,15 +16,17 @@ shell over it).  One request flows through five stages:
    share a warm :class:`repro.api.Session` — and splits each group
    into dispatch units with the same
    :func:`repro.explore.runner.partition_chunks` the sweep engine uses.
-4. **Compute.**  Units fan out to a persistent pool of forked worker
-   processes.  Each worker keeps an LRU of per-system sessions, so
-   ``AnalysisContext``/``SimContext`` compiles amortize across every
-   request that ever hits that system — the point of running a daemon
-   instead of one-shot scripts.  ``workers=0`` degrades to inline
-   execution in the dispatcher thread (sandboxes without fork).
-5. **Persist + resolve.**  The collector writes each result to the
-   sharded store (grace-window compaction keeps the directory bounded
-   while live), resolves the job, and wakes every waiter.
+4. **Compute.**  Units go to the :class:`repro.serve.supervisor.
+   Supervisor`, which owns the worker fleet — local forked processes
+   and/or remote HTTP workers (``repro worker --connect``) — plus
+   liveness, leases, bounded retries, straggler hedging, and inline
+   degradation when the fleet is empty.  Every unit is journaled
+   before dispatch (crash-safe: a killed server re-dispatches pending
+   units on restart) and delivered exactly once however many hedged
+   attempts race.
+5. **Persist + resolve.**  The service writes each delivered result to
+   the sharded store (grace-window compaction keeps the directory
+   bounded while live), resolves the job, and wakes every waiter.
 
 Sweeps and conformance campaigns ride the same pipeline as batch jobs:
 the service expands the spec server-side (deterministically — the same
@@ -33,6 +35,12 @@ store, and fans the remainder out as units; the client reassembles the
 report.  Worker processes never touch the store — all store I/O stays
 on the service threads, so the multi-writer story stays one writer per
 process plus shard-local segments.
+
+Backpressure: the pending-work set is bounded (``max_pending`` units).
+Submissions beyond it raise :class:`ServiceOverloaded`, which the HTTP
+shell maps to ``429`` with a ``Retry-After`` estimate — an overloaded
+server sheds load instead of growing memory, and :class:`repro.serve.
+client.ServeClient` retries after the advertised delay.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ import uuid
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..exceptions import ReproError
 from ..explore.runner import partition_chunks
@@ -56,99 +64,28 @@ from .protocol import (
     seed_key,
     system_fingerprint,
 )
+from .supervisor import Supervisor, SupervisorConfig, UnitJournal
 
-__all__ = ["EvaluationService", "Job"]
+__all__ = ["EvaluationService", "Job", "ServiceOverloaded"]
 
-#: Warm sessions kept per worker process (LRU beyond this).
-SESSION_CACHE_LIMIT = 4
 #: Completed jobs remembered for status polling (LRU beyond this).
 _JOB_HISTORY_LIMIT = 4096
 
-
-def _worker_main(task_q, result_q) -> None:
-    """Worker process loop: evaluate dispatch units until poisoned.
-
-    Terminal signals are ignored — draining is the service's business,
-    and a worker dying mid-unit would break the pool and lose the unit.
-    A unit that raises reports an error result instead of killing the
-    worker, so one bad request cannot take the pool down.
-    """
-    import signal
-
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    sessions: OrderedDict[str, Any] = OrderedDict()
-    while True:
-        task = task_q.get()
-        if task is None:
-            break
-        unit_id, kind, payload = task
-        try:
-            result_q.put((unit_id, "ok", _run_unit(sessions, kind, payload)))
-        except BaseException as exc:  # noqa: BLE001 - worker must survive
-            result_q.put((unit_id, "error", f"{type(exc).__name__}: {exc}"))
+#: Pending-unit journal file, inside the store directory (segments are
+#: only scanned under ``segments/`` and ``shards/``, so the store never
+#: mistakes it for data).
+_JOURNAL_NAME = "serve-journal.jsonl"
 
 
-def _session_for(sessions: OrderedDict, system_h: str, system_dict):
-    """The worker's warm session for a system (LRU-bounded)."""
-    from ..api.session import Session
-    from ..io.serialize import system_from_dict
+class ServiceOverloaded(ReproError):
+    """The pending-work bound is hit; retry after ``retry_after_s``."""
 
-    session = sessions.get(system_h)
-    if session is None:
-        session = Session(system_from_dict(system_dict))
-        sessions[system_h] = session
-        while len(sessions) > SESSION_CACHE_LIMIT:
-            sessions.popitem(last=False)
-    else:
-        sessions.move_to_end(system_h)
-    return session
-
-
-def _run_unit(sessions: OrderedDict, kind: str, payload: Any) -> Any:
-    """Evaluate one dispatch unit (worker side or inline)."""
-    if kind == "eval":
-        return _run_eval_unit(sessions, payload)
-    if kind == "cells":
-        from ..explore.engine import _evaluate_chunk
-
-        return _evaluate_chunk(payload)
-    if kind == "seeds":
-        from ..conformance.campaign import CampaignSpec, _evaluate_chunk
-
-        spec = CampaignSpec.from_dict(payload["spec"])
-        outcomes = _evaluate_chunk((spec, payload["seeds"]))
-        return [outcome.to_dict() for outcome in outcomes]
-    raise ReproError(f"unknown dispatch unit kind {kind!r}")
-
-
-def _run_eval_unit(
-    sessions: OrderedDict, payload: Dict[str, Any]
-) -> List[Tuple[str, str, Any]]:
-    """One batched evaluation unit: same system, backend and options.
-
-    Results are exactly what a direct session produces
-    (``RunResult.to_dict()``) — the bit-identity contract of the
-    service's end-to-end test.  Per-item failures become per-item error
-    entries; the rest of the unit still completes.
-    """
-    from ..io.serialize import config_from_dict, run_result_to_dict
-
-    session = _session_for(
-        sessions, payload["system_hash"], payload["system"]
-    )
-    out: List[Tuple[str, str, Any]] = []
-    for job_id, config_dict in payload["items"]:
-        try:
-            run = session.evaluate(
-                config_from_dict(config_dict),
-                backend=payload["backend"],
-                **payload["options"],
-            )
-            out.append((job_id, "ok", run_result_to_dict(run)))
-        except (ReproError, TypeError, ValueError) as exc:
-            out.append((job_id, "error", str(exc)))
-    return out
+    def __init__(self, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"service overloaded ({depth} pending units, limit {limit}); "
+            f"retry in {retry_after_s:.1f}s"
+        )
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -156,7 +93,7 @@ class Job:
     """One tracked request (a single evaluation or a whole batch)."""
 
     id: str
-    kind: str  # "eval" | "sweep" | "conform"
+    kind: str  # "eval" | "sweep" | "conform" | "recovery"
     status: str = "queued"  # queued | running | done | error
     #: Serve store key (eval jobs with addressable options only).
     key: Optional[str] = None
@@ -168,6 +105,8 @@ class Job:
     created: float = field(default_factory=time.monotonic)
     started: Optional[float] = None
     finished: Optional[float] = None
+    #: Client-propagated deadline (monotonic instant; None = none).
+    deadline: Optional[float] = None
     #: Requests coalesced onto this job (the dedup fan-in count).
     attached: int = 1
     #: Batch jobs: dispatch units still out.
@@ -180,7 +119,7 @@ class Job:
     computed: int = 0
 
     def public_status(self) -> Dict[str, Any]:
-        """The JSON shape of ``GET /status``."""
+        """The JSON shape of ``GET /status?id=``."""
         out: Dict[str, Any] = {
             "id": self.id,
             "kind": self.kind,
@@ -203,7 +142,7 @@ class Job:
 
 
 class EvaluationService:
-    """Queue + dedup + batching + worker pool (see module docstring).
+    """Queue + dedup + batching + supervised fleet (module docstring).
 
     Parameters
     ----------
@@ -211,13 +150,23 @@ class EvaluationService:
         Sharded result store (directory or instance) backing dedup and
         persistence.
     workers:
-        Persistent worker processes.  ``0`` = inline execution in the
-        dispatcher thread (no fork needed; used as the degraded mode in
-        sandboxes and for deterministic tests).
+        Local forked worker processes.  ``0`` starts no local fleet —
+        the service computes inline until remote workers connect
+        (``repro worker --connect URL``), and degrades back to inline
+        whenever the fleet empties.
     batch_window_s:
         How long the dispatcher lets queued requests accumulate before
         cutting dispatch units — the knob trading latency for batch
         size (and thus warm-session locality).
+    max_pending:
+        Bound on queued evaluations + in-flight dispatch units; beyond
+        it submissions raise :class:`ServiceOverloaded` (HTTP 429).
+    journal:
+        Keep the crash-safe pending-unit journal (default on).  A
+        restarted service re-dispatches journaled in-flight units.
+    supervisor:
+        Liveness/delivery policy (:class:`SupervisorConfig`); defaults
+        are production-shaped, tests shrink the timers.
     """
 
     def __init__(
@@ -225,26 +174,33 @@ class EvaluationService:
         store: Union[str, Path, ResultStore],
         workers: int = 2,
         batch_window_s: float = 0.02,
+        max_pending: int = 1024,
+        journal: bool = True,
+        supervisor: Optional[SupervisorConfig] = None,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
         self.workers = max(0, int(workers))
         self.batch_window_s = batch_window_s
+        self.max_pending = max(1, int(max_pending))
         self._lock = threading.RLock()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         #: serve-key -> queued/running eval job (the dedup map).
         self._inflight: Dict[str, Job] = {}
         #: Eval jobs awaiting batching.
         self._eval_queue: deque = deque()
-        #: (unit_id, kind, payload) awaiting dispatch (all kinds).
-        self._dispatch_queue: deque = deque()
-        #: unit_id -> unit bookkeeping for the collector.
+        #: unit_id -> unit bookkeeping for completion.
         self._units: Dict[str, Dict[str, Any]] = {}
         self._unit_counter = itertools.count()
+        self._unit_nonce = uuid.uuid4().hex[:6]
         self._accepting = True
         self._stop = threading.Event()
         self._started_at = time.monotonic()
+        #: Units dropped by a timed-out drain (still journaled).
+        self.abandoned: List[Dict[str, str]] = []
+        #: Units replayed from the journal at startup.
+        self.recovered_units = 0
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "dedup_hits": 0,
@@ -258,48 +214,46 @@ class EvaluationService:
             "units": 0.0,
         }
         self._wake = threading.Condition(self._lock)
-        self._procs: List[Any] = []
-        self._task_q = None
-        self._result_q = None
-        self._inline_sessions: OrderedDict = OrderedDict()
-        if self.workers > 0:
-            self._start_pool()
+        self.journal: Optional[UnitJournal] = (
+            UnitJournal(Path(self.store.root) / _JOURNAL_NAME)
+            if journal else None
+        )
+        self._supervisor = Supervisor(
+            deliver=self._complete_unit,
+            local_workers=self.workers,
+            config=supervisor,
+        )
+        if self._supervisor.local_workers < self.workers:
+            # fork unavailable: the fleet degraded to empty (inline).
+            self.workers = self._supervisor.local_workers
+        self._recover_journal()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatch", daemon=True
         )
         self._dispatcher.start()
-        self._collector = None
-        if self.workers > 0:
-            self._collector = threading.Thread(
-                target=self._collect_loop, name="serve-collect", daemon=True
-            )
-            self._collector.start()
 
-    # -- pool ----------------------------------------------------------------
+    @property
+    def supervisor(self) -> Supervisor:
+        return self._supervisor
 
-    def _start_pool(self) -> None:
-        import multiprocessing
+    # -- capacity ------------------------------------------------------------
 
-        try:
-            ctx = multiprocessing.get_context("fork")
-            self._task_q = ctx.Queue()
-            self._result_q = ctx.Queue()
-            procs = []
-            for _ in range(self.workers):
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(self._task_q, self._result_q),
-                    daemon=True,
-                )
-                proc.start()
-                procs.append(proc)
-            self._procs = procs
-        except (OSError, PermissionError, ValueError):
-            # No fork available: degrade to inline execution.
-            self.workers = 0
-            self._procs = []
-            self._task_q = None
-            self._result_q = None
+    def _check_capacity(self, incoming_units: int) -> None:
+        """Reject work beyond ``max_pending`` (lock held)."""
+        depth = len(self._eval_queue) + len(self._units)
+        if depth + incoming_units <= self.max_pending:
+            return
+        units_done = self._timings["units"] or 1.0
+        unit_s = self._timings["unit_compute_s"] / units_done or 1.0
+        parallelism = max(1, self._supervisor.fleet_size)
+        retry_after = min(60.0, max(1.0, depth * unit_s / parallelism))
+        raise ServiceOverloaded(depth, self.max_pending, retry_after)
+
+    @staticmethod
+    def _job_deadline(deadline_s: Optional[float]) -> Optional[float]:
+        if deadline_s is None:
+            return None
+        return time.monotonic() + max(0.0, float(deadline_s))
 
     # -- submission ----------------------------------------------------------
 
@@ -309,6 +263,7 @@ class EvaluationService:
         config: Dict[str, Any],
         backend: str = "analysis",
         options: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Submit one evaluation; returns the submission envelope.
 
@@ -316,7 +271,9 @@ class EvaluationService:
         ``status == "done"`` the result is already available (store
         hit).  A request whose key is in flight attaches to the
         existing job and returns that job's id: polling either id
-        observes the single shared computation.
+        observes the single shared computation.  ``deadline_s`` bounds
+        the job: the supervisor stops retrying past it and resolves
+        the job as an error.
         """
         options = dict(options or {})
         system_h = system_fingerprint(system)
@@ -344,7 +301,9 @@ class EvaluationService:
                     return self._submit_envelope(
                         inflight, deduplicated=True, store_hit=False
                     )
+            self._check_capacity(1)
             job = self._new_job("eval", key=serve_key)
+            job.deadline = self._job_deadline(deadline_s)
             job.request = {
                 "system": system,
                 "system_hash": system_h,
@@ -361,7 +320,10 @@ class EvaluationService:
                 job, deduplicated=False, store_hit=False
             )
 
-    def submit_sweep(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    def submit_sweep(
+        self, spec_dict: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Submit a whole sweep; cells dedup against the store.
 
         The expansion is exactly the engine's (:mod:`repro.explore`):
@@ -378,27 +340,25 @@ class EvaluationService:
         with self._lock:
             if not self._accepting:
                 raise ReproError("service is draining; not accepting work")
-            job = self._new_job("sweep")
-            job.request = {"spec": spec.to_dict()}
-            job.slots = [None] * len(cells)
             self.store.refresh()
+            slots: List[Any] = [None] * len(cells)
+            store_hits = 0
             pending: List[int] = []
             for i, cell in enumerate(cells):
                 payload = self.store.get(
                     cell.key, kind=CELL_KIND, refresh=False
                 )
                 if isinstance(payload, dict) and payload.get("key") == cell.key:
-                    job.slots[i] = {
+                    slots[i] = {
                         **payload,
                         "index": cell.index,
                         "method": cell.method,
                         "workload": dict(cell.workload),
                         "options": dict(cell.options),
                     }
-                    job.store_hits += 1
+                    store_hits += 1
                 else:
                     pending.append(i)
-            self.counters["store_hits"] += job.store_hits
             units: List[List[int]] = []
             for i in pending:
                 if units and (
@@ -407,6 +367,13 @@ class EvaluationService:
                     units[-1].append(i)
                 else:
                     units.append([i])
+            self._check_capacity(len(units))
+            job = self._new_job("sweep")
+            job.deadline = self._job_deadline(deadline_s)
+            job.request = {"spec": spec.to_dict()}
+            job.slots = slots
+            job.store_hits = store_hits
+            self.counters["store_hits"] += store_hits
             job.started = time.monotonic()
             job.status = "running"
             if not units:
@@ -416,13 +383,18 @@ class EvaluationService:
                 self._enqueue_unit(
                     "cells",
                     [cells[i].to_dict() for i in unit],
-                    meta={"job": job, "positions": unit, "cell_kind": True},
+                    meta={"job": job, "positions": unit},
+                    persist={"mode": "cells"},
+                    deadline=job.deadline,
                 )
             return self._submit_envelope(
                 job, deduplicated=False, store_hit=not units
             )
 
-    def submit_campaign(self, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    def submit_campaign(
+        self, spec_dict: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
         """Submit a conformance campaign; seeds dedup against the store.
 
         The server forces ``fixture_dir=None`` (fixtures are a local
@@ -443,23 +415,28 @@ class EvaluationService:
         with self._lock:
             if not self._accepting:
                 raise ReproError("service is draining; not accepting work")
-            job = self._new_job("conform")
-            job.request = {"spec": key_spec}
-            job.slots = [None] * len(seeds)
             self.store.refresh()
+            slots: List[Any] = [None] * len(seeds)
+            store_hits = 0
             pending: List[int] = []
             for i, seed in enumerate(seeds):
                 payload = self.store.get(
                     seed_key(key_spec, seed), kind=SEED_KIND, refresh=False
                 )
                 if isinstance(payload, dict) and payload.get("seed") == seed:
-                    job.slots[i] = payload
-                    job.store_hits += 1
+                    slots[i] = payload
+                    store_hits += 1
                 else:
                     pending.append(i)
-            self.counters["store_hits"] += job.store_hits
-            chunk_width = max(1, self.workers)
+            chunk_width = max(1, self.workers, self._supervisor.fleet_size)
             chunks = partition_chunks(pending, chunk_width)
+            self._check_capacity(len(chunks))
+            job = self._new_job("conform")
+            job.deadline = self._job_deadline(deadline_s)
+            job.request = {"spec": key_spec}
+            job.slots = slots
+            job.store_hits = store_hits
+            self.counters["store_hits"] += store_hits
             job.started = time.monotonic()
             job.status = "running"
             if not chunks:
@@ -470,6 +447,8 @@ class EvaluationService:
                     "seeds",
                     {"spec": key_spec, "seeds": [seeds[i] for i in chunk]},
                     meta={"job": job, "positions": chunk},
+                    persist={"mode": "seeds", "spec": key_spec},
+                    deadline=job.deadline,
                 )
             return self._submit_envelope(
                 job, deduplicated=False, store_hit=not chunks
@@ -499,51 +478,42 @@ class EvaluationService:
     # -- dispatch ------------------------------------------------------------
 
     def _enqueue_unit(
-        self, kind: str, payload: Any, meta: Dict[str, Any]
+        self,
+        kind: str,
+        payload: Any,
+        meta: Dict[str, Any],
+        persist: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> None:
-        """Register a dispatch unit and queue it (lock held)."""
-        unit_id = f"u{next(self._unit_counter)}"
+        """Register, journal and hand a unit to the supervisor
+        (lock held)."""
+        unit_id = f"u{self._unit_nonce}-{next(self._unit_counter)}"
         meta = dict(meta)
         meta["kind"] = kind
+        meta["persist"] = persist or {}
         meta["queued_at"] = time.monotonic()
         self._units[unit_id] = meta
-        self._dispatch_queue.append((unit_id, kind, payload))
-        self._wake.notify_all()
+        if self.journal is not None:
+            self.journal.record_unit(unit_id, kind, payload, persist)
+        self._supervisor.submit(unit_id, kind, payload, deadline=deadline)
 
     def _dispatch_loop(self) -> None:
-        """Batch eval jobs into units; push every unit to the pool.
+        """Batch queued eval jobs into units for the supervisor.
 
         Runs until the service stops.  The batch window lets racing
         clients' requests coalesce into fewer, larger units (more
-        warm-session locality per IPC round trip).
+        warm-session locality per dispatch).
         """
         while not self._stop.is_set():
             with self._wake:
-                if not self._eval_queue and not self._dispatch_queue:
+                if not self._eval_queue:
                     self._wake.wait(timeout=0.1)
                     continue
-            if self._eval_queue:
-                time.sleep(self.batch_window_s)
-                with self._lock:
-                    batch = list(self._eval_queue)
-                    self._eval_queue.clear()
-                    self._cut_eval_units(batch)
-            units = []
+            time.sleep(self.batch_window_s)
             with self._lock:
-                while self._dispatch_queue:
-                    units.append(self._dispatch_queue.popleft())
-            for unit_id, kind, payload in units:
-                if self._task_q is not None:
-                    self._task_q.put((unit_id, kind, payload))
-                else:
-                    # Inline mode: compute here, resolve directly.
-                    try:
-                        result = _run_unit(
-                            self._inline_sessions, kind, payload
-                        )
-                        self._complete_unit(unit_id, "ok", result)
-                    except (ReproError, TypeError, ValueError) as exc:
-                        self._complete_unit(unit_id, "error", str(exc))
+                batch = list(self._eval_queue)
+                self._eval_queue.clear()
+                self._cut_eval_units(batch)
 
     def _cut_eval_units(self, batch: List[Job]) -> None:
         """Group queued eval jobs into dispatch units (lock held)."""
@@ -561,9 +531,13 @@ class EvaluationService:
                 default=str,
             )
             groups.setdefault(group_key, []).append(job)
+        width = max(1, self.workers, self._supervisor.fleet_size)
         for jobs in groups.values():
             request = jobs[0].request
-            for unit in partition_chunks(jobs, max(1, self.workers)):
+            for unit in partition_chunks(jobs, width):
+                deadlines = [
+                    job.deadline for job in unit if job.deadline is not None
+                ]
                 for job in unit:
                     job.status = "running"
                     job.started = time.monotonic()
@@ -582,23 +556,17 @@ class EvaluationService:
                         ],
                     },
                     meta={"jobs": {job.id: job for job in unit}},
+                    persist={
+                        "mode": "eval",
+                        "keys": {job.id: job.key for job in unit},
+                    },
+                    deadline=min(deadlines) if deadlines else None,
                 )
 
-    # -- collection ----------------------------------------------------------
-
-    def _collect_loop(self) -> None:
-        import queue as _queue
-
-        while not self._stop.is_set() or self._units:
-            try:
-                unit_id, status, result = self._result_q.get(timeout=0.1)
-            except _queue.Empty:
-                continue
-            except (OSError, EOFError):
-                break
-            self._complete_unit(unit_id, status, result)
+    # -- completion ----------------------------------------------------------
 
     def _complete_unit(self, unit_id: str, status: str, result: Any) -> None:
+        """Supervisor delivery callback — exactly once per unit."""
         with self._lock:
             meta = self._units.pop(unit_id, None)
             if meta is None:
@@ -607,10 +575,17 @@ class EvaluationService:
             self._timings["unit_compute_s"] += (
                 time.monotonic() - meta["queued_at"]
             )
+            if self.journal is not None:
+                self.journal.record_done(unit_id)
             if "jobs" in meta:
                 self._complete_eval_unit(meta, status, result)
+            elif "recovery" in meta:
+                self._complete_recovery_unit(meta, status, result)
             else:
                 self._complete_batch_unit(meta, status, result)
+            if (self.journal is not None and not self._units
+                    and not self._eval_queue):
+                self.journal.reset()
 
     def _complete_eval_unit(
         self, meta: Dict[str, Any], status: str, result: Any
@@ -659,12 +634,13 @@ class EvaluationService:
             job.finished = time.monotonic()
             job.done.set()
             return
+        cell_kind = meta["persist"].get("mode") == "cells"
         for position, record in zip(positions, result):
             job.slots[position] = record
             job.computed += 1
             self.counters["computed"] += 1
             try:
-                if meta.get("cell_kind"):
+                if cell_kind:
                     self.store.put(record["key"], record, kind=CELL_KIND)
                 else:
                     self.store.put(
@@ -690,14 +666,103 @@ class EvaluationService:
                 "computed": job.computed,
                 "wall_s": wall_s,
             }
-        else:
+        elif job.kind == "conform":
             job.result = {
                 "outcomes": list(job.slots),
                 "store_hits": job.store_hits,
                 "computed": job.computed,
                 "wall_s": wall_s,
             }
+        else:  # recovery
+            job.result = {
+                "recovered": list(job.slots),
+                "computed": job.computed,
+                "wall_s": wall_s,
+            }
         job.done.set()
+
+    # -- journal recovery ----------------------------------------------------
+
+    def _recover_journal(self) -> None:
+        """Re-dispatch units a killed predecessor left in flight.
+
+        Pending journal entries are re-homed onto fresh unit ids under
+        a ``recovery`` job; each completed unit's results are persisted
+        to the store by the keys recorded at original enqueue time —
+        the attached clients are gone (their connections died with the
+        old process), but the *work* is not: a client that resubmits
+        hits the store.
+        """
+        if self.journal is None:
+            return
+        entries = self.journal.pending()
+        if not entries:
+            return
+        with self._lock:
+            job = self._new_job("recovery")
+            job.request = {"journal_units": len(entries)}
+            job.slots = [None] * len(entries)
+            job.started = time.monotonic()
+            job.status = "running"
+            job.pending_units = len(entries)
+            # Re-home onto fresh ids first (reset drops the old ones),
+            # so a crash *during* recovery still re-dispatches.
+            self.journal.reset()
+            for i, entry in enumerate(entries):
+                self._enqueue_unit(
+                    entry.get("kind", "eval"),
+                    entry.get("payload"),
+                    meta={"job": job, "positions": [i], "recovery": True},
+                    persist=entry.get("persist") or {},
+                )
+            self.recovered_units = len(entries)
+
+    def _complete_recovery_unit(
+        self, meta: Dict[str, Any], status: str, result: Any
+    ) -> None:
+        """Persist a recovered unit's results by their journaled keys."""
+        from ..explore.engine import CELL_KIND
+
+        job: Job = meta["job"]
+        position = meta["positions"][0]
+        persist = meta["persist"]
+        mode = persist.get("mode")
+        persisted = 0
+        if status == "ok":
+            try:
+                if mode == "cells":
+                    for record in result:
+                        self.store.put(
+                            record["key"], record, kind=CELL_KIND
+                        )
+                        persisted += 1
+                elif mode == "seeds":
+                    for record in result:
+                        self.store.put(
+                            seed_key(persist["spec"], record["seed"]),
+                            record,
+                            kind=SEED_KIND,
+                        )
+                        persisted += 1
+                elif mode == "eval":
+                    keys = persist.get("keys") or {}
+                    for job_id, item_status, payload in result:
+                        key = keys.get(job_id)
+                        if item_status == "ok" and key:
+                            self.store.put(key, payload, kind=RESULT_KIND)
+                            persisted += 1
+            except (OSError, TypeError, ValueError, KeyError):
+                pass
+            job.computed += persisted
+            self.counters["computed"] += persisted
+        else:
+            self.counters["errors"] += 1
+        job.slots[position] = {
+            "mode": mode, "status": status, "persisted": persisted,
+        }
+        job.pending_units -= 1
+        if job.pending_units <= 0 and job.status == "running":
+            self._finish_batch(job)
 
     # -- observation ---------------------------------------------------------
 
@@ -712,6 +777,21 @@ class EvaluationService:
             raise KeyError(job_id)
         job.done.wait(timeout=timeout)
         return job
+
+    def census(self) -> Dict[str, Any]:
+        """The ``GET /status`` (no id) payload: fleet + liveness."""
+        with self._lock:
+            return {
+                "status": "draining" if not self._accepting else "ok",
+                "accepting": self._accepting,
+                "uptime_s": time.monotonic() - self._started_at,
+                "queue_depth": len(self._eval_queue) + len(self._units),
+                "max_pending": self.max_pending,
+                "fleet": self._supervisor.fleet(),
+                "supervisor": dict(self._supervisor.counters),
+                "abandoned": list(self.abandoned),
+                "recovered_units": self.recovered_units,
+            }
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: queue, dedup, store and throughput."""
@@ -736,9 +816,14 @@ class EvaluationService:
             return {
                 "uptime_s": elapsed,
                 "workers": self.workers,
-                "queue_depth": queued_evals + len(self._dispatch_queue),
+                "queue_depth": queued_evals + live_units,
+                "max_pending": self.max_pending,
                 "in_flight_units": live_units,
                 "counters": dict(self.counters),
+                "supervisor": dict(self._supervisor.counters),
+                "fleet": self._supervisor.fleet(),
+                "abandoned": list(self.abandoned),
+                "recovered_units": self.recovered_units,
                 "dedup_ratio": self.counters["dedup_hits"] / submitted,
                 "evals_per_s": evals / elapsed if elapsed > 0 else 0.0,
                 "timings": {
@@ -761,10 +846,13 @@ class EvaluationService:
 
         Stops accepting new requests, waits for the queue and every
         dispatched unit to resolve (bounded by ``timeout``), then stops
-        the workers and closes the store.  Returns True when everything
-        completed, False on timeout (remaining work is abandoned but
-        everything already collected is persisted — the store is the
-        checkpoint).
+        the fleet and closes the store.  Returns True when everything
+        completed.  On timeout the remaining units are *abandoned
+        visibly*: their identities land in :attr:`abandoned` (surfaced
+        by ``/status``, ``/stats`` and the CLI exit message), their
+        attached jobs resolve as errors so no client hangs, and — the
+        crash-safety contract — they stay in the journal, so the next
+        start re-dispatches them.
         """
         deadline = (
             None if timeout is None else time.monotonic() + timeout
@@ -774,37 +862,59 @@ class EvaluationService:
         clean = True
         while True:
             with self._lock:
-                idle = (
-                    not self._eval_queue
-                    and not self._dispatch_queue
-                    and not self._units
-                )
+                idle = not self._eval_queue and not self._units
             if idle:
                 break
             if deadline is not None and time.monotonic() > deadline:
                 clean = False
                 break
             time.sleep(0.02)
+        if not clean:
+            self._abandon_remaining()
         self._stop.set()
         with self._wake:
             self._wake.notify_all()
-        if self._task_q is not None:
-            for _ in self._procs:
-                try:
-                    self._task_q.put(None)
-                except (OSError, ValueError):
-                    break
-            for proc in self._procs:
-                proc.join(timeout=10)
-                if proc.is_alive():
-                    proc.terminate()
-                    clean = False
-        if self._collector is not None:
-            self._collector.join(timeout=5)
+        self._supervisor.retire_workers()
+        fleet_clean = self._supervisor.stop()
         self._dispatcher.join(timeout=5)
+        if self.journal is not None:
+            self.journal.close()
         self.store.close()
-        return clean
+        return clean and fleet_clean
+
+    def _abandon_remaining(self) -> None:
+        """Drain timed out: journal + surface what was left behind."""
+        with self._lock:
+            # Undispatched eval jobs become journaled units first —
+            # "abandoned invisibly" is exactly the failure mode this
+            # path exists to close.
+            batch = list(self._eval_queue)
+            self._eval_queue.clear()
+            if batch:
+                self._cut_eval_units(batch)
+        dropped = self._supervisor.abandon_pending()
+        with self._lock:
+            for entry in dropped:
+                meta = self._units.pop(entry["id"], None)
+                record = {"id": entry["id"], "kind": entry["kind"]}
+                self.abandoned.append(record)
+                if meta is None:
+                    continue
+                message = (
+                    "abandoned at drain timeout (journaled; a restarted "
+                    "server re-dispatches it)"
+                )
+                if "jobs" in meta:
+                    for job in meta["jobs"].values():
+                        self._resolve_eval(job, "error", message)
+                else:
+                    job = meta["job"]
+                    if not job.done.is_set():
+                        job.status = "error"
+                        job.error = message
+                        job.finished = time.monotonic()
+                        job.done.set()
 
     def close(self) -> None:
-        """Hard stop (tests): no drain wait, workers terminated."""
+        """Hard stop (tests): no drain wait, work abandoned visibly."""
         self.drain(timeout=0.0)

@@ -1,0 +1,784 @@
+"""Supervision of the worker fleet: liveness, leases, retries, hedging.
+
+The :class:`Supervisor` sits between the service's dispatch queue and
+the transports of :mod:`repro.serve.workers`.  The service hands it
+units; the supervisor decides *where* and *when* each unit runs and
+guarantees **at-least-once dispatch with exactly-once delivery**:
+
+* **Leases.**  Every dispatched attempt carries a deadline.  Local
+  attempts are backed by process liveness (a SIGKILLed worker is
+  detected on the next tick); remote attempts are kept alive by
+  heartbeats (``POST /worker/heartbeat`` while the worker computes) —
+  a worker that stops beating past its lease (killed, partitioned, or
+  SIGSTOPped) forfeits the unit.
+* **Retries.**  A failed or expired attempt re-dispatches with bounded
+  exponential backoff, preferring a worker that has not yet touched the
+  unit.  A unit that keeps failing resolves as an error after
+  ``unit_retries`` transport failures — it never spins forever.
+* **Hedging** (limplock mitigation).  A unit whose only live attempt
+  has run far past the observed latency of its kind — on a worker that
+  is still *alive* (a dead worker is a retry, not a hedge) — gets a
+  speculative second attempt on an idle worker.  First result wins;
+  late results are dropped (``hedge_wasted``) before they reach the
+  service, so delivery — counters, store writes, client results —
+  stays exactly-once per key even when hedges race.
+* **Journal.**  :class:`UnitJournal` records every unit at enqueue and
+  every delivery, append-only with fsync, in the store directory.  A
+  killed server restarts, replays the pending set, and re-dispatches
+  in-flight work — no cell of a sweep is lost to a crash.
+* **Degradation.**  With no live workers at all (``--workers 0`` and
+  an empty remote fleet) units execute inline on the supervisor
+  thread: a fleet is an optimization, never a requirement.
+
+The supervisor never interprets results; it delivers the first
+terminal outcome of each unit to the service's completion callback and
+drops the rest.  Results are therefore bit-identical to a failure-free
+run under any kill/slow/partition schedule — the standing invariant
+the chaos suite enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from .workers import LocalFleet, run_unit
+
+__all__ = ["Supervisor", "SupervisorConfig", "UnitJournal"]
+
+#: Format tag of the pending-unit journal (first line of the file).
+JOURNAL_FORMAT = "serve-journal-v1"
+
+
+# -- the crash-safe pending-unit journal -------------------------------------
+
+
+class UnitJournal:
+    """Append-only record of units enqueued and delivered.
+
+    One JSON object per line: a header line stamps the format, then
+    ``{"op": "unit", "id", "kind", "payload", "persist"}`` at enqueue
+    and ``{"op": "done", "id"}`` at delivery.  Appends are flushed and
+    fsynced — a unit acknowledged to the journal survives ``kill -9``.
+    A torn tail (the crash happened mid-append) invalidates only the
+    torn line, exactly like the result store's segments.
+
+    :meth:`pending` replays the file into the not-yet-delivered unit
+    set; :meth:`reset` rewrites the file with just the given units
+    (compaction — called when the pending set is empty or after a
+    recovery replay re-homed old entries onto new ids).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._append({"format": JOURNAL_FORMAT})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, default=str)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_unit(
+        self, unit_id: str, kind: str, payload: Any,
+        persist: Optional[Dict[str, Any]],
+    ) -> None:
+        with self._lock:
+            self._append({
+                "op": "unit", "id": unit_id, "kind": kind,
+                "payload": payload, "persist": persist,
+            })
+
+    def record_done(self, unit_id: str) -> None:
+        with self._lock:
+            self._append({"op": "done", "id": unit_id})
+
+    def pending(self) -> List[Dict[str, Any]]:
+        """Replay the journal into the undelivered unit list (in
+        enqueue order).  Corrupt or torn lines are skipped — the
+        journal must never make a restart worse than a cold start."""
+        with self._lock:
+            self._handle.flush()
+            units: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+            try:
+                with open(self.path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn tail / damage: skip
+                        op = record.get("op")
+                        if op == "unit" and "id" in record:
+                            units[record["id"]] = record
+                        elif op == "done":
+                            units.pop(record.get("id"), None)
+            except OSError:
+                return []
+            return list(units.values())
+
+    def reset(self, units: Optional[List[Dict[str, Any]]] = None) -> None:
+        """Rewrite the journal to exactly ``units`` (default: empty)."""
+        with self._lock:
+            self._handle.close()
+            tmp = self.path.with_suffix(".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"format": JOURNAL_FORMAT}) + "\n")
+                for record in units or []:
+                    handle.write(json.dumps(record, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+
+
+# -- supervision -------------------------------------------------------------
+
+
+@dataclass
+class SupervisorConfig:
+    """Liveness and delivery policy knobs (CLI-exposed on ``serve``)."""
+
+    #: Attempt lease: a remote attempt must heartbeat within this
+    #: window or forfeit the unit; also the lease advertised to
+    #: workers (they beat at a third of it).
+    lease_s: float = 15.0
+    #: A remote worker silent this long (no poll, no beat) is dropped
+    #: from the fleet and its attempts forfeited.
+    worker_timeout_s: float = 30.0
+    #: Transport failures tolerated per unit before it resolves error.
+    unit_retries: int = 3
+    #: Exponential-backoff base/cap between re-dispatches of one unit.
+    retry_base_s: float = 0.25
+    retry_max_s: float = 5.0
+    #: Hedging: a unit's only live attempt older than
+    #: ``max(hedge_min_s, hedge_factor * EWMA latency of its kind)``
+    #: (or ``hedge_after_s`` exactly, when set) gets a speculative
+    #: duplicate on an idle worker.  One hedge per unit.
+    hedge_after_s: Optional[float] = None
+    hedge_min_s: float = 2.0
+    hedge_factor: float = 4.0
+    #: Long-poll window advertised to remote workers.
+    poll_s: float = 10.0
+    #: Scheduler tick (lease checks, retries, hedges).
+    tick_s: float = 0.05
+
+
+@dataclass
+class _Attempt:
+    worker: str
+    started: float
+    deadline: float
+    hedge: bool = False
+    failed: bool = False
+
+
+@dataclass
+class _Unit:
+    id: str
+    kind: str
+    payload: Any
+    deadline: Optional[float] = None
+    created: float = field(default_factory=time.monotonic)
+    attempts: List[_Attempt] = field(default_factory=list)
+    tried: set = field(default_factory=set)
+    failures: int = 0
+    next_due: float = 0.0
+    resolved: bool = False
+    resolved_at: Optional[float] = None
+    hedges: int = 0
+
+    def resolve(self) -> None:
+        self.resolved = True
+        self.resolved_at = time.monotonic()
+
+
+@dataclass
+class _Worker:
+    id: str
+    transport: str  # "local" | "remote"
+    label: Optional[str] = None
+    registered: float = field(default_factory=time.monotonic)
+    last_seen: float = field(default_factory=time.monotonic)
+    #: unit ids currently leased to this worker.
+    inflight: set = field(default_factory=set)
+    #: remote: units assigned but not yet picked up by a poll.
+    mailbox: deque = field(default_factory=deque)
+    completed: int = 0
+    failed: int = 0
+    lost: bool = False
+
+
+class Supervisor:
+    """Owns the fleet and the delivery of every dispatch unit.
+
+    ``deliver(unit_id, status, result)`` is invoked exactly once per
+    unit (never under the supervisor lock), with the first terminal
+    outcome.  ``local_workers`` forks the local fleet; remote workers
+    join and leave at runtime through the ``/worker/*`` endpoints
+    (:meth:`register_worker` / :meth:`poll` / :meth:`heartbeat` /
+    :meth:`submit_result`).
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[str, str, Any], None],
+        local_workers: int = 0,
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self.config = config or SupervisorConfig()
+        self._deliver = deliver
+        self._lock = threading.RLock()
+        self._poll_wake = threading.Condition(self._lock)
+        self._units: Dict[str, _Unit] = {}
+        self._queue: deque = deque()  # unit ids awaiting (re-)dispatch
+        #: Terminal outcomes produced while holding the lock; the
+        #: scheduler delivers them outside it (lock-ordering rule:
+        #: ``deliver`` is never called under the supervisor lock).
+        self._dead_letters: deque = deque()
+        self._workers: "OrderedDict[str, _Worker]" = OrderedDict()
+        self._ewma: Dict[str, float] = {}  # kind -> attempt latency
+        self._stop = threading.Event()
+        self._retiring = False
+        self.counters: Dict[str, int] = {
+            "dispatched": 0,
+            "inline_units": 0,
+            "retries": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+            "hedge_wasted": 0,
+            "worker_failures": 0,
+            "expired_leases": 0,
+            "deadline_expired": 0,
+        }
+        self.fleet_size = 0  # live workers (census convenience)
+        self._fleet = LocalFleet(local_workers)
+        for worker_id in self._fleet.worker_ids():
+            self._workers[worker_id] = _Worker(
+                id=worker_id, transport="local"
+            )
+        self._inline_sessions: OrderedDict = OrderedDict()
+        self._pump = None
+        if self._fleet.result_q is not None:
+            self._pump = threading.Thread(
+                target=self._pump_loop, name="serve-pump", daemon=True
+            )
+            self._pump.start()
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="serve-supervise", daemon=True
+        )
+        self._scheduler.start()
+
+    # -- service-facing API --------------------------------------------------
+
+    @property
+    def local_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for w in self._workers.values()
+                if w.transport == "local" and not w.lost
+            )
+
+    def submit(
+        self, unit_id: str, kind: str, payload: Any,
+        deadline: Optional[float] = None,
+    ) -> None:
+        """Accept a unit for dispatch (at-least-once from here on)."""
+        with self._lock:
+            self._units[unit_id] = _Unit(
+                id=unit_id, kind=kind, payload=payload, deadline=deadline
+            )
+            self._queue.append(unit_id)
+
+    def abandon_pending(self) -> List[Dict[str, str]]:
+        """Resolve nothing, drop everything: the drain-timeout path.
+
+        Marks every unresolved unit resolved (late results from
+        straggling workers are discarded) and returns their identity
+        — the caller surfaces them and leaves them journaled so a
+        restart re-dispatches the work.
+        """
+        abandoned = []
+        with self._lock:
+            for unit in self._units.values():
+                if not unit.resolved:
+                    unit.resolve()
+                    abandoned.append({"id": unit.id, "kind": unit.kind})
+            self._queue.clear()
+        return abandoned
+
+    def idle(self) -> bool:
+        with self._lock:
+            return not any(
+                not unit.resolved for unit in self._units.values()
+            )
+
+    def retire_workers(self) -> None:
+        """Tell polling remote workers to exit (the drain path)."""
+        with self._lock:
+            self._retiring = True
+            self._poll_wake.notify_all()
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        self._stop.set()
+        with self._lock:
+            self._poll_wake.notify_all()
+        clean = self._fleet.shutdown(timeout=timeout)
+        self._scheduler.join(timeout=5)
+        if self._pump is not None:
+            self._pump.join(timeout=5)
+        return clean
+
+    def fleet(self) -> List[Dict[str, Any]]:
+        """The worker census (``/status`` and ``/stats``)."""
+        now = time.monotonic()
+        with self._lock:
+            out = []
+            for worker in self._workers.values():
+                alive = not worker.lost and (
+                    self._fleet.alive(worker.id)
+                    if worker.transport == "local"
+                    else (now - worker.last_seen
+                          <= self.config.worker_timeout_s)
+                )
+                entry = {
+                    "id": worker.id,
+                    "transport": worker.transport,
+                    "alive": alive,
+                    "in_flight": len(worker.inflight),
+                    "completed": worker.completed,
+                    "failed": worker.failed,
+                    "last_seen_age_s": round(now - worker.last_seen, 3),
+                }
+                if worker.label:
+                    entry["label"] = worker.label
+                if worker.transport == "local":
+                    entry["pid"] = self._fleet.pid(worker.id)
+                out.append(entry)
+            return out
+
+    # -- remote-worker endpoints (called from HTTP handler threads) ----------
+
+    def register_worker(self, label: Optional[str] = None) -> Dict[str, Any]:
+        worker_id = f"w{uuid.uuid4().hex[:10]}"
+        with self._lock:
+            self._workers[worker_id] = _Worker(
+                id=worker_id, transport="remote", label=label
+            )
+        return {
+            "worker": worker_id,
+            "lease_s": self.config.lease_s,
+            "poll_s": self.config.poll_s,
+        }
+
+    def poll(self, worker_id: str, wait_s: float) -> Dict[str, Any]:
+        """Long-poll for a unit; doubles as a liveness signal."""
+        deadline = time.monotonic() + max(0.0, min(wait_s, 60.0))
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is None or worker.lost or worker.transport != "remote":
+                return {"reregister": True}
+            while True:
+                worker.last_seen = time.monotonic()
+                if self._retiring or self._stop.is_set():
+                    return {"retire": True}
+                if worker.mailbox:
+                    unit_id = worker.mailbox.popleft()
+                    unit = self._units.get(unit_id)
+                    if unit is None or unit.resolved:
+                        continue
+                    # Picking the unit up renews its lease from now.
+                    now = time.monotonic()
+                    for attempt in unit.attempts:
+                        if attempt.worker == worker_id and not attempt.failed:
+                            attempt.deadline = now + self.config.lease_s
+                    return {"unit": {
+                        "id": unit.id,
+                        "kind": unit.kind,
+                        "payload": unit.payload,
+                        "lease_s": self.config.lease_s,
+                    }}
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {"unit": None}
+                self._poll_wake.wait(timeout=min(remaining, 1.0))
+                if worker.lost:
+                    return {"reregister": True}
+
+    def heartbeat(self, worker_id: str, unit_id: str) -> Dict[str, Any]:
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is None or worker.lost:
+                return {"reregister": True}
+            now = time.monotonic()
+            worker.last_seen = now
+            unit = self._units.get(unit_id)
+            wanted = False
+            if unit is not None and not unit.resolved:
+                for attempt in unit.attempts:
+                    if attempt.worker == worker_id and not attempt.failed:
+                        attempt.deadline = now + self.config.lease_s
+                        wanted = True
+            return {"wanted": wanted}
+
+    def submit_result(
+        self, worker_id: str, unit_id: str, status: str, result: Any
+    ) -> Dict[str, Any]:
+        """A worker's outcome for a unit; first terminal result wins."""
+        accepted = self._on_attempt_result(
+            worker_id, unit_id, status, result
+        )
+        return {"accepted": accepted}
+
+    # -- internals -----------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        """Drain the local fleet's shared result queue."""
+        import queue as _queue
+
+        while not self._stop.is_set():
+            try:
+                worker_id, unit_id, status, result = (
+                    self._fleet.result_q.get(timeout=0.1)
+                )
+            except _queue.Empty:
+                continue
+            except (OSError, EOFError, ValueError):
+                break
+            self._on_attempt_result(worker_id, unit_id, status, result)
+
+    def _on_attempt_result(
+        self, worker_id: str, unit_id: str, status: str, result: Any
+    ) -> bool:
+        """First terminal outcome resolves the unit; the rest drop."""
+        deliver = None
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_seen = time.monotonic()
+                worker.inflight.discard(unit_id)
+            unit = self._units.get(unit_id)
+            if unit is None or unit.resolved:
+                if unit is not None:
+                    self.counters["hedge_wasted"] += 1
+                return False
+            attempt = next(
+                (a for a in unit.attempts
+                 if a.worker == worker_id and not a.failed), None
+            )
+            if status != "ok" and self._should_retry_error(unit, worker_id):
+                # A unit-level failure on one worker: forfeit this
+                # attempt and let the scheduler retry elsewhere.
+                if attempt is not None:
+                    attempt.failed = True
+                if worker is not None:
+                    worker.failed += 1
+                self._register_failure(unit, f"worker error: {result}")
+                return False
+            unit.resolve()
+            if worker is not None:
+                worker.completed += 1
+            if attempt is not None:
+                latency = time.monotonic() - attempt.started
+                previous = self._ewma.get(unit.kind)
+                self._ewma[unit.kind] = (
+                    latency if previous is None
+                    else 0.7 * previous + 0.3 * latency
+                )
+                if attempt.hedge:
+                    self.counters["hedge_wins"] += 1
+            deliver = (unit_id, status, result)
+        if deliver is not None:
+            self._deliver(*deliver)
+        return True
+
+    def _should_retry_error(self, unit: _Unit, worker_id: str) -> bool:
+        """Retry a worker-reported unit error on a different worker?
+
+        Bounded by ``unit_retries`` and only when another execution
+        site exists — a deterministic error fails the same way
+        everywhere and resolves after the budget; an environmental one
+        (a worker wedged into a bad state) gets its chance elsewhere.
+        """
+        if unit.failures >= self.config.unit_retries:
+            return False
+        with_alternatives = any(
+            w.id != worker_id and not w.lost
+            for w in self._workers.values()
+        )
+        return with_alternatives
+
+    def _register_failure(self, unit: _Unit, reason: str) -> None:
+        """Schedule a re-dispatch with exponential backoff (lock held).
+
+        The unit resolves as an error once the retry budget is spent.
+        """
+        unit.failures += 1
+        self.counters["retries"] += 1
+        if unit.failures > self.config.unit_retries:
+            unit.resolve()
+            self._dead_letters.append((
+                unit.id, "error",
+                f"unit failed after {unit.failures} attempt(s): {reason}",
+            ))
+            return
+        backoff = min(
+            self.config.retry_max_s,
+            self.config.retry_base_s * (2 ** (unit.failures - 1)),
+        )
+        unit.next_due = time.monotonic() + backoff
+        if unit.id not in self._queue:
+            self._queue.append(unit.id)
+
+    def _live_attempts(self, unit: _Unit) -> List[_Attempt]:
+        return [a for a in unit.attempts if not a.failed]
+
+    def _hedge_threshold(self, kind: str) -> float:
+        if self.config.hedge_after_s is not None:
+            return self.config.hedge_after_s
+        ewma = self._ewma.get(kind)
+        if ewma is None:
+            return max(self.config.hedge_min_s, self.config.lease_s)
+        return max(self.config.hedge_min_s, self.config.hedge_factor * ewma)
+
+    def _schedule_loop(self) -> None:
+        while not self._stop.is_set():
+            inline_unit = None
+            deliveries: List = []
+            with self._lock:
+                now = time.monotonic()
+                self._check_workers(now)
+                self._check_leases(now, deliveries)
+                inline_unit = self._assign_queued(now)
+                self._check_hedges(now)
+                self._prune_resolved(now)
+                while self._dead_letters:
+                    deliveries.append(self._dead_letters.popleft())
+            for args in deliveries:
+                self._deliver(*args)
+            if inline_unit is not None:
+                self._run_inline(inline_unit)
+                continue  # drain the queue before sleeping
+            self._stop.wait(self.config.tick_s)
+
+    def _check_workers(self, now: float) -> None:
+        """Detect dead local workers and silent remote ones."""
+        for worker in list(self._workers.values()):
+            if worker.lost:
+                continue
+            if worker.transport == "local":
+                if not self._fleet.alive(worker.id):
+                    self._lose_worker(worker, "process died")
+            else:
+                if now - worker.last_seen > self.config.worker_timeout_s:
+                    self._lose_worker(worker, "heartbeat timeout")
+        self.fleet_size = sum(
+            1 for w in self._workers.values() if not w.lost
+        )
+
+    def _lose_worker(self, worker: _Worker, reason: str) -> None:
+        """Forfeit a worker and everything leased to it (lock held)."""
+        worker.lost = True
+        self.counters["worker_failures"] += 1
+        for unit_id in list(worker.inflight):
+            unit = self._units.get(unit_id)
+            if unit is None or unit.resolved:
+                continue
+            for attempt in unit.attempts:
+                if attempt.worker == worker.id and not attempt.failed:
+                    attempt.failed = True
+            if not self._live_attempts(unit):
+                self._register_failure(
+                    unit, f"worker {worker.id} lost ({reason})"
+                )
+        worker.inflight.clear()
+        worker.mailbox.clear()
+        if worker.transport == "local":
+            replacement = self._fleet.discard(worker.id)
+            if replacement is not None:
+                self._workers[replacement] = _Worker(
+                    id=replacement, transport="local"
+                )
+        self._poll_wake.notify_all()
+
+    def _check_leases(self, now: float, deliveries: List) -> None:
+        """Expire job deadlines and remote leases (lock held)."""
+        for unit in self._units.values():
+            if unit.resolved:
+                continue
+            if unit.deadline is not None and now > unit.deadline:
+                unit.resolve()
+                self.counters["deadline_expired"] += 1
+                deliveries.append(
+                    (unit.id, "error", "deadline exceeded")
+                )
+                continue
+            for attempt in self._live_attempts(unit):
+                worker = self._workers.get(attempt.worker)
+                if worker is None or worker.lost:
+                    attempt.failed = True
+                    continue
+                if (worker.transport == "remote"
+                        and now > attempt.deadline):
+                    # The lease ran out without a heartbeat: the worker
+                    # is wedged or partitioned.  Forfeit the attempt
+                    # (its result, should it ever arrive while the unit
+                    # is still unresolved, is still accepted — first
+                    # result wins).
+                    attempt.failed = True
+                    worker.inflight.discard(unit.id)
+                    self.counters["expired_leases"] += 1
+            if (unit.attempts and not self._live_attempts(unit)
+                    and unit.id not in self._queue):
+                self._register_failure(unit, "lease expired")
+
+    def _prune_resolved(self, now: float) -> None:
+        """Forget resolved units once stragglers can no longer report.
+
+        A resolved unit is kept for a grace window (two leases) so a
+        late hedge or post-expiry result still lands in
+        ``hedge_wasted`` instead of vanishing without trace; after
+        that the bookkeeping is dropped — a long-lived server must not
+        grow with its history (lock held).
+        """
+        horizon = now - 2.0 * self.config.lease_s
+        stale = [
+            unit_id for unit_id, unit in self._units.items()
+            if unit.resolved and (unit.resolved_at or 0.0) < horizon
+        ]
+        for unit_id in stale:
+            del self._units[unit_id]
+
+    def _idle_workers(self) -> List[_Worker]:
+        return [
+            w for w in self._workers.values()
+            if not w.lost and not w.inflight and not w.mailbox
+        ]
+
+    def _assign_queued(self, now: float) -> Optional[_Unit]:
+        """Dispatch due units to idle workers (lock held).
+
+        Returns a unit to execute inline when the fleet is empty —
+        executed by the caller *outside* the lock.
+        """
+        if not self._queue:
+            return None
+        fleet_empty = not any(
+            not w.lost for w in self._workers.values()
+        )
+        idle = self._idle_workers()
+        requeue: List[str] = []
+        inline_unit: Optional[_Unit] = None
+        while self._queue:
+            unit_id = self._queue.popleft()
+            unit = self._units.get(unit_id)
+            if unit is None or unit.resolved:
+                continue
+            if now < unit.next_due:
+                requeue.append(unit_id)
+                continue
+            if fleet_empty:
+                if inline_unit is None:
+                    self._start_attempt(unit, worker=None)
+                    inline_unit = unit
+                else:
+                    requeue.append(unit_id)
+                continue
+            chosen = self._choose_worker(idle, unit)
+            if chosen is None:
+                requeue.append(unit_id)
+                continue
+            idle.remove(chosen)
+            self._start_attempt(unit, chosen)
+        self._queue.extend(requeue)
+        return inline_unit
+
+    def _choose_worker(
+        self, idle: List[_Worker], unit: _Unit
+    ) -> Optional[_Worker]:
+        """An idle worker, preferring one the unit has not failed on."""
+        fresh = [w for w in idle if w.id not in unit.tried]
+        pool = fresh or idle
+        return pool[0] if pool else None
+
+    def _start_attempt(
+        self, unit: _Unit, worker: Optional[_Worker], hedge: bool = False
+    ) -> None:
+        """Lease the unit to a worker (or mark it inline; lock held)."""
+        now = time.monotonic()
+        if worker is None:
+            self.counters["inline_units"] += 1
+            unit.attempts.append(_Attempt(
+                worker="<inline>", started=now, deadline=float("inf")
+            ))
+            return
+        unit.tried.add(worker.id)
+        attempt = _Attempt(
+            worker=worker.id,
+            started=now,
+            deadline=now + self.config.lease_s,
+            hedge=hedge,
+        )
+        unit.attempts.append(attempt)
+        worker.inflight.add(unit.id)
+        self.counters["dispatched"] += 1
+        if hedge:
+            self.counters["hedges"] += 1
+            unit.hedges += 1
+        if worker.transport == "local":
+            self._fleet.assign(worker.id, unit.id, unit.kind, unit.payload)
+        else:
+            worker.mailbox.append(unit.id)
+            self._poll_wake.notify_all()
+
+    def _check_hedges(self, now: float) -> None:
+        """Speculatively duplicate straggling units (lock held)."""
+        idle = self._idle_workers()
+        if not idle:
+            return
+        for unit in self._units.values():
+            if unit.resolved or unit.hedges >= 1:
+                continue
+            live = self._live_attempts(unit)
+            if len(live) != 1 or live[0].worker == "<inline>":
+                continue
+            age = now - live[0].started
+            if age < self._hedge_threshold(unit.kind):
+                continue
+            chosen = self._choose_worker(idle, unit)
+            if chosen is None:
+                return
+            idle.remove(chosen)
+            self._start_attempt(unit, chosen, hedge=True)
+            if not idle:
+                return
+
+    def _run_inline(self, unit: _Unit) -> None:
+        """Degraded mode: compute on the supervisor thread."""
+        try:
+            result = run_unit(self._inline_sessions, unit.kind, unit.payload)
+            status = "ok"
+        except BaseException as exc:  # noqa: BLE001 - keep supervising
+            status, result = "error", f"{type(exc).__name__}: {exc}"
+        self._on_attempt_result("<inline>", unit.id, status, result)
