@@ -58,6 +58,9 @@ from ..buses.ttp import TTPBusConfig
 from ..exceptions import AnalysisError
 from ..model.architecture import GATEWAY_TRANSFER_PROCESS, MessageRoute
 from ..model.configuration import OffsetTable, PriorityAssignment
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from ..semantics import (
     ettt_queue_instant,
     fifo_competitors,
@@ -681,6 +684,26 @@ class AnalysisContext:
         :class:`ResponseTimes` and the raw :class:`SolveState` to pass
         back in next time.
         """
+        if _obs_state.enabled:
+            import time as _time
+
+            started = _time.perf_counter()
+            with _obs_trace.span(
+                "kernel.solve", warm=warm is not None
+            ):
+                out = self._solve_impl(offsets, warm)
+            _obs_metrics.observe(
+                "repro_kernel_solve_seconds",
+                _time.perf_counter() - started,
+            )
+            return out
+        return self._solve_impl(offsets, warm)
+
+    def _solve_impl(
+        self,
+        offsets: OffsetTable,
+        warm: Optional[SolveState] = None,
+    ) -> Tuple[ResponseTimes, SolveState]:
         if self._multihop:
             from .multihop import multihop_response_time_analysis
 

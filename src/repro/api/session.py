@@ -35,6 +35,9 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..exceptions import ConfigurationError, ReproError
 from ..model.configuration import SystemConfiguration
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from ..system import System
 from .backends import AnalysisBackend, EvaluationBackend, get_backend
 from .result import RunResult
@@ -680,6 +683,8 @@ class Session:
             key = self._key(config, backend, options)
             if key in self._cache:
                 self._hits += 1
+                if _obs_state.enabled:
+                    _obs_metrics.inc("repro_session_cache_hits_total")
                 return self._adapt(self._cache[key], config)
             if self.store is not None:
                 skey = store_key(key)
@@ -704,7 +709,23 @@ class Session:
                 resolved, config, run_options, key[2]
             )
         started = time.perf_counter()
-        run = resolved.run(self.system, config, **run_options)
+        if _obs_state.enabled:
+            backend_name = getattr(resolved, "name", str(backend))
+            with _obs_trace.span(
+                "session.evaluate", backend=backend_name
+            ):
+                run = resolved.run(self.system, config, **run_options)
+            _obs_metrics.inc(
+                "repro_session_backend_calls_total",
+                (("backend", backend_name),),
+            )
+            _obs_metrics.observe(
+                "repro_session_backend_seconds",
+                time.perf_counter() - started,
+                (("backend", backend_name),),
+            )
+        else:
+            run = resolved.run(self.system, config, **run_options)
         self._analysis_time += time.perf_counter() - started
         self.backend_calls += 1
         if memoize:
@@ -784,9 +805,24 @@ class Session:
                     resolved, config, run_options, key[2]
                 )
                 started = time.perf_counter()
-                runs.append(
-                    resolved.run(self.system, config, **run_options)
-                )
+                if _obs_state.enabled:
+                    backend_name = getattr(
+                        resolved, "name", str(backend)
+                    )
+                    with _obs_trace.span(
+                        "session.evaluate", backend=backend_name
+                    ):
+                        runs.append(resolved.run(
+                            self.system, config, **run_options
+                        ))
+                    _obs_metrics.inc(
+                        "repro_session_backend_calls_total",
+                        (("backend", backend_name),),
+                    )
+                else:
+                    runs.append(
+                        resolved.run(self.system, config, **run_options)
+                    )
                 self._analysis_time += time.perf_counter() - started
                 self.backend_calls += 1
 

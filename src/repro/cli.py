@@ -76,6 +76,15 @@ Commands
     JSON files) to a server and poll job status / service metrics
     (including the fleet census and supervision counters).
 
+``trace`` / ``top``
+    Observability surfaces of ``serve`` (:mod:`repro.obs`, enabled
+    with ``REPRO_OBS=1``): ``trace`` renders a job's distributed span
+    tree — client request → job → unit → dispatch attempts (retries
+    and hedges as siblings) → worker compute → kernel phases — with
+    the critical path marked, or exports it as JSONL /
+    ``chrome://tracing`` JSON; ``top`` is a live fleet/queue/dedup/
+    hedge dashboard polling ``/stats``.
+
 ``store``
     Inspect and maintain result stores: ``store stats DIR`` prints the
     shard layout, ``store migrate DIR`` rewrites a flat (pre-shard)
@@ -259,6 +268,76 @@ def _print_session_stats(session: Session) -> None:
               f"{info.store_writes} writes")
 
 
+def _session_stats_payload(session: Session) -> dict:
+    """The unified ``--stats`` JSON shape of a session-backed command.
+
+    One schema (``repro.obs.metrics.stats_snapshot``) across analyze/
+    simulate/conform/explore; the historical ``session_stats`` key stays
+    next to it for one deprecation cycle.
+    """
+    from .obs.metrics import stats_snapshot
+
+    info = session.cache_info()._asdict()
+    timings = {"analysis_s": info.pop("analysis_time")}
+    size = info.pop("size")
+    return stats_snapshot(
+        "session",
+        counters=info,
+        timings=timings,
+        derived={"cache_entries": size},
+    )
+
+
+def _sweep_stats_payload(report, workers: int) -> dict:
+    """Unified ``--stats`` shape of an explore sweep (see above)."""
+    from .obs.metrics import stats_snapshot
+
+    profile = dict(report.profile)
+    store = profile.pop("store", None)
+    counters = {
+        "store_hits": profile.get("store_hits", 0),
+        "computed": profile.get("computed", 0),
+    }
+    if store:
+        counters["store_entries"] = store.get("entries", 0)
+    timings = {
+        "wall_s": profile.get("wall_s", 0.0),
+        "cell_wall_s": profile.get("cell_wall_s", 0.0),
+    }
+    return stats_snapshot(
+        "sweep", counters=counters, timings=timings,
+        derived={"workers": workers},
+    )
+
+
+def _campaign_stats_payload(spec, report) -> dict:
+    """Unified ``--stats`` shape of a conformance campaign (see above)."""
+    from .obs.metrics import stats_snapshot
+
+    profile = report.profile
+    counters = {
+        "seeds": spec.campaign,
+        "sim_events": profile.get("sim_events", 0),
+    }
+    counters.update(report.counts)
+    timings = {
+        key: profile[key]
+        for key in (
+            "wall_s", "generate_s", "analyze_s", "simulate_s",
+            "sim_compile_s", "sim_replay_s",
+        )
+        if key in profile
+    }
+    derived = {
+        "seeds_per_s": profile.get("seeds_per_s", 0.0),
+        "events_per_s": profile.get("events_per_s", 0.0),
+        "workers": spec.workers,
+    }
+    return stats_snapshot(
+        "campaign", counters=counters, timings=timings, derived=derived
+    )
+
+
 def _print_sim_stats(sim: dict) -> None:
     """Render a simulation run's engine instrumentation block."""
     print("simulation statistics:")
@@ -308,6 +387,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             payload["validation"] = validation
         if args.stats:
             payload["session_stats"] = session.cache_info()._asdict()
+            payload["stats"] = _session_stats_payload(session)
         print(json.dumps(payload, indent=2))
         return 0 if run.schedulable else 1
     if not run.feasible:
@@ -394,6 +474,8 @@ def _render_explore_report(args: argparse.Namespace, report) -> int:
 
     if args.format == "json":
         payload = report.to_dict()
+        if args.stats:
+            payload["stats"] = _sweep_stats_payload(report, args.workers)
         print(json.dumps(payload, indent=2))
         return 1 if report.errored else 0
     print(sweep_report(report))
@@ -459,7 +541,10 @@ def _cmd_conform(args: argparse.Namespace) -> int:
 
 def _render_conform_report(args: argparse.Namespace, spec, report) -> int:
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        payload = report.to_dict()
+        if args.profile or args.stats:
+            payload["stats"] = _campaign_stats_payload(spec, report)
+        print(json.dumps(payload, indent=2))
         return 0 if report.clean else 1
     counts = report.counts
     print(
@@ -559,6 +644,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         payload = run_result_to_dict(run)
         if args.stats:
             payload["session_stats"] = session.cache_info()._asdict()
+            payload["stats"] = _session_stats_payload(session)
         print(json.dumps(payload, indent=2))
         if not run.feasible:
             return 2
@@ -653,10 +739,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         supervisor=policy,
     )
     if service.recovered_units:
-        print(
+        from .obs.logging import get_logger
+
+        get_logger("serve").info(
             f"recovered {service.recovered_units} journaled unit(s) "
-            "from the previous run; re-dispatching",
-            flush=True,
+            "from the previous run; re-dispatching"
         )
     return serve(
         service,
@@ -771,9 +858,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
         if supervisor:
             print(f"  supervision: {supervisor['retries']} retries, "
                   f"{supervisor['hedges']} hedges "
-                  f"({supervisor['hedge_wins']} won), "
+                  f"({supervisor['hedge_wins']} won, "
+                  f"{supervisor.get('hedge_wasted', 0)} wasted), "
                   f"{supervisor['worker_failures']} worker failures, "
-                  f"{supervisor['expired_leases']} expired leases")
+                  f"{supervisor['expired_leases']} expired leases, "
+                  f"{supervisor.get('deadline_expired', 0)} deadlines "
+                  f"expired, {supervisor.get('inline_units', 0)} inline "
+                  f"degradations")
+        if stats.get("obs_enabled"):
+            print("  observability: enabled (GET /metrics, "
+                  "`repro trace <job>`)")
         recovered = stats.get("recovered_units", 0)
         if recovered:
             print(f"  recovered: {recovered} journaled unit(s) "
@@ -798,6 +892,135 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 line += f" — {payload['error']}"
             print(line)
     return 0 if all(p["status"] != "error" for p in payloads) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.export import (
+        chrome_trace,
+        read_spans_jsonl,
+        render_span_tree,
+        write_spans_jsonl,
+    )
+
+    if args.file:
+        spans = read_spans_jsonl(args.file)
+        if args.job:
+            # A trace file can hold many traces; keep the one(s) whose
+            # serve.job span names the requested job.
+            traces = {
+                entry.get("trace")
+                for entry in spans
+                if entry.get("attrs", {}).get("job") == args.job
+            }
+            spans = [e for e in spans if e.get("trace") in traces]
+        if not spans:
+            print(f"no spans found in {args.file}", file=sys.stderr)
+            return 1
+    else:
+        if not args.server:
+            print("trace: --server URL (or --file PATH) is required",
+                  file=sys.stderr)
+            return 2
+        if not args.job:
+            print("trace: a job id is required with --server",
+                  file=sys.stderr)
+            return 2
+        from .serve import ServeClient
+        from .serve.client import ServerError
+
+        client = ServeClient(args.server, timeout=args.timeout)
+        try:
+            payload = client.trace(args.job)
+        except ServerError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+        spans = payload.get("spans") or []
+        if not spans:
+            print(f"no spans recorded for job {args.job}", file=sys.stderr)
+            return 1
+    if args.export == "jsonl":
+        out = args.output or "trace.jsonl"
+        count = write_spans_jsonl(spans, out)
+        print(f"wrote {count} span(s) to {out}")
+        return 0
+    if args.export == "chrome":
+        out = args.output or "trace-chrome.json"
+        with open(out, "w") as handle:
+            json.dump(chrome_trace(spans), handle)
+        print(f"wrote chrome trace ({len(spans)} span(s)) to {out}; "
+              "load it in chrome://tracing or ui.perfetto.dev")
+        return 0
+    print(render_span_tree(spans))
+    return 0
+
+
+def _render_top(server: str, stats: dict) -> str:
+    """One refresh frame of ``repro top``."""
+    counters = stats["counters"]
+    timings = stats["timings"]
+    lines = [
+        f"repro top — {server}  (up {stats['uptime_s']:.0f} s, "
+        f"{stats['workers']} workers"
+        + (", obs on)" if stats.get("obs_enabled") else ")"),
+        f"  queue   {stats['queue_depth']:>6} waiting   "
+        f"{stats['in_flight_units']:>6} in flight   "
+        f"{stats['evals_per_s']:>8.1f} evals/s",
+        f"  work    {counters['submitted']:>6} submitted "
+        f"{counters['computed']:>6} computed    "
+        f"{counters['errors']:>6} errors",
+        f"  dedup   {counters['dedup_hits']:>6} coalesced "
+        f"{counters['store_hits']:>6} store hits",
+        f"  latency {timings['queue_wait_s_avg']:>8.3f} s queue wait   "
+        f"{timings['unit_compute_s_avg']:.3f} s unit compute",
+    ]
+    supervisor = stats.get("supervisor") or {}
+    if supervisor:
+        lines.append(
+            f"  deliver {supervisor.get('retries', 0):>6} retries   "
+            f"{supervisor.get('hedges', 0):>4} hedges "
+            f"({supervisor.get('hedge_wins', 0)} won, "
+            f"{supervisor.get('hedge_wasted', 0)} wasted)   "
+            f"{supervisor.get('expired_leases', 0)} leases expired"
+        )
+    fleet = stats.get("fleet") or []
+    if fleet:
+        lines.append(f"  fleet   {len(fleet)} worker(s)")
+        for worker in fleet:
+            name = worker.get("label") or worker["id"]
+            state = "alive" if worker["alive"] else "LOST "
+            lines.append(
+                f"    {state} {name:<20} [{worker['transport']}] "
+                f"{worker['in_flight']} in flight, "
+                f"{worker['completed']} done, {worker['failed']} failed"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import ServeClient
+    from .serve.client import ServerError
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    try:
+        while True:
+            try:
+                frame = _render_top(args.server, client.stats())
+            except (OSError, ServerError) as exc:
+                frame = f"repro top — {args.server}: unreachable ({exc})"
+            if not args.once:
+                # ANSI clear + home; a rolling log when not a tty.
+                if sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                else:
+                    print()
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -1249,6 +1472,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sts.set_defaults(func=_cmd_status)
 
+    trc = sub.add_parser(
+        "trace",
+        help="render a job's distributed trace as a span tree "
+             "(critical path marked), or export it",
+    )
+    trc.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (required with --server; with --file it filters "
+             "the export to that job's trace)",
+    )
+    trc.add_argument(
+        "--server", default=None,
+        help="service URL: fetch the trace from GET /trace "
+             "(the daemon must run with REPRO_OBS=1)",
+    )
+    trc.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="read spans from a JSONL export (the daemon's "
+             "serve-trace.jsonl or a REPRO_OBS_TRACE client flush) "
+             "instead of a server",
+    )
+    trc.add_argument(
+        "--export", choices=["chrome", "jsonl"], default=None,
+        help="write the spans out instead of rendering: 'chrome' = "
+             "chrome://tracing / Perfetto trace-event JSON, 'jsonl' = "
+             "one span per line",
+    )
+    trc.add_argument(
+        "--output", default=None,
+        help="output file for --export (default trace-chrome.json / "
+             "trace.jsonl)",
+    )
+    trc.add_argument("--timeout", type=float, default=30.0)
+    trc.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet/queue/dedup/hedge view of a `repro serve` "
+             "daemon (polls /stats)",
+    )
+    top.add_argument("--server", required=True, help="service URL")
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (scripts, tests)",
+    )
+    top.add_argument("--timeout", type=float, default=10.0)
+    top.set_defaults(func=_cmd_top)
+
     sto = sub.add_parser(
         "store", help="inspect and maintain result stores"
     )
@@ -1320,6 +1595,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 141
+    finally:
+        from .obs import state as _obs_state
+
+        if _obs_state.enabled and _obs_state.trace_path:
+            # Client half of a distributed trace: flush this process's
+            # finished spans (client.request roots, local session
+            # spans) so they can be joined with the daemon's
+            # serve-trace.jsonl by trace id.
+            from .obs.trace import flush_spans_to
+
+            flush_spans_to(_obs_state.trace_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

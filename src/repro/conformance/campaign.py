@@ -433,7 +433,22 @@ def evaluate_workload(
 
 def _evaluate_seed(payload: Tuple[CampaignSpec, int]) -> SeedOutcome:
     """One seed end to end."""
+    from ..obs import metrics as _obs_metrics
+    from ..obs import state as _obs_state
+    from ..obs import trace as _obs_trace
+
     spec, seed = payload
+    if _obs_state.enabled:
+        with _obs_trace.span("conform.seed", seed=seed):
+            outcome = _evaluate_seed_impl(spec, seed)
+        _obs_metrics.inc(
+            "repro_conform_seeds_total", (("status", outcome.status),)
+        )
+        return outcome
+    return _evaluate_seed_impl(spec, seed)
+
+
+def _evaluate_seed_impl(spec: CampaignSpec, seed: int) -> SeedOutcome:
     started = time.perf_counter()
     try:
         system = generate_workload(spec.workload_spec(seed))

@@ -39,6 +39,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..api.session import Session
 from ..buses.ttp import Slot, TTPBusConfig
 from ..exceptions import ReproError
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from ..optim.annealing import sa_resources, sa_schedule
 from ..optim.common import evaluate
 from ..optim.optimize_resources import optimize_resources
@@ -305,11 +308,23 @@ def evaluate_cell(cell: Cell) -> Dict[str, Any]:
         "error": None,
     }
     try:
-        state = _state_for(cell)
-        record["metrics"] = _METHODS[cell.method](state, cell)
+        if _obs_state.enabled:
+            with _obs_trace.span("explore.cell", method=cell.method):
+                state = _state_for(cell)
+                record["metrics"] = _METHODS[cell.method](state, cell)
+        else:
+            state = _state_for(cell)
+            record["metrics"] = _METHODS[cell.method](state, cell)
     except (ReproError, TypeError, ValueError) as exc:
         record["error"] = str(exc)
     record["wall_s"] = time.perf_counter() - started
+    if _obs_state.enabled:
+        _obs_metrics.inc(
+            "repro_explore_cells_total",
+            (("method", cell.method),
+             ("outcome", "error" if record["error"] else "ok")),
+        )
+        _obs_metrics.observe("repro_explore_cell_seconds", record["wall_s"])
     return record
 
 

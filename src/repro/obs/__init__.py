@@ -1,0 +1,95 @@
+"""Unified observability: metrics, distributed tracing, structured
+logging, and exporters.
+
+Everything is **off by default** and zero-cost when off: every
+instrumentation site reduces to one attribute load and branch on
+:data:`repro.obs.state.enabled`, spans become a shared no-op context
+manager, and no report, store key, journal record or trace digest
+changes shape.  Enable with ``REPRO_OBS=1`` in the environment or
+:func:`configure` programmatically.
+
+The submodules:
+
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with
+  lock-free per-process recording and snapshot/merge semantics (the
+  cross-process collection story for forked and remote workers).
+* :mod:`repro.obs.trace` — spans with explicit parent ids, propagated
+  through the serve protocol and the unit journal.
+* :mod:`repro.obs.logging` — the structured stdout logger
+  (``REPRO_LOG`` level filtering).
+* :mod:`repro.obs.export` — Prometheus text, Chrome trace events,
+  JSONL trace files, the span-tree renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import state
+from .logging import get_logger, set_level
+from .metrics import (
+    STATS_FORMAT,
+    MetricsRegistry,
+    registry,
+    stats_snapshot,
+)
+from .trace import (
+    Span,
+    context_of,
+    current_context,
+    drain_spans,
+    end_span,
+    span,
+    start_span,
+)
+
+__all__ = [
+    "STATS_FORMAT", "MetricsRegistry", "Span", "configure",
+    "context_of", "current_context", "drain_spans", "end_span",
+    "get_logger", "obs_enabled", "registry", "reset_process",
+    "set_level", "snapshot_blob", "span", "start_span",
+    "stats_snapshot", "state",
+]
+
+
+def obs_enabled() -> bool:
+    """Whether metrics recording and span creation are on."""
+    return state.enabled
+
+
+def configure(
+    enabled: Optional[bool] = None,
+    log_level: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> None:
+    """Programmatic override of the environment switches."""
+    if enabled is not None:
+        state.enabled = bool(enabled)
+    if log_level is not None:
+        state.log_level = str(log_level)
+    if trace_path is not None:
+        state.trace_path = str(trace_path)
+
+
+def reset_process() -> None:
+    """Clear all per-process obs state (registry, span buffer, stack).
+
+    Forked workers call this first thing so counters and spans
+    inherited from the parent's address space never ship twice.
+    """
+    registry().reset()
+    from .trace import reset_trace_state
+
+    reset_trace_state()
+
+
+def snapshot_blob() -> Optional[dict]:
+    """The worker-to-collector shipping unit: drained metrics + spans.
+
+    ``None`` when obs is off (the wire shape then carries no obs field
+    at all — byte-identical to pre-obs traffic).  Draining means each
+    increment and span ships exactly once per unit of work.
+    """
+    if not state.enabled:
+        return None
+    return {"metrics": registry().drain(), "spans": drain_spans()}

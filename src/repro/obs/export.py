@@ -1,0 +1,252 @@
+"""Exporters and renderers: Prometheus text, Chrome trace events,
+JSONL trace files, and the ``repro trace`` span-tree view.
+
+* :func:`prometheus_text` serializes a registry snapshot (plus ad-hoc
+  counter/gauge dicts from the service) in the Prometheus text
+  exposition format — the body of ``GET /metrics``.
+* :func:`chrome_trace` converts span dicts to the Chrome trace-event
+  JSON (load in ``chrome://tracing`` / Perfetto).
+* :func:`read_spans_jsonl` / :func:`write_spans_jsonl` are the flat
+  trace-file interchange (one span dict per line; torn or corrupt
+  lines are skipped, same tolerance as every other JSONL file here).
+* :func:`critical_span_ids` + :func:`render_span_tree` build the tree
+  ``repro trace <job>`` prints, marking the critical path — from each
+  root, the chain of children that actually bounded the end time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .metrics import HIST_BOUNDS
+
+__all__ = [
+    "prometheus_text", "chrome_trace", "read_spans_jsonl",
+    "write_spans_jsonl", "critical_span_ids", "render_span_tree",
+]
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _series(name: str, labels: Iterable, value: Any) -> str:
+    pairs = list(labels)
+    if not pairs:
+        return f"{name} {value}"
+    body = ",".join(
+        f'{key}="{_escape_label(val)}"' for key, val in pairs
+    )
+    return f"{name}{{{body}}} {value}"
+
+
+def _format_value(value: float) -> Any:
+    return int(value) if float(value).is_integer() else value
+
+
+def prometheus_text(
+    snapshot: Optional[Dict[str, Any]] = None,
+    extra_counters: Optional[Dict[str, float]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    ``extra_counters`` / ``extra_gauges`` are flat ``name -> value``
+    dicts for series that live outside the registry (the service's
+    own counters, queue depths) so ``/metrics`` is useful even with
+    obs disabled.
+    """
+    lines: List[str] = []
+    by_name: Dict[str, List[Tuple[List, Any]]] = {}
+    snapshot = snapshot or {}
+    for entry in snapshot.get("counters") or []:
+        name, labels, value = entry
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in by_name[name]:
+            lines.append(_series(name, labels, _format_value(value)))
+    for name in sorted(extra_counters or {}):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(_series(name, (), _format_value(
+            (extra_counters or {})[name]
+        )))
+    gauge_by_name: Dict[str, List[Tuple[List, Any]]] = {}
+    for entry in snapshot.get("gauges") or []:
+        name, labels, value = entry
+        gauge_by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(gauge_by_name):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in gauge_by_name[name]:
+            lines.append(_series(name, labels, value))
+    for name in sorted(extra_gauges or {}):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(_series(name, (), (extra_gauges or {})[name]))
+    hist_by_name: Dict[str, List[Tuple[List, Dict]]] = {}
+    for entry in snapshot.get("hists") or []:
+        name, labels, data = entry
+        hist_by_name.setdefault(name, []).append((labels, data))
+    for name in sorted(hist_by_name):
+        lines.append(f"# TYPE {name} histogram")
+        for labels, data in hist_by_name[name]:
+            cumulative = 0
+            for bound, count in zip(HIST_BOUNDS, data["buckets"]):
+                cumulative += count
+                lines.append(_series(
+                    f"{name}_bucket",
+                    list(labels) + [["le", repr(float(bound))]],
+                    cumulative,
+                ))
+            cumulative += data["buckets"][len(HIST_BOUNDS)]
+            lines.append(_series(
+                f"{name}_bucket", list(labels) + [["le", "+Inf"]],
+                cumulative,
+            ))
+            lines.append(_series(f"{name}_sum", labels, data["sum"]))
+            lines.append(_series(f"{name}_count", labels, data["count"]))
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace-event format -----------------------------------------------
+
+
+def chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Span dicts -> ``chrome://tracing`` trace-event JSON."""
+    events = []
+    for entry in spans:
+        dur = entry.get("dur_s")
+        event = {
+            "name": entry.get("name", "?"),
+            "cat": entry.get("name", "?").split(".", 1)[0],
+            "ph": "X",
+            "ts": float(entry.get("ts", 0.0)) * 1e6,
+            "dur": float(dur) * 1e6 if dur is not None else 0.0,
+            "pid": entry.get("pid", 0),
+            "tid": entry.get("pid", 0),
+            "args": {
+                "trace": entry.get("trace"),
+                "span": entry.get("span"),
+                "parent": entry.get("parent"),
+                "status": entry.get("status"),
+                **(entry.get("attrs") or {}),
+            },
+        }
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- JSONL interchange -------------------------------------------------------
+
+
+def write_spans_jsonl(spans: Iterable[Dict[str, Any]], path) -> int:
+    count = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for entry in spans:
+            handle.write(json.dumps(entry) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path) -> List[Dict[str, Any]]:
+    spans: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail / damage: skip
+                if isinstance(entry, dict) and "span" in entry:
+                    spans.append(entry)
+    except OSError:
+        return []
+    return spans
+
+
+# -- span tree + critical path -----------------------------------------------
+
+
+def _index(spans: List[Dict[str, Any]]):
+    by_id = {s["span"]: s for s in spans if s.get("span")}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for entry in spans:
+        parent = entry.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(entry)
+        else:
+            roots.append(entry)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.get("ts", 0.0))
+    roots.sort(key=lambda s: s.get("ts", 0.0))
+    return by_id, children, roots
+
+
+def _end_time(entry: Dict[str, Any]) -> float:
+    return float(entry.get("ts", 0.0)) + float(entry.get("dur_s") or 0.0)
+
+
+def critical_span_ids(spans: List[Dict[str, Any]]) -> Set[str]:
+    """Span ids on the critical path: from each root, repeatedly
+    descend into the child whose end time bounded the parent's."""
+    _, children, roots = _index(spans)
+    critical: Set[str] = set()
+    for root in roots:
+        node = root
+        while node is not None:
+            critical.add(node["span"])
+            kids = children.get(node["span"])
+            node = (
+                max(kids, key=_end_time) if kids else None
+            )
+    return critical
+
+
+def render_span_tree(
+    spans: List[Dict[str, Any]], mark_critical: bool = True
+) -> str:
+    """The ``repro trace`` view: indentation = parentage, ``*`` =
+    critical path, durations in ms."""
+    if not spans:
+        return "(no spans)"
+    _, children, roots = _index(spans)
+    critical = critical_span_ids(spans) if mark_critical else set()
+    lines: List[str] = []
+
+    def walk(entry: Dict[str, Any], depth: int) -> None:
+        dur = entry.get("dur_s")
+        dur_text = f"{float(dur) * 1000.0:.1f}ms" if dur is not None else "?"
+        attrs = entry.get("attrs") or {}
+        attr_text = " ".join(
+            f"{key}={value}" for key, value in sorted(attrs.items())
+        )
+        star = " *" if entry.get("span") in critical else ""
+        status = entry.get("status", "ok")
+        status_text = "" if status == "ok" else f" [{status}]"
+        line = (
+            f"{'  ' * depth}{entry.get('name', '?')} {dur_text}"
+            f"{status_text}"
+        )
+        if attr_text:
+            line += f"  ({attr_text})"
+        lines.append(line + star)
+        for child in children.get(entry.get("span"), []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    lines.append("")
+    lines.append("* = critical path")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Process-wide observability switches.
+
+One tiny module with no intra-package imports so every other obs
+module (and every instrumented hot path) can check ``state.enabled``
+with a single attribute load and branch — the whole zero-cost-when-
+disabled contract hangs on this check being that cheap.
+
+``REPRO_OBS`` (``1``/``true``/``on``/``yes``) enables metrics and
+tracing for the process; ``REPRO_LOG`` picks the structured-log level
+(``debug``/``info``/``warn``/``error``/``off``, default ``info``).
+Both can be overridden programmatically via
+:func:`repro.obs.configure`.  Forked workers inherit the parent's
+environment, so a fleet started under ``REPRO_OBS=1`` records
+everywhere; remote workers read their own environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+#: Master switch for metrics recording and span creation.  Off by
+#: default: library users pay one attribute load + branch per
+#: instrumentation site and nothing else.
+enabled: bool = (
+    os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+)
+
+#: Structured-log threshold (see repro.obs.logging).  Log filtering is
+#: independent of ``enabled`` — the serve daemon logs either way.
+log_level: str = os.environ.get("REPRO_LOG", "info").strip() or "info"
+
+#: Optional JSONL file client-side processes flush their finished
+#: spans to on exit (``repro.cli`` honors it after server-backed
+#: commands), so a distributed trace can be assembled from the client
+#: and daemon halves.
+trace_path: str = os.environ.get("REPRO_OBS_TRACE", "").strip()

@@ -1,0 +1,276 @@
+"""Lightweight distributed tracing: spans with explicit parent ids.
+
+A span is a named interval with a ``trace`` id (shared by the whole
+request tree), its own ``span`` id, and a ``parent`` span id.  The
+taxonomy threads one request end to end::
+
+    client.request -> serve.job -> serve.unit -> serve.attempt
+        -> worker.compute -> session.evaluate -> kernel.solve
+                                               / kernel.replay
+                                               / store.get / store.put
+
+Retried and hedged dispatches appear as **sibling** ``serve.attempt``
+spans under the same ``serve.unit`` parent — latency attribution for
+stragglers falls out of the tree shape.
+
+Context propagation is explicit and JSON-shaped: ``{"trace": ...,
+"span": ...}`` dicts ride in HTTP request bodies, worker poll
+responses, local-fleet task tuples and the unit journal (so a
+crash-recovered unit keeps its trace).  Inside a process a
+thread-local span stack supplies implicit parents, so instrumented
+library code (session, kernels, store) nests under whatever span the
+caller opened.
+
+Finished spans accumulate in a bounded per-process buffer;
+:func:`drain_spans` hands them off exactly once (workers ship them
+with unit results, the serve daemon folds them into its trace file,
+CLI processes flush them via ``REPRO_OBS_TRACE``).  With obs disabled
+every entry point is a no-op costing one branch.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Union
+
+from . import state
+
+__all__ = [
+    "Span", "span", "start_span", "end_span", "current_context",
+    "context_of", "drain_spans", "reset_trace_state",
+]
+
+#: Bounded buffer of finished span dicts awaiting drain.
+_FINISHED: "deque" = deque(maxlen=100_000)
+
+_local = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One traced interval; cheap on purpose (``__slots__``, floats)."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name",
+        "start_wall", "_start_mono", "dur_s", "status", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_wall = time.time()
+        self._start_mono = time.monotonic()
+        self.dur_s: Optional[float] = None
+        self.status = "ok"
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+
+    def end(self, status: Optional[str] = None, **attrs: Any) -> None:
+        if self.dur_s is not None:
+            return  # idempotent: first end wins
+        self.dur_s = time.monotonic() - self._start_mono
+        if status is not None:
+            self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+        _FINISHED.append(self.to_dict())
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "ts": self.start_wall,
+            "dur_s": self.dur_s,
+            "status": self.status,
+            "pid": os.getpid(),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+def _resolve_parent(
+    parent: Union[None, "Span", Dict[str, Any]],
+) -> (Optional[str], Optional[str]):
+    """(trace_id, parent_span_id) from an explicit parent or the
+    thread-local stack."""
+    if parent is None:
+        stack = _stack()
+        if stack:
+            top = stack[-1]
+            return top.trace_id, top.span_id
+        return None, None
+    if isinstance(parent, Span):
+        return parent.trace_id, parent.span_id
+    if isinstance(parent, dict):
+        trace_id = parent.get("trace")
+        span_id = parent.get("span")
+        if isinstance(trace_id, str):
+            return trace_id, span_id if isinstance(span_id, str) else None
+    return None, None
+
+
+def start_span(
+    name: str,
+    parent: Union[None, "Span", Dict[str, Any]] = None,
+    **attrs: Any,
+) -> Optional[Span]:
+    """Open a span with an explicit lifetime (``.end()`` / :func:`end_span`).
+
+    For async lifecycles — jobs, units, attempts — whose begin and end
+    happen on different threads.  Does **not** touch the thread-local
+    stack.  Returns ``None`` when obs is disabled; every consumer of
+    the return value must tolerate that.
+    """
+    if not state.enabled:
+        return None
+    trace_id, parent_id = _resolve_parent(parent)
+    return Span(name, trace_id or _new_id(), parent_id, attrs)
+
+
+def end_span(
+    span_obj: Optional[Span], status: Optional[str] = None, **attrs: Any
+) -> None:
+    if span_obj is not None:
+        span_obj.end(status, **attrs)
+
+
+def context_of(span_obj: Optional[Span]) -> Optional[Dict[str, str]]:
+    """The propagation dict of a span (``None`` stays ``None``)."""
+    if span_obj is None:
+        return None
+    return {"trace": span_obj.trace_id, "span": span_obj.span_id}
+
+
+def current_context() -> Optional[Dict[str, str]]:
+    """Propagation dict of the innermost open span on this thread."""
+    if not state.enabled:
+        return None
+    stack = _stack()
+    if not stack:
+        return None
+    top = stack[-1]
+    return {"trace": top.trace_id, "span": top.span_id}
+
+
+class _SpanScope:
+    """Context manager pushing a span onto the thread-local stack."""
+
+    __slots__ = ("_name", "_parent", "_attrs", "_span")
+
+    def __init__(self, name, parent, attrs) -> None:
+        self._name = name
+        self._parent = parent
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        trace_id, parent_id = _resolve_parent(self._parent)
+        self._span = Span(
+            self._name, trace_id or _new_id(), parent_id, self._attrs
+        )
+        _stack().append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = _stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        elif self._span in stack:  # defensive: unbalanced nesting
+            stack.remove(self._span)
+        assert self._span is not None
+        self._span.end("error" if exc_type is not None else None)
+        return False
+
+
+class _NoopScope:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopScope()
+
+
+def span(
+    name: str,
+    parent: Union[None, Span, Dict[str, Any]] = None,
+    **attrs: Any,
+):
+    """``with span("kernel.solve"): ...`` — nested under the current
+    span (or an explicit ``parent`` context).  A shared no-op scope
+    when obs is disabled."""
+    if not state.enabled:
+        return _NOOP
+    return _SpanScope(name, parent, attrs)
+
+
+def drain_spans() -> List[Dict[str, Any]]:
+    """Hand off (and forget) every finished span of this process."""
+    out: List[Dict[str, Any]] = []
+    while True:
+        try:
+            out.append(_FINISHED.popleft())
+        except IndexError:
+            return out
+
+
+def record_spans(spans: Optional[List[Dict[str, Any]]]) -> None:
+    """Re-inject span dicts into the buffer (collector-side fold)."""
+    for entry in spans or []:
+        if isinstance(entry, dict):
+            _FINISHED.append(entry)
+
+
+def reset_trace_state() -> None:
+    """Clear buffer and stack — forked workers call this at startup so
+    state inherited from the parent never ships twice."""
+    _FINISHED.clear()
+    _local.stack = []
+
+
+def flush_spans_to(path: str) -> int:
+    """Append this process's finished spans to a JSONL file.
+
+    The client-side export half of a distributed trace (see
+    ``REPRO_OBS_TRACE``).  Returns the number of spans written; I/O
+    errors are swallowed — tracing must never fail the work itself.
+    """
+    spans = drain_spans()
+    if not spans:
+        return 0
+    import json
+
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            for entry in spans:
+                handle.write(json.dumps(entry) + "\n")
+    except OSError:
+        return 0
+    return len(spans)

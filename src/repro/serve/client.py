@@ -25,6 +25,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import quote, urlsplit
 
 from ..exceptions import ReproError
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 
 __all__ = [
     "ServeClient",
@@ -235,31 +237,40 @@ class ServeClient:
         retrying the work past it and the job resolves as an error —
         a client with a budget never leaves orphan compute behind.
         """
-        return self._request("POST", "/evaluate", {
+        body = {
             "system": system,
             "config": config,
             "backend": backend,
             "options": options or {},
             "deadline_s": deadline_s,
-        })
+        }
+        if not _obs_state.enabled:
+            return self._request("POST", "/evaluate", body)
+        with _obs_trace.span("client.request", op="evaluate") as root:
+            body["trace"] = _obs_trace.context_of(root)
+            return self._request("POST", "/evaluate", body)
 
     def submit_sweep(
         self, spec_dict: Dict[str, Any],
         deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return self._request(
-            "POST", "/sweep",
-            {"spec": spec_dict, "deadline_s": deadline_s},
-        )
+        body = {"spec": spec_dict, "deadline_s": deadline_s}
+        if not _obs_state.enabled:
+            return self._request("POST", "/sweep", body)
+        with _obs_trace.span("client.request", op="sweep") as root:
+            body["trace"] = _obs_trace.context_of(root)
+            return self._request("POST", "/sweep", body)
 
     def submit_campaign(
         self, spec_dict: Dict[str, Any],
         deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        return self._request(
-            "POST", "/conform",
-            {"spec": spec_dict, "deadline_s": deadline_s},
-        )
+        body = {"spec": spec_dict, "deadline_s": deadline_s}
+        if not _obs_state.enabled:
+            return self._request("POST", "/conform", body)
+        with _obs_trace.span("client.request", op="conform") as root:
+            body["trace"] = _obs_trace.context_of(root)
+            return self._request("POST", "/conform", body)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/status?id={quote(job_id)}")
@@ -321,6 +332,26 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The span set of a job's trace (``GET /trace?id=``)."""
+        return self._request("GET", f"/trace?id={quote(job_id)}")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition text (``GET /metrics``)."""
+        try:
+            conn, response = self._open("GET", "/metrics")
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServerError(
+                f"server {self.url} unreachable ({exc})"
+            ) from exc
+        try:
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServerError(f"HTTP {response.status}: {body[:200]}")
+            return body
+        finally:
+            conn.close()
 
     def healthy(self) -> bool:
         try:

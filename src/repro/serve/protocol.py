@@ -16,6 +16,25 @@ so the engine's cell records are shared verbatim between direct
 ``repro explore`` runs and server-side sweeps against the same store.
 Conformance seeds get a deterministic key over the outcome-relevant
 campaign parameters plus the seed.
+
+**Observability envelope fields.**  With obs enabled (``REPRO_OBS=1``)
+two *optional* fields ride the existing wire shapes; both are absent
+with obs off, so pre-obs clients and servers interoperate unchanged:
+
+* ``trace`` — a ``{"trace": hex, "span": hex}`` propagation context.
+  Clients attach it to ``POST /evaluate`` / ``/sweep`` / ``/conform``
+  bodies; the server threads it through job → unit → attempt spans and
+  returns it inside the unit dict of ``POST /worker/poll`` responses
+  (and persists it in the unit journal, so recovered units keep their
+  trace).
+* ``obs`` — a ``{"metrics": snapshot, "spans": [...]}`` blob a worker
+  ships with ``POST /worker/result``; the service folds it into the
+  service-wide registry and trace file for the *accepted* result only.
+
+Neither field ever participates in addressing: ``evaluation_key``,
+``seed_key`` and ``system_fingerprint`` see only the request content,
+so store keys, dedup behavior and journal replay are byte-identical
+with obs on, off, or mixed across the fleet.
 """
 
 from __future__ import annotations

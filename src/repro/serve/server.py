@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import ReproError
+from ..obs.logging import get_logger
 from .protocol import PROTOCOL_FORMAT, WORKER_PROTOCOL
 from .service import EvaluationService, ServiceOverloaded
 
@@ -58,9 +59,12 @@ __all__ = ["UnixHTTPServer", "make_server", "parse_listen", "serve"]
 
 
 def _announce(message: str) -> None:
-    # Flushed so supervisors (and the tests) reading the daemon's stdout
-    # through a pipe see "serving on ..." the moment the socket is up.
-    print(message, flush=True)
+    # Structured and flushed so supervisors (and the tests) reading the
+    # daemon's stdout through a pipe see "serving on ..." the moment the
+    # socket is up.  The logger prefixes timestamp/level/component and
+    # keeps the message text as the line suffix — stdout-parsing
+    # consumers split on the message, never on the prefix.
+    get_logger("serve").info(message)
 
 #: How long ``/result`` blocks before answering with a still-running
 #: status — long-polling granularity, short enough that HTTP timeouts
@@ -104,6 +108,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(
+        self, body: str, content_type: str, code: int = 200
+    ) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
 
     def _error(self, message: str, code: int = 400) -> None:
         self._send_json({"error": message}, code=code)
@@ -164,6 +178,8 @@ class _Handler(BaseHTTPRequestHandler):
             "/result": self._get_result,
             "/results": self._get_results,
             "/stats": self._get_stats,
+            "/metrics": self._get_metrics,
+            "/trace": self._get_trace,
             "/healthz": self._get_healthz,
         }.get(route)
         if handler is None:
@@ -185,16 +201,19 @@ class _Handler(BaseHTTPRequestHandler):
             backend=body.get("backend", "analysis"),
             options=body.get("options"),
             deadline_s=self._deadline(body),
+            trace=body.get("trace"),
         ))
 
     def _post_sweep(self, body: Dict[str, Any]) -> None:
         self._send_json(self.service.submit_sweep(
-            body["spec"], deadline_s=self._deadline(body)
+            body["spec"], deadline_s=self._deadline(body),
+            trace=body.get("trace"),
         ))
 
     def _post_conform(self, body: Dict[str, Any]) -> None:
         self._send_json(self.service.submit_campaign(
-            body["spec"], deadline_s=self._deadline(body)
+            body["spec"], deadline_s=self._deadline(body),
+            trace=body.get("trace"),
         ))
 
     # -- the remote-worker dialect (see repro.serve.supervisor) --------------
@@ -225,6 +244,7 @@ class _Handler(BaseHTTPRequestHandler):
             str(body["unit"]),
             str(body.get("status", "error")),
             body.get("result"),
+            obs=body.get("obs"),
         ))
 
     def _post_shutdown(self, body: Dict[str, Any]) -> None:
@@ -286,6 +306,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_stats(self) -> None:
         self._send_json(self.service.stats())
+
+    def _get_metrics(self) -> None:
+        """Prometheus exposition text (scrape target)."""
+        self._send_text(
+            self.service.metrics_text(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _get_trace(self) -> None:
+        """``?id=JOB`` → the span set of the job's trace (obs on)."""
+        job_id = (self._query().get("id") or [""])[0]
+        if not job_id:
+            self._error("missing ?id= query parameter")
+            return
+        payload = self.service.trace_spans(job_id)
+        if payload is None:
+            self._error(
+                f"no trace for job {job_id!r} (obs disabled, or the "
+                "job is unknown)", code=404,
+            )
+            return
+        self._send_json(payload)
 
     def _get_healthz(self) -> None:
         self._send_json({"status": "ok"})

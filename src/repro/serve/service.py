@@ -56,6 +56,9 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..exceptions import ReproError
 from ..explore.runner import partition_chunks
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from ..store import ResultStore
 from .protocol import (
     RESULT_KIND,
@@ -75,6 +78,73 @@ _JOB_HISTORY_LIMIT = 4096
 #: only scanned under ``segments/`` and ``shards/``, so the store never
 #: mistakes it for data).
 _JOURNAL_NAME = "serve-journal.jsonl"
+
+
+class _ServiceObs:
+    """The serve-side obs collector: one service-wide view.
+
+    Folds worker-shipped blobs (drained metrics + spans) into the
+    process registry, appends every span — local or shipped — to a
+    JSONL trace file in the store directory, keeps a bounded in-memory
+    span buffer for ``GET /trace``, and remembers which trace id each
+    job belongs to.  Constructed only when obs is enabled; every call
+    site guards with ``if self._obs is not None``.
+    """
+
+    TRACE_NAME = "serve-trace.jsonl"
+
+    def __init__(self, store_root: Union[str, Path]) -> None:
+        self.registry = _obs_metrics.registry()
+        self.path = Path(store_root) / self.TRACE_NAME
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=100_000)
+        self._job_traces: "OrderedDict[str, str]" = OrderedDict()
+
+    def link_job(self, job_id: str, span: Any) -> None:
+        if span is None:
+            return
+        with self._lock:
+            self._job_traces[job_id] = span.trace_id
+            while len(self._job_traces) > _JOB_HISTORY_LIMIT:
+                self._job_traces.popitem(last=False)
+
+    def record(self, spans: Optional[List[Dict[str, Any]]]) -> None:
+        if not spans:
+            return
+        import json as _json
+
+        with self._lock:
+            self._spans.extend(spans)
+            try:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    for entry in spans:
+                        handle.write(_json.dumps(entry, default=str) + "\n")
+            except OSError:
+                pass  # tracing must never fail the work
+
+    def fold(self, blob: Any) -> None:
+        """Merge one worker's shipped obs blob (exactly once per unit)."""
+        if not isinstance(blob, dict):
+            return
+        metrics = blob.get("metrics")
+        if metrics:
+            self.registry.merge(metrics)
+        self.record(blob.get("spans") or [])
+
+    def flush_local(self) -> None:
+        """Collect spans finished on this process's own threads."""
+        self.record(_obs_trace.drain_spans())
+
+    def trace_of(self, job_id: str) -> Optional[str]:
+        with self._lock:
+            return self._job_traces.get(job_id)
+
+    def spans_for(self, trace_id: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                entry for entry in self._spans
+                if entry.get("trace") == trace_id
+            ]
 
 
 class ServiceOverloaded(ReproError):
@@ -117,6 +187,8 @@ class Job:
     store_hits: int = 0
     #: Batch jobs: how many slots were computed by this job.
     computed: int = 0
+    #: The "serve.job" span (None when obs is off).
+    span: Any = None
 
     def public_status(self) -> Dict[str, Any]:
         """The JSON shape of ``GET /status?id=``."""
@@ -218,10 +290,14 @@ class EvaluationService:
             UnitJournal(Path(self.store.root) / _JOURNAL_NAME)
             if journal else None
         )
+        self._obs: Optional[_ServiceObs] = (
+            _ServiceObs(self.store.root) if _obs_state.enabled else None
+        )
         self._supervisor = Supervisor(
             deliver=self._complete_unit,
             local_workers=self.workers,
             config=supervisor,
+            obs=self._obs,
         )
         if self._supervisor.local_workers < self.workers:
             # fork unavailable: the fleet degraded to empty (inline).
@@ -264,6 +340,7 @@ class EvaluationService:
         backend: str = "analysis",
         options: Optional[Dict[str, Any]] = None,
         deadline_s: Optional[float] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Submit one evaluation; returns the submission envelope.
 
@@ -303,6 +380,7 @@ class EvaluationService:
                     )
             self._check_capacity(1)
             job = self._new_job("eval", key=serve_key)
+            self._open_job_span(job, trace)
             job.deadline = self._job_deadline(deadline_s)
             job.request = {
                 "system": system,
@@ -323,6 +401,7 @@ class EvaluationService:
     def submit_sweep(
         self, spec_dict: Dict[str, Any],
         deadline_s: Optional[float] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Submit a whole sweep; cells dedup against the store.
 
@@ -369,6 +448,7 @@ class EvaluationService:
                     units.append([i])
             self._check_capacity(len(units))
             job = self._new_job("sweep")
+            self._open_job_span(job, trace)
             job.deadline = self._job_deadline(deadline_s)
             job.request = {"spec": spec.to_dict()}
             job.slots = slots
@@ -386,6 +466,7 @@ class EvaluationService:
                     meta={"job": job, "positions": unit},
                     persist={"mode": "cells"},
                     deadline=job.deadline,
+                    parent=job.span,
                 )
             return self._submit_envelope(
                 job, deduplicated=False, store_hit=not units
@@ -394,6 +475,7 @@ class EvaluationService:
     def submit_campaign(
         self, spec_dict: Dict[str, Any],
         deadline_s: Optional[float] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Submit a conformance campaign; seeds dedup against the store.
 
@@ -432,6 +514,7 @@ class EvaluationService:
             chunks = partition_chunks(pending, chunk_width)
             self._check_capacity(len(chunks))
             job = self._new_job("conform")
+            self._open_job_span(job, trace)
             job.deadline = self._job_deadline(deadline_s)
             job.request = {"spec": key_spec}
             job.slots = slots
@@ -449,10 +532,30 @@ class EvaluationService:
                     meta={"job": job, "positions": chunk},
                     persist={"mode": "seeds", "spec": key_spec},
                     deadline=job.deadline,
+                    parent=job.span,
                 )
             return self._submit_envelope(
                 job, deduplicated=False, store_hit=not chunks
             )
+
+    def _open_job_span(
+        self, job: Job, trace: Optional[Dict[str, str]]
+    ) -> None:
+        """Open the job's "serve.job" span (no-op when obs is off).
+
+        ``trace`` is the client-propagated context from the request
+        body; a missing one roots a fresh trace at the job."""
+        if self._obs is None:
+            return
+        job.span = _obs_trace.start_span(
+            "serve.job", parent=trace, job=job.id, kind=job.kind
+        )
+        self._obs.link_job(job.id, job.span)
+
+    def _close_job_span(self, job: Job, status: str) -> None:
+        if job.span is not None:
+            _obs_trace.end_span(job.span, status)
+            job.span = None
 
     def _new_job(self, kind: str, key: Optional[str] = None) -> Job:
         job = Job(id=f"r{uuid.uuid4().hex[:12]}", kind=kind, key=key)
@@ -484,18 +587,32 @@ class EvaluationService:
         meta: Dict[str, Any],
         persist: Optional[Dict[str, Any]] = None,
         deadline: Optional[float] = None,
+        parent: Any = None,
     ) -> None:
         """Register, journal and hand a unit to the supervisor
-        (lock held)."""
+        (lock held).  ``parent`` (a span or a context dict) roots the
+        unit's "serve.unit" span; its context rides in the journal so a
+        crash-recovered unit keeps its trace."""
         unit_id = f"u{self._unit_nonce}-{next(self._unit_counter)}"
         meta = dict(meta)
         meta["kind"] = kind
         meta["persist"] = persist or {}
         meta["queued_at"] = time.monotonic()
+        trace_ctx = None
+        if self._obs is not None:
+            unit_span = _obs_trace.start_span(
+                "serve.unit", parent=parent, unit=unit_id, kind=kind
+            )
+            meta["span"] = unit_span
+            trace_ctx = _obs_trace.context_of(unit_span)
         self._units[unit_id] = meta
         if self.journal is not None:
-            self.journal.record_unit(unit_id, kind, payload, persist)
-        self._supervisor.submit(unit_id, kind, payload, deadline=deadline)
+            self.journal.record_unit(
+                unit_id, kind, payload, persist, trace=trace_ctx
+            )
+        self._supervisor.submit(
+            unit_id, kind, payload, deadline=deadline, trace=trace_ctx
+        )
 
     def _dispatch_loop(self) -> None:
         """Batch queued eval jobs into units for the supervisor.
@@ -561,6 +678,7 @@ class EvaluationService:
                         "keys": {job.id: job.key for job in unit},
                     },
                     deadline=min(deadlines) if deadlines else None,
+                    parent=unit[0].span,
                 )
 
     # -- completion ----------------------------------------------------------
@@ -575,6 +693,7 @@ class EvaluationService:
             self._timings["unit_compute_s"] += (
                 time.monotonic() - meta["queued_at"]
             )
+            _obs_trace.end_span(meta.get("span"), status)
             if self.journal is not None:
                 self.journal.record_done(unit_id)
             if "jobs" in meta:
@@ -586,6 +705,8 @@ class EvaluationService:
             if (self.journal is not None and not self._units
                     and not self._eval_queue):
                 self.journal.reset()
+        if self._obs is not None:
+            self._obs.flush_local()
 
     def _complete_eval_unit(
         self, meta: Dict[str, Any], status: str, result: Any
@@ -615,6 +736,7 @@ class EvaluationService:
             job.status = "error"
             job.error = str(payload)
             self.counters["errors"] += 1
+        self._close_job_span(job, job.status)
         if job.key is not None:
             self._inflight.pop(job.key, None)
         job.done.set()
@@ -632,6 +754,7 @@ class EvaluationService:
             self.counters["errors"] += 1
             job.pending_units -= 1
             job.finished = time.monotonic()
+            self._close_job_span(job, "error")
             job.done.set()
             return
         cell_kind = meta["persist"].get("mode") == "cells"
@@ -679,6 +802,7 @@ class EvaluationService:
                 "computed": job.computed,
                 "wall_s": wall_s,
             }
+        self._close_job_span(job, "done")
         job.done.set()
 
     # -- journal recovery ----------------------------------------------------
@@ -714,6 +838,9 @@ class EvaluationService:
                     entry.get("payload"),
                     meta={"job": job, "positions": [i], "recovery": True},
                     persist=entry.get("persist") or {},
+                    # A recovered unit resumes the trace it was
+                    # enqueued under before the crash.
+                    parent=entry.get("trace"),
                 )
             self.recovered_units = len(entries)
 
@@ -793,6 +920,54 @@ class EvaluationService:
                 "recovered_units": self.recovered_units,
             }
 
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus exposition text.
+
+        The registry part (merged per-worker counters, histograms) is
+        populated only with obs on; the service and supervisor counters
+        and queue gauges are always exported, so the endpoint stays
+        useful — and scrape-valid — with obs off.
+        """
+        from ..obs.export import prometheus_text
+
+        with self._lock:
+            extra_counters = {
+                f"repro_serve_{name}_total": value
+                for name, value in self.counters.items()
+            }
+            extra_counters.update({
+                f"repro_supervisor_{name}_total": value
+                for name, value in self._supervisor.counters.items()
+            })
+            extra_gauges = {
+                "repro_serve_queue_depth":
+                    len(self._eval_queue) + len(self._units),
+                "repro_serve_in_flight_units": len(self._units),
+                "repro_serve_fleet_size": self._supervisor.fleet_size,
+                "repro_serve_uptime_seconds":
+                    time.monotonic() - self._started_at,
+            }
+        snapshot = (
+            _obs_metrics.registry().snapshot()
+            if self._obs is not None else None
+        )
+        return prometheus_text(snapshot, extra_counters, extra_gauges)
+
+    def trace_spans(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """``GET /trace?id=``: the span set of a job's trace, or None
+        when obs is off / the job (or its trace) is unknown."""
+        if self._obs is None:
+            return None
+        self._obs.flush_local()
+        trace_id = self._obs.trace_of(job_id)
+        if trace_id is None:
+            return None
+        return {
+            "job": job_id,
+            "trace": trace_id,
+            "spans": self._obs.spans_for(trace_id),
+        }
+
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: queue, dedup, store and throughput."""
         with self._lock:
@@ -837,6 +1012,7 @@ class EvaluationService:
                     ),
                 },
                 "store": store_stats,
+                "obs_enabled": self._obs is not None,
             }
 
     # -- lifecycle -----------------------------------------------------------
@@ -877,6 +1053,8 @@ class EvaluationService:
         self._supervisor.retire_workers()
         fleet_clean = self._supervisor.stop()
         self._dispatcher.join(timeout=5)
+        if self._obs is not None:
+            self._obs.flush_local()
         if self.journal is not None:
             self.journal.close()
         self.store.close()

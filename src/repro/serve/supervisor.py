@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from .workers import LocalFleet, run_unit
 
 __all__ = ["Supervisor", "SupervisorConfig", "UnitJournal"]
@@ -94,12 +96,18 @@ class UnitJournal:
     def record_unit(
         self, unit_id: str, kind: str, payload: Any,
         persist: Optional[Dict[str, Any]],
+        trace: Optional[Dict[str, str]] = None,
     ) -> None:
+        record = {
+            "op": "unit", "id": unit_id, "kind": kind,
+            "payload": payload, "persist": persist,
+        }
+        # Only present when tracing is on, so an obs-off journal stays
+        # byte-identical to the pre-obs format.
+        if trace is not None:
+            record["trace"] = trace
         with self._lock:
-            self._append({
-                "op": "unit", "id": unit_id, "kind": kind,
-                "payload": payload, "persist": persist,
-            })
+            self._append(record)
 
     def record_done(self, unit_id: str) -> None:
         with self._lock:
@@ -192,6 +200,8 @@ class _Attempt:
     deadline: float
     hedge: bool = False
     failed: bool = False
+    #: The "serve.attempt" span (None when obs is off).
+    span: Any = None
 
 
 @dataclass
@@ -208,6 +218,9 @@ class _Unit:
     resolved: bool = False
     resolved_at: Optional[float] = None
     hedges: int = 0
+    #: Propagated trace context ({"trace", "span"}) of the owning
+    #: serve.unit span; parent of every attempt span.
+    trace: Optional[Dict[str, str]] = None
 
     def resolve(self) -> None:
         self.resolved = True
@@ -246,9 +259,13 @@ class Supervisor:
         deliver: Callable[[str, str, Any], None],
         local_workers: int = 0,
         config: Optional[SupervisorConfig] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.config = config or SupervisorConfig()
         self._deliver = deliver
+        #: Collector sink (``fold(blob)`` / ``record(spans)``) owned by
+        #: the service; None when obs is off.
+        self._obs = obs
         self._lock = threading.RLock()
         self._poll_wake = threading.Condition(self._lock)
         self._units: Dict[str, _Unit] = {}
@@ -303,11 +320,13 @@ class Supervisor:
     def submit(
         self, unit_id: str, kind: str, payload: Any,
         deadline: Optional[float] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> None:
         """Accept a unit for dispatch (at-least-once from here on)."""
         with self._lock:
             self._units[unit_id] = _Unit(
-                id=unit_id, kind=kind, payload=payload, deadline=deadline
+                id=unit_id, kind=kind, payload=payload, deadline=deadline,
+                trace=trace,
             )
             self._queue.append(unit_id)
 
@@ -410,15 +429,23 @@ class Supervisor:
                         continue
                     # Picking the unit up renews its lease from now.
                     now = time.monotonic()
+                    trace_ctx = None
                     for attempt in unit.attempts:
                         if attempt.worker == worker_id and not attempt.failed:
                             attempt.deadline = now + self.config.lease_s
-                    return {"unit": {
+                            trace_ctx = (
+                                _obs_trace.context_of(attempt.span)
+                                or trace_ctx
+                            )
+                    polled = {
                         "id": unit.id,
                         "kind": unit.kind,
                         "payload": unit.payload,
                         "lease_s": self.config.lease_s,
-                    }}
+                    }
+                    if trace_ctx is not None:
+                        polled["trace"] = trace_ctx
+                    return {"unit": polled}
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return {"unit": None}
@@ -443,11 +470,12 @@ class Supervisor:
             return {"wanted": wanted}
 
     def submit_result(
-        self, worker_id: str, unit_id: str, status: str, result: Any
+        self, worker_id: str, unit_id: str, status: str, result: Any,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """A worker's outcome for a unit; first terminal result wins."""
         accepted = self._on_attempt_result(
-            worker_id, unit_id, status, result
+            worker_id, unit_id, status, result, obs_blob=obs
         )
         return {"accepted": accepted}
 
@@ -459,20 +487,29 @@ class Supervisor:
 
         while not self._stop.is_set():
             try:
-                worker_id, unit_id, status, result = (
-                    self._fleet.result_q.get(timeout=0.1)
-                )
+                item = self._fleet.result_q.get(timeout=0.1)
             except _queue.Empty:
                 continue
             except (OSError, EOFError, ValueError):
                 break
-            self._on_attempt_result(worker_id, unit_id, status, result)
+            worker_id, unit_id, status, result = item[:4]
+            obs_blob = item[4] if len(item) > 4 else None
+            self._on_attempt_result(
+                worker_id, unit_id, status, result, obs_blob=obs_blob
+            )
 
     def _on_attempt_result(
-        self, worker_id: str, unit_id: str, status: str, result: Any
+        self, worker_id: str, unit_id: str, status: str, result: Any,
+        obs_blob: Optional[Dict[str, Any]] = None,
     ) -> bool:
-        """First terminal outcome resolves the unit; the rest drop."""
+        """First terminal outcome resolves the unit; the rest drop.
+
+        ``obs_blob`` (the worker's drained metrics and spans) is folded
+        into the collector only for the *accepted* result — a retried
+        or hedged duplicate must not double-count a unit's work.
+        """
         deliver = None
+        fold = None
         with self._lock:
             worker = self._workers.get(worker_id)
             if worker is not None:
@@ -482,6 +519,12 @@ class Supervisor:
             if unit is None or unit.resolved:
                 if unit is not None:
                     self.counters["hedge_wasted"] += 1
+                    late = next(
+                        (a for a in unit.attempts
+                         if a.worker == worker_id and not a.failed), None
+                    )
+                    if late is not None:
+                        _obs_trace.end_span(late.span, "wasted")
                 return False
             attempt = next(
                 (a for a in unit.attempts
@@ -492,6 +535,7 @@ class Supervisor:
                 # attempt and let the scheduler retry elsewhere.
                 if attempt is not None:
                     attempt.failed = True
+                    _obs_trace.end_span(attempt.span, "error")
                 if worker is not None:
                     worker.failed += 1
                 self._register_failure(unit, f"worker error: {result}")
@@ -508,7 +552,19 @@ class Supervisor:
                 )
                 if attempt.hedge:
                     self.counters["hedge_wins"] += 1
+                _obs_trace.end_span(attempt.span, status)
+            if _obs_state.enabled:
+                # Close the losing siblings now: a hedge partner stuck
+                # on a stopped worker may never report back, and its
+                # attempt span must still appear in the trace.  A late
+                # result's own end is idempotent and no-ops.
+                for other in unit.attempts:
+                    if other is not attempt and not other.failed:
+                        _obs_trace.end_span(other.span, "wasted")
             deliver = (unit_id, status, result)
+            fold = obs_blob
+        if fold is not None and self._obs is not None:
+            self._obs.fold(fold)
         if deliver is not None:
             self._deliver(*deliver)
         return True
@@ -608,6 +664,7 @@ class Supervisor:
             for attempt in unit.attempts:
                 if attempt.worker == worker.id and not attempt.failed:
                     attempt.failed = True
+                    _obs_trace.end_span(attempt.span, "lost")
             if not self._live_attempts(unit):
                 self._register_failure(
                     unit, f"worker {worker.id} lost ({reason})"
@@ -647,6 +704,7 @@ class Supervisor:
                     # is still unresolved, is still accepted — first
                     # result wins).
                     attempt.failed = True
+                    _obs_trace.end_span(attempt.span, "expired")
                     worker.inflight.discard(unit.id)
                     self.counters["expired_leases"] += 1
             if (unit.attempts and not self._live_attempts(unit)
@@ -729,9 +787,15 @@ class Supervisor:
         now = time.monotonic()
         if worker is None:
             self.counters["inline_units"] += 1
-            unit.attempts.append(_Attempt(
+            inline = _Attempt(
                 worker="<inline>", started=now, deadline=float("inf")
-            ))
+            )
+            if _obs_state.enabled:
+                inline.span = _obs_trace.start_span(
+                    "serve.attempt", parent=unit.trace,
+                    worker="<inline>", hedge=False,
+                )
+            unit.attempts.append(inline)
             return
         unit.tried.add(worker.id)
         attempt = _Attempt(
@@ -740,6 +804,13 @@ class Supervisor:
             deadline=now + self.config.lease_s,
             hedge=hedge,
         )
+        if _obs_state.enabled:
+            # Retries and hedges become sibling serve.attempt spans
+            # under the same serve.unit parent.
+            attempt.span = _obs_trace.start_span(
+                "serve.attempt", parent=unit.trace,
+                worker=worker.id, hedge=hedge,
+            )
         unit.attempts.append(attempt)
         worker.inflight.add(unit.id)
         self.counters["dispatched"] += 1
@@ -747,7 +818,10 @@ class Supervisor:
             self.counters["hedges"] += 1
             unit.hedges += 1
         if worker.transport == "local":
-            self._fleet.assign(worker.id, unit.id, unit.kind, unit.payload)
+            self._fleet.assign(
+                worker.id, unit.id, unit.kind, unit.payload,
+                trace=_obs_trace.context_of(attempt.span),
+            )
         else:
             worker.mailbox.append(unit.id)
             self._poll_wake.notify_all()
@@ -776,8 +850,23 @@ class Supervisor:
 
     def _run_inline(self, unit: _Unit) -> None:
         """Degraded mode: compute on the supervisor thread."""
+        parent = next(
+            (a.span for a in reversed(unit.attempts)
+             if a.worker == "<inline>"), None
+        )
         try:
-            result = run_unit(self._inline_sessions, unit.kind, unit.payload)
+            if _obs_state.enabled:
+                with _obs_trace.span(
+                    "worker.compute", parent=parent,
+                    worker="<inline>", unit=unit.id,
+                ):
+                    result = run_unit(
+                        self._inline_sessions, unit.kind, unit.payload
+                    )
+            else:
+                result = run_unit(
+                    self._inline_sessions, unit.kind, unit.payload
+                )
             status = "ok"
         except BaseException as exc:  # noqa: BLE001 - keep supervising
             status, result = "error", f"{type(exc).__name__}: {exc}"

@@ -33,6 +33,10 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import ReproError
+from ..obs import reset_process, snapshot_blob
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
+from ..obs.logging import get_logger
 
 __all__ = [
     "LocalFleet",
@@ -129,19 +133,32 @@ def _worker_main(worker_id: str, task_q, result_q) -> None:
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    # Forked address space inherits the parent's obs buffers; clear them
+    # so parent-recorded counters and spans never ship from a worker.
+    reset_process()
     sessions: OrderedDict[str, Any] = OrderedDict()
     while True:
         task = task_q.get()
         if task is None:
             break
-        unit_id, kind, payload = task
+        unit_id, kind, payload = task[:3]
+        trace = task[3] if len(task) > 3 else None
         try:
+            if _obs_state.enabled:
+                with _obs_trace.span(
+                    "worker.compute", parent=trace,
+                    worker=worker_id, unit=unit_id,
+                ):
+                    result = run_unit(sessions, kind, payload)
+            else:
+                result = run_unit(sessions, kind, payload)
             result_q.put(
-                (worker_id, unit_id, "ok", run_unit(sessions, kind, payload))
+                (worker_id, unit_id, "ok", result, snapshot_blob())
             )
         except BaseException as exc:  # noqa: BLE001 - worker must survive
             result_q.put(
-                (worker_id, unit_id, "error", f"{type(exc).__name__}: {exc}")
+                (worker_id, unit_id, "error",
+                 f"{type(exc).__name__}: {exc}", snapshot_blob())
             )
 
 
@@ -212,8 +229,8 @@ class LocalFleet:
         return proc.pid if proc is not None else None
 
     def assign(self, worker_id: str, unit_id: str, kind: str,
-               payload: Any) -> None:
-        self._queues[worker_id].put((unit_id, kind, payload))
+               payload: Any, trace: Optional[Dict[str, str]] = None) -> None:
+        self._queues[worker_id].put((unit_id, kind, payload, trace))
 
     def discard(self, worker_id: str) -> Optional[str]:
         """Drop a dead worker; respawn a replacement (bounded).
@@ -264,9 +281,7 @@ def run_worker(
     url: str,
     label: Optional[str] = None,
     stop: Optional[threading.Event] = None,
-    announce: Callable[[str], None] = lambda message: print(
-        message, flush=True
-    ),
+    announce: Optional[Callable[[str], None]] = None,
     poll_s: Optional[float] = None,
     reconnect_s: float = 2.0,
 ) -> int:
@@ -287,6 +302,8 @@ def run_worker(
     """
     from .client import ServeClient, ServerError
 
+    if announce is None:
+        announce = get_logger("worker").info
     stop = stop or threading.Event()
     client = ServeClient(url, timeout=120.0, retries=2, backoff_s=0.2)
     sessions: OrderedDict[str, Any] = OrderedDict()
@@ -340,13 +357,17 @@ def run_worker(
         status, result = _compute_with_heartbeat(
             client, worker_id, unit, sessions, lease_s
         )
+        body = {
+            "worker": worker_id,
+            "unit": unit["id"],
+            "status": status,
+            "result": result,
+        }
+        blob = snapshot_blob()
+        if blob is not None:
+            body["obs"] = blob
         try:
-            client._request("POST", "/worker/result", {
-                "worker": worker_id,
-                "unit": unit["id"],
-                "status": status,
-                "result": result,
-            })
+            client._request("POST", "/worker/result", body)
         except ServerError:
             # The result is lost with the connection; the supervisor's
             # lease will expire and re-dispatch the unit elsewhere.
@@ -379,7 +400,16 @@ def _compute_with_heartbeat(
     beater = threading.Thread(target=_beat, daemon=True)
     beater.start()
     try:
-        result = run_unit(sessions, unit["kind"], unit["payload"])
+        if _obs_state.enabled:
+            with _obs_trace.span(
+                "worker.compute", parent=unit.get("trace"),
+                worker=worker_id, unit=unit["id"],
+            ):
+                result = run_unit(
+                    sessions, unit["kind"], unit["payload"]
+                )
+        else:
+            result = run_unit(sessions, unit["kind"], unit["payload"])
         return "ok", result
     except BaseException as exc:  # noqa: BLE001 - worker must survive
         return "error", f"{type(exc).__name__}: {exc}"

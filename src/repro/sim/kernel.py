@@ -55,6 +55,9 @@ from typing import Dict, List, Optional, Tuple
 from ..exceptions import SimulationError
 from ..model.architecture import MessageRoute
 from ..model.configuration import SystemConfiguration
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 from ..schedule.schedule_table import StaticSchedule
 from ..semantics import dispatch_respects_arrival, gateway_transfer_delay
 from ..system import System
@@ -488,6 +491,24 @@ class SimContext:
         the bus but are never delivered.  ``faults=None`` leaves every
         fault-free code path untouched, instruction for instruction.
         """
+        if _obs_state.enabled:
+            obs_started = time.perf_counter()
+            with _obs_trace.span("kernel.replay", periods=periods):
+                trace = self._run_impl(periods, execution, faults)
+            _obs_metrics.observe(
+                "repro_sim_replay_seconds",
+                time.perf_counter() - obs_started,
+            )
+            _obs_metrics.inc(
+                "repro_sim_events_total",
+                value=self.last_replay.get("events", 0),
+            )
+            return trace
+        return self._run_impl(periods, execution, faults)
+
+    def _run_impl(
+        self, periods: int = 4, execution=None, faults=None
+    ) -> SimulationTrace:
         started = time.perf_counter()
         hyper = self.hyper
         rl = self.round_length

@@ -72,6 +72,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from ..exceptions import StoreError
+from ..obs import metrics as _obs_metrics
+from ..obs import state as _obs_state
+from ..obs import trace as _obs_trace
 
 __all__ = [
     "DEFAULT_SHARD_PREFIX",
@@ -451,6 +454,27 @@ class ResultStore:
         (deleted segment, bit rot under the checksum) degrades to a
         miss, never an error.
         """
+        if _obs_state.enabled:
+            import time as _time
+
+            started = _time.perf_counter()
+            with _obs_trace.span("store.get", kind=kind):
+                payload = self._get_impl(key, kind, refresh)
+            _obs_metrics.observe(
+                "repro_store_op_seconds",
+                _time.perf_counter() - started,
+                (("op", "get"),),
+            )
+            _obs_metrics.inc(
+                "repro_store_gets_total",
+                (("outcome", "hit" if payload is not None else "miss"),),
+            )
+            return payload
+        return self._get_impl(key, kind, refresh)
+
+    def _get_impl(
+        self, key: str, kind: str = "runresult", refresh: bool = True
+    ) -> Optional[Any]:
         entry = self._index.get((kind, key))
         if entry is None and refresh:
             self.refresh(key=key)
@@ -492,6 +516,24 @@ class ResultStore:
         durable up to OS buffering (pass ``fsync=True`` for crash-hard
         durability).
         """
+        if _obs_state.enabled:
+            import time as _time
+
+            started = _time.perf_counter()
+            with _obs_trace.span("store.put", kind=kind):
+                stored = self._put_impl(key, payload, kind)
+            _obs_metrics.observe(
+                "repro_store_op_seconds",
+                _time.perf_counter() - started,
+                (("op", "put"),),
+            )
+            _obs_metrics.inc("repro_store_puts_total")
+            return stored
+        return self._put_impl(key, payload, kind)
+
+    def _put_impl(
+        self, key: str, payload: Any, kind: str = "runresult"
+    ) -> bool:
         if (kind, key) in self._index:
             self.stats.put_dupes += 1
             return False

@@ -348,8 +348,13 @@ class TestStatsJson:
         warm = json.loads(capsys.readouterr().out)
         assert warm["session_stats"]["store_hits"] == 1
         assert warm["session_stats"]["backend_calls"] == 0
-        # Bit-identical record across processes-worth of sessions.
-        cold.pop("session_stats"); warm.pop("session_stats")
+        # The unified snapshot rides next to the legacy key.
+        assert warm["stats"]["format"] == "repro-stats-v1"
+        assert warm["stats"]["counters"]["store_hits"] == 1
+        # Bit-identical record across processes-worth of sessions
+        # (both stats shapes carry wall-times and are stripped).
+        for payload in (cold, warm):
+            payload.pop("session_stats"); payload.pop("stats")
         assert cold == warm
 
 
